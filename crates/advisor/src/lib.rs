@@ -1,0 +1,405 @@
+//! # gp-advisor — the paper's decision trees as code
+//!
+//! The thesis distills its experiments into per-system "rules of thumb":
+//! decision trees for PowerGraph (Fig 5.9), PowerLyra (Fig 6.6) and
+//! GraphX-with-all-strategies (Fig 9.3), plus the simpler GraphX-native
+//! recommendation of §7.4. This crate encodes each tree as an executable
+//! recommender that also returns the decision path it took, so the harness
+//! can print the trees and the integration tests can check every branch.
+//!
+//! ```
+//! use gp_advisor::{powergraph, Workload};
+//! use gp_gen::GraphClass;
+//!
+//! let w = Workload {
+//!     graph_class: GraphClass::HeavyTailed,
+//!     machines: 25,
+//!     compute_ingress_ratio: 0.5,
+//!     natural_app: false,
+//! };
+//! let rec = powergraph(&w);
+//! assert_eq!(rec.strategies, vec![gp_partition::Strategy::Grid]);
+//! ```
+
+use gp_gen::GraphClass;
+use gp_partition::Strategy;
+
+/// The facts a user knows about their job before choosing a strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Degree class of the input graph (from `gp_gen::classify` or Table 4.2).
+    pub graph_class: GraphClass,
+    /// Cluster machine count (Grid needs a perfect square, §5.2.3).
+    pub machines: u32,
+    /// Expected compute-time / ingress-time ratio: `> 1` = long-running job
+    /// (includes reusing saved partitions across jobs, §5.4.3).
+    pub compute_ingress_ratio: f64,
+    /// Whether the application is *natural* — gathers in one direction and
+    /// scatters in the other (§6.1). Only PowerLyra's tree uses this.
+    pub natural_app: bool,
+}
+
+impl Workload {
+    /// True if `machines` is a perfect square (Grid's requirement).
+    pub fn square_cluster(&self) -> bool {
+        let r = (self.machines as f64).sqrt().round() as u32;
+        r * r == self.machines
+    }
+
+    /// True if the job is compute-dominated (`ratio > 1`).
+    pub fn long_job(&self) -> bool {
+        self.compute_ingress_ratio > 1.0
+    }
+}
+
+/// A recommendation plus the decision path that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Recommended strategies, best first; multiple entries mean "either"
+    /// (the paper treats HDRF and Oblivious as interchangeable at λ = 1).
+    pub strategies: Vec<Strategy>,
+    /// The decision nodes traversed, for explainability.
+    pub path: Vec<&'static str>,
+}
+
+impl Recommendation {
+    fn new(strategies: Vec<Strategy>, path: Vec<&'static str>) -> Self {
+        Recommendation { strategies, path }
+    }
+
+    /// The top recommendation.
+    pub fn best(&self) -> Strategy {
+        self.strategies[0]
+    }
+}
+
+/// PowerGraph's decision tree (Fig 5.9).
+///
+/// * Low-degree graph → HDRF/Oblivious.
+/// * Heavy-tailed graph → Grid if the cluster is a perfect square, else
+///   HDRF/Oblivious.
+/// * Power-law/other graph → compute/ingress > 1 → HDRF/Oblivious (lower
+///   replication factor pays off), ≤ 1 → Grid (fast ingress wins).
+pub fn powergraph(w: &Workload) -> Recommendation {
+    let heuristics = vec![Strategy::Hdrf, Strategy::Oblivious];
+    match w.graph_class {
+        GraphClass::LowDegree => Recommendation::new(
+            heuristics,
+            vec!["low-degree graph? yes"],
+        ),
+        GraphClass::HeavyTailed => {
+            if w.square_cluster() {
+                Recommendation::new(
+                    vec![Strategy::Grid],
+                    vec!["low-degree graph? no", "heavy-tailed graph? yes", "N^2 machines? yes"],
+                )
+            } else {
+                Recommendation::new(
+                    heuristics,
+                    vec!["low-degree graph? no", "heavy-tailed graph? yes", "N^2 machines? no"],
+                )
+            }
+        }
+        GraphClass::PowerLaw => {
+            if w.long_job() {
+                Recommendation::new(
+                    heuristics,
+                    vec![
+                        "low-degree graph? no",
+                        "heavy-tailed graph? no",
+                        "compute/ingress? high (>1)",
+                    ],
+                )
+            } else {
+                Recommendation::new(
+                    vec![Strategy::Grid],
+                    vec![
+                        "low-degree graph? no",
+                        "heavy-tailed graph? no",
+                        "compute/ingress? low (<=1)",
+                    ],
+                )
+            }
+        }
+    }
+}
+
+/// PowerLyra's decision tree (Fig 6.6).
+///
+/// Like PowerGraph's, with the "natural application?" node added because
+/// Hybrid synergizes with natural algorithms (§6.4.1), and Oblivious
+/// replacing HDRF/Oblivious (PowerLyra does not ship HDRF natively):
+///
+/// * Low-degree graph → Oblivious (lower RF beats Hybrid's synergy, §6.4.4).
+/// * Heavy-tailed graph → Grid on square clusters (lower memory than Hybrid
+///   at similar performance), else Hybrid.
+/// * Power-law/other → long job: Hybrid for natural apps, Oblivious
+///   otherwise; short job: Grid.
+/// * Hybrid-Ginger and Random are never recommended (§6.4.4, §5.4.4).
+pub fn powerlyra(w: &Workload) -> Recommendation {
+    powerlyra_tree(w, vec![Strategy::Oblivious])
+}
+
+/// The PowerLyra-with-all-strategies tree (§8.2.1): identical to Fig 6.6
+/// "with the only difference being the replacement of 'Oblivious' with
+/// 'HDRF/Oblivious'".
+pub fn powerlyra_all(w: &Workload) -> Recommendation {
+    powerlyra_tree(w, vec![Strategy::Hdrf, Strategy::Oblivious])
+}
+
+fn powerlyra_tree(w: &Workload, heuristics: Vec<Strategy>) -> Recommendation {
+    match w.graph_class {
+        GraphClass::LowDegree => {
+            Recommendation::new(heuristics, vec!["low-degree graph? yes"])
+        }
+        GraphClass::HeavyTailed => {
+            let mut path = vec![
+                "low-degree graph? no",
+                if w.natural_app { "natural application? yes" } else { "natural application? no" },
+                "heavy-tailed graph? yes",
+            ];
+            if w.square_cluster() {
+                path.push("N^2 machines? yes");
+                Recommendation::new(vec![Strategy::Grid], path)
+            } else {
+                path.push("N^2 machines? no");
+                Recommendation::new(vec![Strategy::Hybrid], path)
+            }
+        }
+        GraphClass::PowerLaw => {
+            let mut path = vec![
+                "low-degree graph? no",
+                if w.natural_app { "natural application? yes" } else { "natural application? no" },
+                "heavy-tailed graph? no",
+            ];
+            if w.long_job() {
+                path.push("compute/ingress? high (>1)");
+                if w.natural_app {
+                    Recommendation::new(vec![Strategy::Hybrid], path)
+                } else {
+                    Recommendation::new(heuristics, path)
+                }
+            } else {
+                path.push("compute/ingress? low (<=1)");
+                Recommendation::new(vec![Strategy::Grid], path)
+            }
+        }
+    }
+}
+
+/// GraphX's native recommendation (§7.4): no tree needed — "Canonical
+/// Random for low-degree and high-diameter graphs such as road-networks and
+/// 2D partitioning for power-law-like graphs".
+pub fn graphx(w: &Workload) -> Recommendation {
+    match w.graph_class {
+        GraphClass::LowDegree => Recommendation::new(
+            vec![Strategy::Random],
+            vec!["low-degree graph? yes"],
+        ),
+        _ => Recommendation::new(
+            vec![Strategy::TwoD],
+            vec!["low-degree graph? no (power-law/heavy-tailed)"],
+        ),
+    }
+}
+
+/// The GraphX-with-all-strategies tree (Fig 9.3):
+///
+/// * Low-degree graph → short job: Canonical Random; long job:
+///   HDRF/Oblivious (they catch up as iterations accumulate, Fig 9.1).
+/// * Power-law/other → 2D regardless of job length (fast partitioning *and*
+///   the `2√N − 1` bound, §9.2.2).
+pub fn graphx_all(w: &Workload) -> Recommendation {
+    match w.graph_class {
+        GraphClass::LowDegree => {
+            if w.long_job() {
+                Recommendation::new(
+                    vec![Strategy::Hdrf, Strategy::Oblivious],
+                    vec!["low-degree graph? yes", "compute/ingress? high"],
+                )
+            } else {
+                Recommendation::new(
+                    vec![Strategy::Random],
+                    vec!["low-degree graph? yes", "compute/ingress? low"],
+                )
+            }
+        }
+        _ => Recommendation::new(
+            vec![Strategy::TwoD],
+            vec!["low-degree graph? no (power-law/other)"],
+        ),
+    }
+}
+
+/// ASCII rendering of the PowerGraph tree (the Fig 5.9 panel).
+pub fn render_powergraph_tree() -> String {
+    "\
+Start
+└─ Low degree graph?
+   ├─ yes → HDRF/Oblivious
+   └─ no → Heavy-tailed graph?
+      ├─ yes → N^2 machines?
+      │  ├─ yes → Grid
+      │  └─ no  → HDRF/Oblivious
+      └─ no (power-law/other) → Compute/Ingress?
+         ├─ high (>1) → HDRF/Oblivious
+         └─ low (<=1) → Grid
+"
+    .to_string()
+}
+
+/// ASCII rendering of the PowerLyra tree (the Fig 6.6 panel).
+pub fn render_powerlyra_tree() -> String {
+    "\
+Start
+└─ Low degree graph?
+   ├─ yes → Oblivious
+   └─ no → Natural application? (Hybrid synergy)
+      └─ Heavy-tailed graph?
+         ├─ yes → N^2 machines?
+         │  ├─ yes → Grid
+         │  └─ no  → Hybrid
+         └─ no (power-law-like/other) → Compute/Ingress?
+            ├─ high (>1) → Hybrid if natural, else Oblivious
+            └─ low (<=1) → Grid
+"
+    .to_string()
+}
+
+/// ASCII rendering of the GraphX-all tree (the Fig 9.3 panel).
+pub fn render_graphx_all_tree() -> String {
+    "\
+Start
+└─ Low degree graph?
+   ├─ yes → Compute/Ingress?
+   │  ├─ low  → Canonical Random
+   │  └─ high → HDRF/Oblivious
+   └─ no (power-law/other) → 2D
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(class: GraphClass, machines: u32, ratio: f64, natural: bool) -> Workload {
+        Workload {
+            graph_class: class,
+            machines,
+            compute_ingress_ratio: ratio,
+            natural_app: natural,
+        }
+    }
+
+    #[test]
+    fn powergraph_low_degree_prefers_heuristics() {
+        let rec = powergraph(&w(GraphClass::LowDegree, 25, 0.5, false));
+        assert_eq!(rec.strategies, vec![Strategy::Hdrf, Strategy::Oblivious]);
+    }
+
+    #[test]
+    fn powergraph_heavy_tailed_square_cluster_grid() {
+        let rec = powergraph(&w(GraphClass::HeavyTailed, 25, 0.5, false));
+        assert_eq!(rec.best(), Strategy::Grid);
+        // Non-square falls back to the heuristics.
+        let rec = powergraph(&w(GraphClass::HeavyTailed, 10, 0.5, false));
+        assert_eq!(rec.best(), Strategy::Hdrf);
+        assert!(rec.path.contains(&"N^2 machines? no"));
+    }
+
+    #[test]
+    fn powergraph_power_law_depends_on_job_length() {
+        // Table 5.1: short PageRank → Grid wins; long k-core → HDRF wins.
+        let short = powergraph(&w(GraphClass::PowerLaw, 25, 146.0 / 206.4, false));
+        assert_eq!(short.best(), Strategy::Grid);
+        let long = powergraph(&w(GraphClass::PowerLaw, 25, 3225.1 / 320.6, false));
+        assert_eq!(long.best(), Strategy::Hdrf);
+    }
+
+    #[test]
+    fn powerlyra_low_degree_is_oblivious() {
+        let rec = powerlyra(&w(GraphClass::LowDegree, 9, 2.0, true));
+        assert_eq!(rec.strategies, vec![Strategy::Oblivious]);
+    }
+
+    #[test]
+    fn powerlyra_heavy_tailed_non_square_falls_back_to_hybrid() {
+        let rec = powerlyra(&w(GraphClass::HeavyTailed, 10, 2.0, true));
+        assert_eq!(rec.best(), Strategy::Hybrid);
+        let rec = powerlyra(&w(GraphClass::HeavyTailed, 9, 2.0, true));
+        assert_eq!(rec.best(), Strategy::Grid);
+    }
+
+    #[test]
+    fn powerlyra_natural_long_power_law_gets_hybrid() {
+        let rec = powerlyra(&w(GraphClass::PowerLaw, 25, 5.0, true));
+        assert_eq!(rec.best(), Strategy::Hybrid);
+        let rec = powerlyra(&w(GraphClass::PowerLaw, 25, 5.0, false));
+        assert_eq!(rec.best(), Strategy::Oblivious);
+        let rec = powerlyra(&w(GraphClass::PowerLaw, 25, 0.5, true));
+        assert_eq!(rec.best(), Strategy::Grid);
+    }
+
+    #[test]
+    fn powerlyra_all_swaps_in_hdrf() {
+        // §8.2.1: only change is Oblivious → HDRF/Oblivious.
+        let a = powerlyra_all(&w(GraphClass::LowDegree, 9, 1.0, false));
+        assert_eq!(a.strategies, vec![Strategy::Hdrf, Strategy::Oblivious]);
+        let b = powerlyra_all(&w(GraphClass::HeavyTailed, 9, 1.0, false));
+        assert_eq!(b.best(), Strategy::Grid);
+    }
+
+    #[test]
+    fn powerlyra_never_recommends_random_or_ginger() {
+        for class in [GraphClass::LowDegree, GraphClass::HeavyTailed, GraphClass::PowerLaw] {
+            for machines in [9u32, 10, 16, 25] {
+                for ratio in [0.2, 5.0] {
+                    for natural in [false, true] {
+                        let rec = powerlyra(&w(class, machines, ratio, natural));
+                        assert!(!rec.strategies.contains(&Strategy::Random));
+                        assert!(!rec.strategies.contains(&Strategy::AsymmetricRandom));
+                        assert!(!rec.strategies.contains(&Strategy::HybridGinger));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graphx_native_rules() {
+        assert_eq!(
+            graphx(&w(GraphClass::LowDegree, 10, 1.0, false)).best(),
+            Strategy::Random
+        );
+        assert_eq!(
+            graphx(&w(GraphClass::HeavyTailed, 10, 1.0, false)).best(),
+            Strategy::TwoD
+        );
+        assert_eq!(graphx(&w(GraphClass::PowerLaw, 10, 1.0, false)).best(), Strategy::TwoD);
+    }
+
+    #[test]
+    fn graphx_all_low_degree_depends_on_length() {
+        let short = graphx_all(&w(GraphClass::LowDegree, 9, 0.3, false));
+        assert_eq!(short.best(), Strategy::Random);
+        let long = graphx_all(&w(GraphClass::LowDegree, 9, 4.0, false));
+        assert_eq!(long.best(), Strategy::Hdrf);
+        let pl = graphx_all(&w(GraphClass::PowerLaw, 9, 0.3, false));
+        assert_eq!(pl.best(), Strategy::TwoD);
+    }
+
+    #[test]
+    fn paths_are_nonempty_and_start_at_the_root() {
+        let rec = powergraph(&w(GraphClass::PowerLaw, 25, 2.0, false));
+        assert!(rec.path[0].starts_with("low-degree graph?"));
+        assert!(rec.path.len() >= 2);
+    }
+
+    #[test]
+    fn rendered_trees_mention_their_leaves() {
+        assert!(render_powergraph_tree().contains("Grid"));
+        assert!(render_powerlyra_tree().contains("Hybrid"));
+        assert!(render_graphx_all_tree().contains("Canonical Random"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Simple greedy coloring (§3.3.5).
+//!
+//! Each active vertex takes the smallest color different from all of its
+//! neighbors': `p(v) = argmin_k { k | k ≠ p(v') ∀ v'∈N(v) }`. No minimality
+//! guarantee (minimal coloring is NP-complete). All vertices start with the
+//! same color and all start active.
+//!
+//! This is the one application the paper runs on PowerGraph's
+//! **asynchronous** engine (§5.4.1): under synchronous semantics two
+//! adjacent vertices recolor simultaneously and can livelock forever.
+//! Run it with [`AsyncGas`](gp_engine::AsyncGas).
+
+use gp_core::VertexId;
+use gp_engine::{ApplyInfo, Direction, InitInfo, VertexProgram};
+
+/// The Simple Coloring vertex program.
+#[derive(Debug, Clone, Default)]
+pub struct Coloring;
+
+impl VertexProgram for Coloring {
+    type State = u32;
+    type Accum = Vec<u32>;
+
+    fn name(&self) -> &'static str {
+        "Coloring"
+    }
+
+    fn gather_direction(&self) -> Direction {
+        Direction::Both
+    }
+
+    fn scatter_direction(&self) -> Direction {
+        Direction::Both
+    }
+
+    fn init(&self, _: VertexId, _: InitInfo) -> u32 {
+        0
+    }
+
+    fn initially_active(&self, _: VertexId) -> bool {
+        true
+    }
+
+    fn gather(&self, _: VertexId, _: VertexId, color: &u32, _: InitInfo) -> Vec<u32> {
+        vec![*color]
+    }
+
+    fn merge(&self, mut a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+        a.extend(b);
+        a
+    }
+
+    fn apply(&self, _: VertexId, old: &u32, acc: Option<Vec<u32>>, _: ApplyInfo) -> u32 {
+        let mut taken = acc.unwrap_or_default();
+        taken.sort_unstable();
+        taken.dedup();
+        if taken.binary_search(old).is_err() {
+            return *old; // already conflict-free — stay put
+        }
+        // Smallest color absent from the sorted neighbor set.
+        let mut mex = 0u32;
+        for &c in &taken {
+            if c == mex {
+                mex += 1;
+            } else if c > mex {
+                break;
+            }
+        }
+        mex
+    }
+
+    fn max_supersteps(&self) -> u32 {
+        1_000
+    }
+}
+
+/// Check that `colors` is a proper coloring of `graph` (ignoring self loops).
+pub fn is_proper_coloring(graph: &gp_core::EdgeList, colors: &[u32]) -> bool {
+    graph
+        .edges()
+        .iter()
+        .filter(|e| !e.is_self_loop())
+        .all(|e| colors[e.src.index()] != colors[e.dst.index()])
+}
+
+/// Number of distinct colors used.
+pub fn color_count(colors: &[u32]) -> usize {
+    let mut c: Vec<u32> = colors.to_vec();
+    c.sort_unstable();
+    c.dedup();
+    c.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_cluster::ClusterSpec;
+    use gp_core::EdgeList;
+    use gp_engine::{AsyncGas, EngineConfig};
+    use gp_partition::{PartitionContext, Strategy};
+
+    fn run_async(g: &EdgeList) -> (Vec<u32>, gp_engine::ComputeReport) {
+        let a = Strategy::Oblivious.build().partition(g, &PartitionContext::new(4)).assignment;
+        AsyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(g, &a, &Coloring)
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let g = EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0)]);
+        let (colors, report) = run_async(&g);
+        assert!(report.converged);
+        assert!(is_proper_coloring(&g, &colors));
+        assert_eq!(color_count(&colors), 3);
+    }
+
+    #[test]
+    fn star_colored_with_few_colors() {
+        // Greedy async may use 3 colors on a star (leaves recolor before the
+        // hub settles) but never more than that.
+        let g = EdgeList::from_pairs((1..=30).map(|i| (0, i)).collect());
+        let (colors, _) = run_async(&g);
+        assert!(is_proper_coloring(&g, &colors));
+        assert!(color_count(&colors) <= 3, "used {} colors", color_count(&colors));
+    }
+
+    #[test]
+    fn random_graph_gets_properly_colored() {
+        let g = gp_gen::erdos_renyi(500, 3_000, 13);
+        let (colors, report) = run_async(&g);
+        assert!(report.converged, "async coloring must converge");
+        assert!(is_proper_coloring(&g, &colors));
+        // Greedy never needs more than max-degree + 1 colors.
+        let max_deg = g.degrees().max_degree();
+        assert!(color_count(&colors) <= max_deg as usize + 1);
+    }
+
+    #[test]
+    fn helper_detects_improper_colorings() {
+        let g = EdgeList::from_pairs(vec![(0, 1)]);
+        assert!(!is_proper_coloring(&g, &[1, 1]));
+        assert!(is_proper_coloring(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = EdgeList::from_pairs(vec![(0, 0), (0, 1)]);
+        assert!(is_proper_coloring(&g, &[0, 1]));
+    }
+}

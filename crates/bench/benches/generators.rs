@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks: synthetic dataset generation and degree
+//! analysis throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_gen::{DegreeAnalysis, Dataset};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    for dataset in [Dataset::RoadNetCa, Dataset::LiveJournal, Dataset::UkWeb] {
+        let edges = dataset.generate(0.25, 1).num_edges() as u64;
+        group.throughput(Throughput::Elements(edges));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dataset),
+            &dataset,
+            |b, &d| b.iter(|| d.generate(0.25, 1).num_edges()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let graph = Dataset::UkWeb.generate(0.25, 1);
+    let mut group = c.benchmark_group("degree-analysis");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.bench_function("uk-web-0.25", |b| {
+        b.iter(|| DegreeAnalysis::of(&graph).low_degree_residual)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_analysis
+}
+criterion_main!(benches);

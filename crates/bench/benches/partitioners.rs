@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks: streaming partitioner throughput
+//! (edges/second) per strategy and graph class, plus ablations over HDRF's
+//! λ and Hybrid's degree threshold — the design-choice knobs DESIGN.md
+//! calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_core::EdgeList;
+use gp_gen::{barabasi_albert, road_network, web_graph, RoadNetworkParams, WebGraphParams};
+use gp_partition::strategies::{Hdrf, Hybrid};
+use gp_partition::{PartitionContext, Partitioner, Strategy};
+
+fn graphs() -> Vec<(&'static str, EdgeList)> {
+    vec![
+        (
+            "road",
+            road_network(&RoadNetworkParams { width: 120, height: 120, ..Default::default() }, 1),
+        ),
+        ("social", barabasi_albert(25_000, 10, 1)),
+        (
+            "web",
+            web_graph(&WebGraphParams { domains: 800, ..Default::default() }, 1),
+        ),
+    ]
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for (class, graph) in graphs() {
+        group.throughput(Throughput::Elements(graph.num_edges() as u64));
+        for strategy in [
+            Strategy::Random,
+            Strategy::Grid,
+            Strategy::TwoD,
+            Strategy::Oblivious,
+            Strategy::Hdrf,
+            Strategy::Hybrid,
+            Strategy::HybridGinger,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), class),
+                &graph,
+                |b, g| {
+                    let ctx = PartitionContext::new(9).with_seed(7);
+                    b.iter(|| strategy.build().partition(g, &ctx).assignment.replication_factor())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hdrf_lambda_ablation(c: &mut Criterion) {
+    let graph = barabasi_albert(25_000, 10, 2);
+    let mut group = c.benchmark_group("hdrf-lambda");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    for lambda in [0.0, 1.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lambda),
+            &graph,
+            |b, g| {
+                let ctx = PartitionContext::new(9).with_seed(7);
+                b.iter(|| {
+                    Hdrf::with_lambda(lambda).partition(g, &ctx).assignment.replication_factor()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hybrid_threshold_ablation(c: &mut Criterion) {
+    let graph = barabasi_albert(25_000, 10, 3);
+    let mut group = c.benchmark_group("hybrid-threshold");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    for threshold in [10u32, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &graph,
+            |b, g| {
+                let ctx = PartitionContext::new(9).with_seed(7);
+                b.iter(|| {
+                    Hybrid::with_threshold(threshold)
+                        .partition(g, &ctx)
+                        .assignment
+                        .replication_factor()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies, bench_hdrf_lambda_ablation, bench_hybrid_threshold_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Front-matter tables: Table 1.1 (strategy catalog), Table 4.1 (clusters),
+//! Table 4.2 (datasets and their generated analogues).
+
+use gp_cluster::{ClusterSpec, Table};
+use gp_core::GraphStats;
+use gp_gen::{classify, Dataset};
+use gp_partition::Strategy;
+
+/// Table 1.1: systems and their partitioning strategies.
+pub fn table1_1(_scale: f64, _seed: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 1.1 — Systems and their Partitioning Strategies",
+        &["System", "Partitioning Strategies"],
+    );
+    for (system, strategies) in Strategy::catalog() {
+        let list: Vec<&str> = strategies.iter().map(|s| s.label()).collect();
+        t.row(vec![system.to_string(), list.join(", ")]);
+    }
+    vec![t]
+}
+
+/// Table 4.1: the cluster specifications.
+pub fn table4_1(_scale: f64, _seed: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 4.1 — The Cluster Specifications",
+        &["Cluster", "Machines", "Memory", "vCPUs", "Bandwidth"],
+    );
+    for spec in [
+        ClusterSpec::local_9(),
+        ClusterSpec::local_10(),
+        ClusterSpec::ec2_16(),
+        ClusterSpec::ec2_25(),
+    ] {
+        t.row(vec![
+            spec.name.to_string(),
+            spec.machines.to_string(),
+            format!("{} GB", spec.memory_bytes >> 30),
+            spec.vcpus.to_string(),
+            format!("{:.0} MB/s", spec.bandwidth_bytes_per_s / 1e6),
+        ]);
+    }
+    vec![t]
+}
+
+/// Table 4.2: the datasets — the paper's real graphs side by side with our
+/// generated analogues, including the degree-class check.
+pub fn table4_2(scale: f64, seed: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        format!("Table 4.2 — Graph datasets (paper) vs generated analogues (scale {scale})"),
+        &[
+            "Graph Dataset",
+            "Paper |E|",
+            "Paper |V|",
+            "Type",
+            "Analogue |E|",
+            "Analogue |V|",
+            "Classified As",
+            "Max In-Deg",
+        ],
+    );
+    for d in Dataset::ALL {
+        let spec = d.spec();
+        let g = d.generate(scale, seed);
+        let stats = GraphStats::compute(&g);
+        t.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}M", spec.paper_edges as f64 / 1e6),
+            format!("{:.1}M", spec.paper_vertices as f64 / 1e6),
+            spec.class.to_string(),
+            stats.num_edges.to_string(),
+            stats.num_vertices.to_string(),
+            classify(&g).to_string(),
+            stats.max_in_degree.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_1_lists_three_systems() {
+        let t = &table1_1(1.0, 1)[0];
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn table4_1_lists_four_clusters() {
+        assert_eq!(table4_1(1.0, 1)[0].len(), 4);
+    }
+
+    #[test]
+    fn table4_2_covers_all_datasets() {
+        assert_eq!(table4_2(0.05, 1)[0].len(), 6);
+    }
+}

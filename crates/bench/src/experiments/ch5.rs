@@ -1,0 +1,261 @@
+//! Chapter 5 experiments — PowerGraph.
+
+use crate::experiments::{gb, secs};
+use crate::pipeline::{App, EngineKind, Pipeline};
+use crate::{linear_fit, pearson};
+use gp_cluster::{ClusterSpec, Table};
+use gp_gen::{Dataset, DegreeAnalysis};
+use gp_partition::Strategy;
+
+/// The four PowerGraph strategies the paper evaluates (PDS is excluded for
+/// machine-count reasons, §5.2.3).
+pub const PG_STRATEGIES: [Strategy; 4] =
+    [Strategy::Random, Strategy::Hdrf, Strategy::Oblivious, Strategy::Grid];
+
+/// Shared driver for Figs 5.3–5.5: run the six applications with the four
+/// strategies on UK-web/EC2-25 and tabulate `metric(job)` against RF.
+fn rf_scatter(
+    scale: f64,
+    seed: u64,
+    title: &str,
+    metric_header: &str,
+    metric: impl Fn(&crate::pipeline::JobResult) -> f64,
+    fmt: impl Fn(f64) -> String,
+) -> Vec<Table> {
+    let mut pipeline = Pipeline::new(scale, seed);
+    let spec = ClusterSpec::ec2_25();
+    let mut t = Table::new(
+        title.to_string(),
+        &["App", "Strategy", "RF", metric_header],
+    );
+    let mut trend = Table::new(
+        format!("{title} — per-app linear trend"),
+        &["App", "slope", "intercept", "pearson r"],
+    );
+    for app in App::paper_set() {
+        let mut points = Vec::new();
+        for strategy in PG_STRATEGIES {
+            let job = pipeline.run(Dataset::UkWeb, strategy, &spec, EngineKind::PowerGraph, app);
+            let y = metric(&job);
+            t.row(vec![
+                app.label().to_string(),
+                strategy.label().to_string(),
+                format!("{:.2}", job.replication_factor),
+                fmt(y),
+            ]);
+            points.push((job.replication_factor, y));
+        }
+        let (intercept, slope) = linear_fit(&points);
+        trend.row(vec![
+            app.label().to_string(),
+            format!("{slope:.3e}"),
+            format!("{intercept:.3e}"),
+            format!("{:.3}", pearson(&points)),
+        ]);
+    }
+    vec![t, trend]
+}
+
+/// Fig 5.3: incoming network I/O vs replication factor.
+pub fn fig5_3(scale: f64, seed: u64) -> Vec<Table> {
+    rf_scatter(
+        scale,
+        seed,
+        "Fig 5.3 — Incoming Network IO vs Replication Factors (PowerGraph, EC2-25, UK-Web)",
+        "Inbound Net I/O (GB/machine)",
+        |j| j.mean_net_in_bytes,
+        gb,
+    )
+}
+
+/// Fig 5.4: computation time vs replication factor.
+pub fn fig5_4(scale: f64, seed: u64) -> Vec<Table> {
+    rf_scatter(
+        scale,
+        seed,
+        "Fig 5.4 — Computation Time vs Replication Factors (PowerGraph, EC2-25, UK-Web)",
+        "Computation time (s)",
+        |j| j.compute_seconds,
+        secs,
+    )
+}
+
+/// Fig 5.5: peak memory vs replication factor.
+pub fn fig5_5(scale: f64, seed: u64) -> Vec<Table> {
+    rf_scatter(
+        scale,
+        seed,
+        "Fig 5.5 — Memory usage vs Replication Factors (PowerGraph, EC2-25, UK-Web)",
+        "Peak memory (GB/machine)",
+        |j| j.peak_memory_bytes,
+        gb,
+    )
+}
+
+/// The dataset × cluster sweep shared by Figs 5.6/5.7 (and 6.4/6.5).
+pub(crate) fn sweep(
+    scale: f64,
+    seed: u64,
+    title: &str,
+    strategies: &[Strategy],
+    engine: EngineKind,
+    metric_header: &str,
+    ingress_metric: bool,
+) -> Vec<Table> {
+    let mut pipeline = Pipeline::new(scale, seed);
+    let mut headers: Vec<&str> = vec!["Dataset", "Cluster"];
+    let labels: Vec<&'static str> = strategies.iter().map(|s| s.label()).collect();
+    headers.extend(labels.iter().copied());
+    let mut t = Table::new(format!("{title} [{metric_header}]"), &headers);
+    for dataset in Dataset::POWERGRAPH_SET {
+        for spec in ClusterSpec::powergraph_clusters() {
+            let mut row = vec![dataset.to_string(), spec.name.to_string()];
+            for &strategy in strategies {
+                let (report, ingress_s) = pipeline.ingress(dataset, strategy, &spec, engine);
+                row.push(if ingress_metric {
+                    format!("{ingress_s:.1}")
+                } else {
+                    format!("{:.2}", report.replication_factor)
+                });
+            }
+            t.row(row);
+        }
+    }
+    vec![t]
+}
+
+/// Fig 5.6: replication factors for all PowerGraph strategies on all graphs
+/// and cluster sizes.
+pub fn fig5_6(scale: f64, seed: u64) -> Vec<Table> {
+    sweep(
+        scale,
+        seed,
+        "Fig 5.6 — Replication Factors in PowerGraph",
+        &PG_STRATEGIES,
+        EngineKind::PowerGraph,
+        "replication factor",
+        false,
+    )
+}
+
+/// Fig 5.7: ingress times for all PowerGraph strategies.
+pub fn fig5_7(scale: f64, seed: u64) -> Vec<Table> {
+    sweep(
+        scale,
+        seed,
+        "Fig 5.7 — Ingress Time in PowerGraph",
+        &PG_STRATEGIES,
+        EngineKind::PowerGraph,
+        "ingress seconds",
+        true,
+    )
+}
+
+/// Fig 5.8: in-degree distributions of the three skewed graphs, with the
+/// log-log regression and the low-degree-mass residual that separates
+/// heavy-tailed from power-law (§5.4.2).
+pub fn fig5_8(scale: f64, seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    let mut summary = Table::new(
+        "Fig 5.8 — power-law regression per graph",
+        &["Graph", "slope", "low-degree residual (obs/pred)", "classified"],
+    );
+    for dataset in [Dataset::LiveJournal, Dataset::Twitter, Dataset::UkWeb] {
+        let g = dataset.generate(scale, seed);
+        let a = DegreeAnalysis::of(&g);
+        let mut t = Table::new(
+            format!("Fig 5.8 — In-degree histogram, {dataset} (log-binned)"),
+            &["In-degree >=", "Count"],
+        );
+        for (d, c) in a.log_binned() {
+            t.row(vec![d.to_string(), c.to_string()]);
+        }
+        summary.row(vec![
+            dataset.to_string(),
+            format!("{:.2}", a.slope),
+            format!("{:.2}", a.low_degree_residual),
+            gp_gen::analysis::classify_analysis(&a).to_string(),
+        ]);
+        tables.push(t);
+    }
+    tables.push(summary);
+    tables
+}
+
+/// Table 5.1: HDRF vs Grid in the ingress and compute phases for
+/// short-running PageRank(C) vs long-running k-core (UK-web, EC2-25).
+pub fn table5_1(scale: f64, seed: u64) -> Vec<Table> {
+    let mut pipeline = Pipeline::new(scale, seed);
+    let spec = ClusterSpec::ec2_25();
+    let mut t = Table::new(
+        "Table 5.1 — HDRF vs Grid, ingress/compute/total (PowerGraph, EC2-25, UK-web)",
+        &[
+            "Strategy",
+            "PR(C) ingress",
+            "PR(C) compute",
+            "PR(C) total",
+            "K-Core ingress",
+            "K-Core compute",
+            "K-Core total",
+        ],
+    );
+    for strategy in [Strategy::Grid, Strategy::Hdrf] {
+        let pr = pipeline.run(
+            Dataset::UkWeb,
+            strategy,
+            &spec,
+            EngineKind::PowerGraph,
+            App::PageRankConv,
+        );
+        let kc = pipeline.run(
+            Dataset::UkWeb,
+            strategy,
+            &spec,
+            EngineKind::PowerGraph,
+            App::KCore { k_min: 10, k_max: 20 },
+        );
+        t.row(vec![
+            strategy.label().to_string(),
+            secs(pr.ingress_seconds),
+            secs(pr.compute_seconds),
+            secs(pr.total_seconds()),
+            secs(kc.ingress_seconds),
+            secs(kc.compute_seconds),
+            secs(kc.total_seconds()),
+        ]);
+    }
+    vec![t]
+}
+
+/// Fig 5.9: the PowerGraph decision tree.
+pub fn fig5_9(_scale: f64, _seed: u64) -> Vec<Table> {
+    let mut t = Table::new("Fig 5.9 — PowerGraph decision tree", &["tree"]);
+    for line in gp_advisor::render_powergraph_tree().lines() {
+        t.row(vec![line.to_string()]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_8_produces_histograms_and_summary() {
+        let tables = fig5_8(0.05, 3);
+        assert_eq!(tables.len(), 4);
+        assert_eq!(tables[3].len(), 3);
+    }
+
+    #[test]
+    fn fig5_9_renders_the_tree() {
+        let t = &fig5_9(1.0, 1)[0];
+        assert!(t.len() > 5);
+    }
+
+    #[test]
+    fn sweep_covers_every_dataset_cluster_pair() {
+        let t = &fig5_6(0.02, 1)[0];
+        assert_eq!(t.len(), 5 * 3);
+    }
+}

@@ -1,0 +1,498 @@
+//! The measurement pipeline: dataset → partition → ingress pricing →
+//! engine run → §4.3 metrics.
+
+use gp_apps::{Coloring, PageRank, Sssp, Wcc};
+use gp_cluster::{ClusterSpec, CostRates};
+use gp_core::{EdgeList, VertexId};
+use gp_engine::{
+    base_memory_per_machine, AsyncGas, ComputeReport, EngineConfig, HybridGas, Pregel,
+    PregelConfig, SyncGas,
+};
+use gp_gen::Dataset;
+use gp_partition::{IngressReport, PartitionContext, PartitionOutcome, Strategy};
+use std::collections::HashMap;
+
+/// Which system's engine executes the compute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// PowerGraph: synchronous GAS (async for Coloring).
+    PowerGraph,
+    /// PowerLyra: hybrid differentiated engine (async for Coloring).
+    PowerLyra,
+    /// GraphX: Pregel over `partitions_per_machine` partitions.
+    GraphX {
+        /// Edge partitions per machine (one per core is the §7.2 rule).
+        partitions_per_machine: u32,
+        /// Executor memory in bytes.
+        executor_memory_bytes: u64,
+    },
+}
+
+impl EngineKind {
+    /// GraphX with the paper's defaults: 16 partitions/machine, 8 GiB
+    /// executors.
+    pub fn graphx_default() -> Self {
+        EngineKind::GraphX { partitions_per_machine: 16, executor_memory_bytes: 8 << 30 }
+    }
+
+    /// Partition count for a cluster under this engine.
+    pub fn partitions(&self, spec: &ClusterSpec) -> u32 {
+        match self {
+            EngineKind::GraphX { partitions_per_machine, .. } => {
+                spec.machines * partitions_per_machine
+            }
+            _ => spec.machines,
+        }
+    }
+}
+
+/// The paper's applications, with their per-chapter parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// PageRank for a fixed number of supersteps ("PageRank(10)").
+    PageRankFixed(u32),
+    /// PageRank to convergence ("PageRank(C)").
+    PageRankConv,
+    /// Weakly connected components.
+    Wcc,
+    /// Single-source shortest paths from vertex 0 (undirected for PG/PL,
+    /// §6.4.1).
+    Sssp {
+        /// Traverse edges both ways?
+        undirected: bool,
+    },
+    /// k-core decomposition over `k_min..=k_max` (10..=20 in §5.3).
+    KCore {
+        /// Smallest core order.
+        k_min: u32,
+        /// Largest core order.
+        k_max: u32,
+    },
+    /// Simple greedy coloring (async engine on PG/PL, §5.4.1).
+    Coloring,
+}
+
+impl App {
+    /// The six-application set of the PowerGraph/PowerLyra figures.
+    pub fn paper_set() -> [App; 6] {
+        [
+            App::KCore { k_min: 10, k_max: 20 },
+            App::Coloring,
+            App::PageRankFixed(10),
+            App::Wcc,
+            App::Sssp { undirected: true },
+            App::PageRankConv,
+        ]
+    }
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            App::PageRankFixed(_) => "PageRank(10)",
+            App::PageRankConv => "PageRank(C)",
+            App::Wcc => "WCC",
+            App::Sssp { .. } => "SSSP",
+            App::KCore { .. } => "K-Core",
+            App::Coloring => "Coloring",
+        }
+    }
+
+    /// Whether the app is natural (§6.1) — PageRank and directed SSSP.
+    pub fn is_natural(&self) -> bool {
+        match self {
+            App::PageRankFixed(_) | App::PageRankConv => true,
+            App::Sssp { undirected } => !undirected,
+            _ => false,
+        }
+    }
+}
+
+/// Everything the paper measures for one job (§4.3).
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Strategy label.
+    pub strategy: Strategy,
+    /// Application label.
+    pub app: &'static str,
+    /// Replication factor after ingress.
+    pub replication_factor: f64,
+    /// Simulated ingress time, seconds.
+    pub ingress_seconds: f64,
+    /// Simulated computation time, seconds (excludes ingress, §4.3).
+    pub compute_seconds: f64,
+    /// Mean per-machine inbound network traffic during compute, bytes.
+    pub mean_net_in_bytes: f64,
+    /// Peak per-machine memory (max − min methodology), bytes.
+    pub peak_memory_bytes: f64,
+    /// Supersteps/iterations executed.
+    pub supersteps: u32,
+    /// Per-machine mean CPU utilization during compute, percent.
+    pub cpu_percents: Vec<f64>,
+    /// Cumulative wall time at the end of each superstep (Figs 9.1/9.2).
+    pub cumulative_seconds: Vec<f64>,
+    /// True if the job failed (GraphX OOM, §7.3/§9.2.4).
+    pub failed: bool,
+}
+
+impl JobResult {
+    /// Total job duration (ingress + compute).
+    pub fn total_seconds(&self) -> f64 {
+        self.ingress_seconds + self.compute_seconds
+    }
+}
+
+/// The experiment pipeline with caching of generated graphs and
+/// partitionings (the same dataset×strategy×cluster triple is reused across
+/// the six applications).
+pub struct Pipeline {
+    /// Dataset scale factor (1.0 = default mini sizes).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    graphs: HashMap<Dataset, EdgeList>,
+    partitions: HashMap<(Dataset, Strategy, u32, u32), PartitionOutcome>,
+}
+
+impl Pipeline {
+    /// New pipeline at the given dataset scale.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        Pipeline { scale, seed, graphs: HashMap::new(), partitions: HashMap::new() }
+    }
+
+    /// The generated analogue for a dataset (cached).
+    pub fn graph(&mut self, dataset: Dataset) -> &EdgeList {
+        let scale = self.scale;
+        let seed = self.seed;
+        self.graphs.entry(dataset).or_insert_with(|| dataset.generate(scale, seed))
+    }
+
+    /// Partition a dataset with a strategy into `partitions` parts, with
+    /// `loaders` parallel loading machines (cached).
+    pub fn partition(
+        &mut self,
+        dataset: Dataset,
+        strategy: Strategy,
+        partitions: u32,
+        loaders: u32,
+    ) -> &PartitionOutcome {
+        let seed = self.seed;
+        let scale = self.scale;
+        let key = (dataset, strategy, partitions, loaders);
+        if !self.partitions.contains_key(&key) {
+            let graph =
+                self.graphs.entry(dataset).or_insert_with(|| dataset.generate(scale, seed));
+            let ctx = PartitionContext::new(partitions)
+                .with_seed(seed)
+                .with_loaders(loaders);
+            let outcome = strategy.build().partition(graph, &ctx);
+            self.partitions.insert(key, outcome);
+        }
+        &self.partitions[&key]
+    }
+
+    /// Ingress report + priced ingress seconds for a combination.
+    pub fn ingress(
+        &mut self,
+        dataset: Dataset,
+        strategy: Strategy,
+        spec: &ClusterSpec,
+        engine: EngineKind,
+    ) -> (IngressReport, f64) {
+        let partitions = engine.partitions(spec);
+        let machines = spec.machines;
+        let outcome = self.partition(dataset, strategy, partitions, machines);
+        let report = IngressReport::from_outcome(strategy.label(), outcome, machines);
+        let seconds = CostRates::default().ingress_seconds(&report, spec);
+        (report, seconds)
+    }
+
+    /// Run the full pipeline for one job.
+    pub fn run(
+        &mut self,
+        dataset: Dataset,
+        strategy: Strategy,
+        spec: &ClusterSpec,
+        engine: EngineKind,
+        app: App,
+    ) -> JobResult {
+        let (ingress_report, ingress_seconds) = self.ingress(dataset, strategy, spec, engine);
+        let partitions = engine.partitions(spec);
+        let outcome = &self.partitions[&(dataset, strategy, partitions, spec.machines)];
+        let assignment = &outcome.assignment;
+        let state_bytes = outcome.state_bytes;
+        let graph = &self.graphs[&dataset];
+        let config = EngineConfig::new(spec.clone());
+
+        let reports: Vec<ComputeReport> = match (engine, app) {
+            (EngineKind::PowerGraph, App::Coloring) | (EngineKind::PowerLyra, App::Coloring) => {
+                let e = AsyncGas::new(config.clone());
+                vec![e.run(graph, assignment, &Coloring).1]
+            }
+            (EngineKind::PowerGraph, _) => {
+                let e = SyncGas::new(config.clone());
+                run_app_sync(&e, graph, assignment, app)
+            }
+            (EngineKind::PowerLyra, _) => {
+                let e = HybridGas::new(config.clone());
+                run_app_hybrid(&e, graph, assignment, app)
+            }
+            (EngineKind::GraphX { executor_memory_bytes, .. }, _) => {
+                let pcfg = PregelConfig::new(config.clone())
+                    .with_executor_memory(executor_memory_bytes);
+                let e = Pregel::new(pcfg);
+                match run_app_pregel(&e, graph, assignment, app) {
+                    Ok(reports) => reports,
+                    Err(_) => {
+                        return JobResult {
+                            strategy,
+                            app: app.label(),
+                            replication_factor: ingress_report.replication_factor,
+                            ingress_seconds,
+                            compute_seconds: f64::INFINITY,
+                            mean_net_in_bytes: 0.0,
+                            peak_memory_bytes: 0.0,
+                            supersteps: 0,
+                            cpu_percents: Vec::new(),
+                            cumulative_seconds: Vec::new(),
+                            failed: true,
+                        }
+                    }
+                }
+            }
+        };
+
+        let compute_seconds: f64 = reports.iter().map(|r| r.compute_seconds()).sum();
+        let mean_net: f64 = reports.iter().map(|r| r.mean_machine_in_bytes()).sum();
+        let supersteps: u32 = reports.iter().map(|r| r.supersteps()).sum();
+        let mut cumulative = Vec::new();
+        let mut offset = 0.0;
+        for r in &reports {
+            for c in r.cumulative_seconds() {
+                cumulative.push(offset + c);
+            }
+            offset = cumulative.last().copied().unwrap_or(offset);
+        }
+        // CPU percents over the whole compute phase (Fig 8.4): combine the
+        // per-report machine utilizations weighted by each report's wall
+        // time.
+        let machines = spec.machines as usize;
+        let mut cpu = vec![0.0f64; machines];
+        for r in &reports {
+            let w = r.compute_seconds() / compute_seconds.max(1e-12);
+            for (m, &p) in r.machine_cpu_percent(&config).iter().enumerate() {
+                cpu[m] += w * p;
+            }
+        }
+        // Peak memory: graph storage + strategy ingress state (the §6.4.2
+        // overhead) + the largest superstep message buffer.
+        let base = base_memory_per_machine(assignment, &config, state_bytes);
+        let peak_buffer = reports
+            .iter()
+            .flat_map(|r| r.steps.iter())
+            .map(|s| s.machine_in_bytes.iter().copied().fold(0.0, f64::max))
+            .fold(0.0, f64::max);
+        let peak_memory =
+            base.iter().copied().fold(0.0, f64::max) + peak_buffer;
+
+        JobResult {
+            strategy,
+            app: app.label(),
+            replication_factor: ingress_report.replication_factor,
+            ingress_seconds,
+            compute_seconds,
+            mean_net_in_bytes: mean_net,
+            peak_memory_bytes: peak_memory,
+            supersteps,
+            cpu_percents: cpu,
+            cumulative_seconds: cumulative,
+            failed: false,
+        }
+    }
+}
+
+fn run_app_sync(
+    e: &SyncGas,
+    g: &EdgeList,
+    a: &gp_partition::Assignment,
+    app: App,
+) -> Vec<ComputeReport> {
+    match app {
+        App::PageRankFixed(n) => vec![e.run(g, a, &PageRank::fixed(n)).1],
+        App::PageRankConv => vec![e.run(g, a, &PageRank::to_convergence()).1],
+        App::Wcc => vec![e.run(g, a, &Wcc).1],
+        App::Sssp { undirected } => {
+            let prog = sssp_prog(g, undirected);
+            vec![e.run(g, a, &prog).1]
+        }
+        App::KCore { k_min, k_max } => {
+            gp_apps::kcore::decompose(e, g, a, k_min, k_max).reports
+        }
+        App::Coloring => unreachable!("coloring runs on the async engine"),
+    }
+}
+
+fn run_app_hybrid(
+    e: &HybridGas,
+    g: &EdgeList,
+    a: &gp_partition::Assignment,
+    app: App,
+) -> Vec<ComputeReport> {
+    match app {
+        App::PageRankFixed(n) => vec![e.run(g, a, &PageRank::fixed(n)).1],
+        App::PageRankConv => vec![e.run(g, a, &PageRank::to_convergence()).1],
+        App::Wcc => vec![e.run(g, a, &Wcc).1],
+        App::Sssp { undirected } => {
+            let prog = sssp_prog(g, undirected);
+            vec![e.run(g, a, &prog).1]
+        }
+        App::KCore { k_min, k_max } => (k_min..=k_max)
+            .map(|k| e.run(g, a, &gp_apps::KCore::new(k)).1)
+            .collect(),
+        App::Coloring => unreachable!("coloring runs on the async engine"),
+    }
+}
+
+fn run_app_pregel(
+    e: &Pregel,
+    g: &EdgeList,
+    a: &gp_partition::Assignment,
+    app: App,
+) -> Result<Vec<ComputeReport>, gp_engine::pregel::PregelOom> {
+    Ok(match app {
+        App::PageRankFixed(n) => vec![e.run(g, a, &PageRank::fixed(n))?.1],
+        App::PageRankConv => vec![e.run(g, a, &PageRank::to_convergence())?.1],
+        App::Wcc => vec![e.run(g, a, &Wcc)?.1],
+        App::Sssp { undirected } => {
+            let prog = sssp_prog(g, undirected);
+            vec![e.run(g, a, &prog)?.1]
+        }
+        App::KCore { k_min, k_max } => {
+            let mut reports = Vec::new();
+            for k in k_min..=k_max {
+                reports.push(e.run(g, a, &gp_apps::KCore::new(k))?.1);
+            }
+            reports
+        }
+        App::Coloring => vec![e.run(g, a, &Coloring)?.1],
+    })
+}
+
+/// SSSP sourced at the highest-out-degree vertex, so the frontier reaches a
+/// meaningful portion of every dataset analogue.
+fn sssp_prog(g: &EdgeList, undirected: bool) -> Sssp {
+    let deg = g.degrees();
+    let source = (0..g.num_vertices())
+        .map(VertexId)
+        .max_by_key(|&v| deg.out_degree(v))
+        .unwrap_or(VertexId(0));
+    if undirected {
+        Sssp::undirected(source)
+    } else {
+        Sssp::directed(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pipeline() -> Pipeline {
+        Pipeline::new(0.05, 7)
+    }
+
+    #[test]
+    fn pipeline_caches_graphs_and_partitions() {
+        let mut p = small_pipeline();
+        let e1 = p.graph(Dataset::RoadNetCa).num_edges();
+        let e2 = p.graph(Dataset::RoadNetCa).num_edges();
+        assert_eq!(e1, e2);
+        let spec = ClusterSpec::local_9();
+        let (r1, _) = p.ingress(Dataset::RoadNetCa, Strategy::Random, &spec, EngineKind::PowerGraph);
+        let (r2, _) = p.ingress(Dataset::RoadNetCa, Strategy::Random, &spec, EngineKind::PowerGraph);
+        assert_eq!(r1.replication_factor, r2.replication_factor);
+    }
+
+    #[test]
+    fn full_job_produces_sane_metrics() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let r = p.run(
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            &spec,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(5),
+        );
+        assert!(!r.failed);
+        assert!(r.replication_factor >= 1.0);
+        assert!(r.ingress_seconds > 0.0);
+        assert!(r.compute_seconds > 0.0);
+        assert_eq!(r.supersteps, 5);
+        assert!(r.peak_memory_bytes > 0.0);
+        assert_eq!(r.cpu_percents.len(), 9);
+        assert_eq!(r.cumulative_seconds.len(), 5);
+    }
+
+    #[test]
+    fn coloring_routes_to_async_engine() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let r = p.run(
+            Dataset::RoadNetCa,
+            Strategy::Oblivious,
+            &spec,
+            EngineKind::PowerGraph,
+            App::Coloring,
+        );
+        assert!(!r.failed);
+        assert!(r.supersteps > 0);
+    }
+
+    #[test]
+    fn kcore_sums_over_k_values() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let r = p.run(
+            Dataset::LiveJournal,
+            Strategy::Random,
+            &spec,
+            EngineKind::PowerLyra,
+            App::KCore { k_min: 3, k_max: 5 },
+        );
+        assert!(r.supersteps >= 3, "at least one superstep per k");
+    }
+
+    #[test]
+    fn graphx_oom_reports_failure() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_10();
+        let r = p.run(
+            Dataset::Twitter,
+            Strategy::Random,
+            &spec,
+            EngineKind::GraphX {
+                partitions_per_machine: 16,
+                executor_memory_bytes: 1 << 20, // 1 MiB: nothing fits
+            },
+            App::PageRankFixed(3),
+        );
+        assert!(r.failed, "tiny executors must OOM like Twitter on GraphX (§7.3)");
+    }
+
+    #[test]
+    fn engine_kind_partition_counts() {
+        let spec = ClusterSpec::local_10();
+        assert_eq!(EngineKind::PowerGraph.partitions(&spec), 10);
+        assert_eq!(EngineKind::graphx_default().partitions(&spec), 160);
+    }
+
+    #[test]
+    fn app_labels_and_naturalness() {
+        assert_eq!(App::PageRankFixed(10).label(), "PageRank(10)");
+        assert!(App::PageRankConv.is_natural());
+        assert!(!App::Sssp { undirected: true }.is_natural());
+        assert!(App::Sssp { undirected: false }.is_natural());
+        assert!(!App::Wcc.is_natural());
+        assert_eq!(App::paper_set().len(), 6);
+    }
+}

@@ -1,0 +1,676 @@
+//! # gp-cli — the `distgraph` command-line tool
+//!
+//! Library backing the `distgraph` binary so every command is unit-testable:
+//!
+//! ```text
+//! distgraph stats <graph.txt>                       # size, degrees, class
+//! distgraph classify <graph.txt>                    # degree-class only
+//! distgraph generate <dataset> --scale S --seed N -o out.txt
+//! distgraph partition <graph.txt> --strategy hdrf --parts 9 [-o parts.txt]
+//! distgraph recommend <graph.txt> --system powerlyra --machines 25 \
+//!     --compute-ingress 2.0 [--natural]
+//! distgraph run <graph.txt> --app pagerank --strategy grid --parts 9 \
+//!     [--system powergraph] [--partition-file parts.txt]
+//! ```
+//!
+//! Commands parse into [`Command`], execute against a writer, and return an
+//! exit code — the binary is a thin wrapper.
+
+use gp_advisor::Workload;
+use gp_apps::{PageRank, Sssp, Wcc};
+use gp_cluster::{ClusterSpec, CostRates, Table};
+use gp_core::io::read_edge_list;
+use gp_core::{EdgeList, GraphStats};
+use gp_engine::{EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
+use gp_gen::{classify, Dataset, DegreeAnalysis};
+use gp_partition::{IngressReport, PartitionContext, Strategy};
+use std::io::Write;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print graph statistics and degree analysis.
+    Stats { path: String },
+    /// Print just the degree class.
+    Classify { path: String },
+    /// Generate a dataset analogue.
+    Generate { dataset: Dataset, scale: f64, seed: u64, out: Option<String> },
+    /// Partition a graph and report quality; optionally save the assignment.
+    Partition {
+        path: String,
+        strategy: Strategy,
+        parts: u32,
+        seed: u64,
+        out: Option<String>,
+    },
+    /// Recommend a strategy via the paper's decision trees.
+    Recommend {
+        path: String,
+        system: SystemChoice,
+        machines: u32,
+        compute_ingress: f64,
+        natural: bool,
+    },
+    /// Partition + run an application on a simulated engine.
+    Run {
+        path: String,
+        app: AppChoice,
+        strategy: Strategy,
+        parts: u32,
+        seed: u64,
+        system: SystemChoice,
+        partition_file: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Which system's tree/engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemChoice {
+    /// PowerGraph: Fig 5.9 tree, SyncGas engine.
+    PowerGraph,
+    /// PowerLyra: Fig 6.6 tree, HybridGas engine.
+    PowerLyra,
+    /// GraphX: Fig 9.3 tree, Pregel engine.
+    GraphX,
+}
+
+impl std::str::FromStr for SystemChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "powergraph" | "pg" => Ok(SystemChoice::PowerGraph),
+            "powerlyra" | "pl" => Ok(SystemChoice::PowerLyra),
+            "graphx" | "gx" => Ok(SystemChoice::GraphX),
+            other => Err(format!("unknown system {other:?} (powergraph|powerlyra|graphx)")),
+        }
+    }
+}
+
+/// Which application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppChoice {
+    /// PageRank to convergence.
+    PageRank,
+    /// Weakly connected components.
+    Wcc,
+    /// Undirected SSSP from vertex 0.
+    Sssp,
+}
+
+impl std::str::FromStr for AppChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "pagerank" | "pr" => Ok(AppChoice::PageRank),
+            "wcc" => Ok(AppChoice::Wcc),
+            "sssp" => Ok(AppChoice::Sssp),
+            other => Err(format!("unknown app {other:?} (pagerank|wcc|sssp)")),
+        }
+    }
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, String> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.spec().name.eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let names: Vec<&str> = Dataset::ALL.iter().map(|d| d.spec().name).collect();
+            format!("unknown dataset {s:?} (one of {})", names.join(", "))
+        })
+}
+
+/// Parse command-line arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    // Collect positionals and --flags.
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags: Vec<(String, Option<String>)> = Vec::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let takes_value = !matches!(name, "natural" | "help");
+            if takes_value {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?
+                    .to_string();
+                flags.push((name.to_string(), Some(v)));
+                i += 2;
+            } else {
+                flags.push((name.to_string(), None));
+                i += 1;
+            }
+        } else if let Some(short) = a.strip_prefix('-') {
+            let name = match short {
+                "o" => "out",
+                "s" => "scale",
+                other => other,
+            };
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("-{short} needs a value"))?
+                .to_string();
+            flags.push((name.to_string(), Some(v)));
+            i += 2;
+        } else {
+            positional.push(a.to_string());
+            i += 1;
+        }
+    }
+    let flag = |name: &str| -> Option<&String> {
+        flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_ref())
+    };
+    let has = |name: &str| flags.iter().any(|(n, _)| n == name);
+    let need_path = || -> Result<String, String> {
+        positional.first().cloned().ok_or_else(|| "missing <graph> path".to_string())
+    };
+    let parse_flag = |name: &str, default: f64| -> Result<f64, String> {
+        flag(name)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("bad --{name} {v:?}")))
+            .unwrap_or(Ok(default))
+    };
+    let parse_u = |name: &str, default: u64| -> Result<u64, String> {
+        flag(name)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad --{name} {v:?}")))
+            .unwrap_or(Ok(default))
+    };
+    // Partition/machine counts must fit sane simulation bounds — a typo'd
+    // count should error, not allocate gigabytes of per-partition state.
+    let parse_count = |name: &str, default: u64| -> Result<u32, String> {
+        let v = parse_u(name, default)?;
+        if (1..=1_000_000).contains(&v) {
+            Ok(v as u32)
+        } else {
+            Err(format!("--{name} must be between 1 and 1000000, got {v}"))
+        }
+    };
+    let parse_scale = || -> Result<f64, String> {
+        let v = parse_flag("scale", 1.0)?;
+        if v > 0.0 && v <= 1000.0 {
+            Ok(v)
+        } else {
+            Err(format!("--scale must be in (0, 1000], got {v}"))
+        }
+    };
+
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => Ok(Command::Stats { path: need_path()? }),
+        "classify" => Ok(Command::Classify { path: need_path()? }),
+        "generate" => {
+            let dataset = parse_dataset(&need_path()?)?;
+            Ok(Command::Generate {
+                dataset,
+                scale: parse_scale()?,
+                seed: parse_u("seed", 42)?,
+                out: flag("out").cloned(),
+            })
+        }
+        "partition" => Ok(Command::Partition {
+            path: need_path()?,
+            strategy: flag("strategy")
+                .ok_or("missing --strategy")?
+                .parse::<Strategy>()?,
+            parts: parse_count("parts", 9)?,
+            seed: parse_u("seed", 42)?,
+            out: flag("out").cloned(),
+        }),
+        "recommend" => Ok(Command::Recommend {
+            path: need_path()?,
+            system: flag("system").map(|s| s.parse()).unwrap_or(Ok(SystemChoice::PowerGraph))?,
+            machines: parse_count("machines", 9)?,
+            compute_ingress: parse_flag("compute-ingress", 1.0)?,
+            natural: has("natural"),
+        }),
+        "run" => Ok(Command::Run {
+            path: need_path()?,
+            app: flag("app").ok_or("missing --app")?.parse()?,
+            strategy: flag("strategy")
+                .ok_or("missing --strategy")?
+                .parse::<Strategy>()?,
+            parts: parse_count("parts", 9)?,
+            seed: parse_u("seed", 42)?,
+            system: flag("system").map(|s| s.parse()).unwrap_or(Ok(SystemChoice::PowerGraph))?,
+            partition_file: flag("partition-file").cloned(),
+        }),
+        other => Err(format!("unknown command {other:?} (try `distgraph help`)")),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "distgraph — partitioning-strategy testbed (VLDB'17 reproduction)
+
+USAGE:
+  distgraph stats <graph.txt>
+  distgraph classify <graph.txt>
+  distgraph generate <dataset> [--scale S] [--seed N] [-o out.txt]
+  distgraph partition <graph.txt> --strategy <name> [--parts N] [--seed N] [-o parts.txt]
+  distgraph recommend <graph.txt> [--system powergraph|powerlyra|graphx]
+                      [--machines N] [--compute-ingress R] [--natural]
+  distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
+                [--parts N] [--system ...] [--partition-file parts.txt]
+
+Graphs are plain-text edge lists (one `src dst` pair per line, # comments).
+Strategies: Random, Assym-Rand, Grid, PDS, Oblivious, HDRF, 1D, 1D-Target,
+2D, Hybrid, H-Ginger.
+Datasets: road-net-CA, road-net-USA, LiveJournal, Enwiki-2013, Twitter, UK-web.
+"
+}
+
+/// Execute a command, writing human-readable output to `out`. Returns the
+/// process exit code.
+pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{}", usage())?;
+            Ok(0)
+        }
+        Command::Stats { path } => {
+            let loaded = match read_edge_list(path) {
+                Ok(l) => l,
+                Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+            };
+            let g = &loaded.graph;
+            let stats = GraphStats::compute(g);
+            let analysis = DegreeAnalysis::of(g);
+            writeln!(out, "{stats}")?;
+            writeln!(
+                out,
+                "degree class: {} (log-log slope {:.2}, low-degree residual {:.2})",
+                classify(g),
+                analysis.slope,
+                analysis.low_degree_residual
+            )?;
+            Ok(0)
+        }
+        Command::Classify { path } => {
+            let loaded = match read_edge_list(path) {
+                Ok(l) => l,
+                Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+            };
+            writeln!(out, "{}", classify(&loaded.graph))?;
+            Ok(0)
+        }
+        Command::Generate { dataset, scale, seed, out: dest } => {
+            let g = dataset.generate(*scale, *seed);
+            writeln!(
+                out,
+                "generated {} analogue: {} vertices, {} edges",
+                dataset,
+                g.num_vertices(),
+                g.num_edges()
+            )?;
+            if let Some(dest) = dest {
+                let file = std::fs::File::create(dest)?;
+                if let Err(e) =
+                    gp_core::io::write_edge_list(&g, std::io::BufWriter::new(file))
+                {
+                    return fail(out, &format!("cannot write {dest}: {e}"));
+                }
+                writeln!(out, "wrote {dest}")?;
+            }
+            Ok(0)
+        }
+        Command::Partition { path, strategy, parts, seed, out: dest } => {
+            let loaded = match read_edge_list(path) {
+                Ok(l) => l,
+                Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+            };
+            if !strategy.supports_partition_count(*parts) {
+                return fail(
+                    out,
+                    &format!("{} cannot run on {parts} partitions", strategy.label()),
+                );
+            }
+            let ctx = PartitionContext::new(*parts).with_seed(*seed);
+            let outcome = strategy.build().partition(&loaded.graph, &ctx);
+            let report =
+                IngressReport::from_outcome(strategy.label(), &outcome, *parts);
+            let mut t = Table::new(
+                format!("{} over {parts} partitions", strategy.label()),
+                &["metric", "value"],
+            );
+            t.row(vec!["replication factor".into(), format!("{:.3}", report.replication_factor)]);
+            t.row(vec!["edge imbalance (max/mean)".into(), format!("{:.3}", report.edge_imbalance)]);
+            t.row(vec!["mirrors created".into(), report.volumes.mirrors_created.to_string()]);
+            t.row(vec!["ingress passes".into(), report.passes.to_string()]);
+            writeln!(out, "{t}")?;
+            if let Some(dest) = dest {
+                if let Err(e) = gp_partition::save_assignment(&outcome.assignment, dest) {
+                    return fail(out, &format!("cannot write {dest}: {e}"));
+                }
+                writeln!(out, "saved assignment to {dest}")?;
+            }
+            Ok(0)
+        }
+        Command::Recommend { path, system, machines, compute_ingress, natural } => {
+            let loaded = match read_edge_list(path) {
+                Ok(l) => l,
+                Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+            };
+            let class = classify(&loaded.graph);
+            let w = Workload {
+                graph_class: class,
+                machines: *machines,
+                compute_ingress_ratio: *compute_ingress,
+                natural_app: *natural,
+            };
+            let rec = match system {
+                SystemChoice::PowerGraph => gp_advisor::powergraph(&w),
+                SystemChoice::PowerLyra => gp_advisor::powerlyra(&w),
+                SystemChoice::GraphX => gp_advisor::graphx_all(&w),
+            };
+            writeln!(out, "graph class: {class}")?;
+            writeln!(
+                out,
+                "recommended: {}",
+                rec.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join(" or ")
+            )?;
+            writeln!(out, "decision path: {}", rec.path.join(" -> "))?;
+            Ok(0)
+        }
+        Command::Run { path, app, strategy, parts, seed, system, partition_file } => {
+            let loaded = match read_edge_list(path) {
+                Ok(l) => l,
+                Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+            };
+            let graph = &loaded.graph;
+            let assignment = if let Some(pf) = partition_file {
+                match gp_partition::load_assignment(graph, pf) {
+                    Ok(a) => a,
+                    Err(e) => return fail(out, &format!("cannot load {pf}: {e}")),
+                }
+            } else {
+                let ctx = PartitionContext::new(*parts).with_seed(*seed);
+                strategy.build().partition(graph, &ctx).assignment
+            };
+            let spec = match system {
+                SystemChoice::GraphX => ClusterSpec::local_10(),
+                _ => ClusterSpec::local_9(),
+            };
+            let report = run_app(graph, &assignment, *app, *system, &spec);
+            let Some(report) = report else {
+                return fail(out, "job ran out of memory on the simulated cluster");
+            };
+            writeln!(
+                out,
+                "{} on {} ({}): {} supersteps, {:.1} simulated seconds, {} of traffic",
+                report.program,
+                report.engine,
+                spec.name,
+                report.supersteps(),
+                report.compute_seconds(),
+                gp_cluster::table::fmt_bytes(report.total_in_bytes())
+            )?;
+            let _ = CostRates::default();
+            Ok(0)
+        }
+    }
+}
+
+fn run_app(
+    graph: &EdgeList,
+    assignment: &gp_partition::Assignment,
+    app: AppChoice,
+    system: SystemChoice,
+    spec: &ClusterSpec,
+) -> Option<gp_engine::ComputeReport> {
+    let config = EngineConfig::new(spec.clone());
+    macro_rules! dispatch {
+        ($prog:expr) => {
+            match system {
+                SystemChoice::PowerGraph => {
+                    Some(SyncGas::new(config.clone()).run(graph, assignment, &$prog).1)
+                }
+                SystemChoice::PowerLyra => {
+                    Some(HybridGas::new(config.clone()).run(graph, assignment, &$prog).1)
+                }
+                SystemChoice::GraphX => Pregel::new(PregelConfig::new(config.clone()))
+                    .run(graph, assignment, &$prog)
+                    .ok()
+                    .map(|r| r.1),
+            }
+        };
+    }
+    match app {
+        AppChoice::PageRank => dispatch!(PageRank::to_convergence()),
+        AppChoice::Wcc => dispatch!(Wcc),
+        AppChoice::Sssp => dispatch!(Sssp::undirected(0u64)),
+    }
+}
+
+fn fail<W: Write>(out: &mut W, msg: &str) -> std::io::Result<i32> {
+    writeln!(out, "error: {msg}")?;
+    Ok(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse(&v).expect("parse")
+    }
+
+    fn run_to_string(cmd: &Command) -> (i32, String) {
+        let mut buf = Vec::new();
+        let code = execute(cmd, &mut buf).unwrap();
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    /// Write a test graph to a per-test file (tests run concurrently).
+    fn temp_graph_named(name: &str) -> String {
+        let dir = std::env::temp_dir().join("distgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.txt"));
+        // Large enough that the heavy-tailed classification is stable.
+        let g = gp_gen::barabasi_albert(5_000, 10, 1);
+        let file = std::fs::File::create(&path).unwrap();
+        gp_core::io::write_edge_list(&g, std::io::BufWriter::new(file)).unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn parse_stats_and_classify() {
+        assert_eq!(parse_ok(&["stats", "g.txt"]), Command::Stats { path: "g.txt".into() });
+        assert_eq!(
+            parse_ok(&["classify", "g.txt"]),
+            Command::Classify { path: "g.txt".into() }
+        );
+    }
+
+    #[test]
+    fn parse_partition_with_flags() {
+        let cmd = parse_ok(&[
+            "partition", "g.txt", "--strategy", "hdrf", "--parts", "16", "--seed", "7", "-o",
+            "p.txt",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Partition {
+                path: "g.txt".into(),
+                strategy: Strategy::Hdrf,
+                parts: 16,
+                seed: 7,
+                out: Some("p.txt".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_recommend_flags() {
+        let cmd = parse_ok(&[
+            "recommend", "g.txt", "--system", "powerlyra", "--machines", "25",
+            "--compute-ingress", "2.5", "--natural",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Recommend {
+                path: "g.txt".into(),
+                system: SystemChoice::PowerLyra,
+                machines: 25,
+                compute_ingress: 2.5,
+                natural: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_command_and_strategy() {
+        assert!(parse(&["frobnicate".to_string()]).is_err());
+        let args: Vec<String> =
+            ["partition", "g.txt", "--strategy", "nope"].iter().map(|s| s.to_string()).collect();
+        assert!(parse(&args).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_counts_and_scales() {
+        let parse_strs = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse(&v)
+        };
+        // A count that would wrap u32 or allocate absurd per-partition state.
+        assert!(parse_strs(&[
+            "partition", "g.txt", "--strategy", "grid", "--parts", "5000000000",
+        ])
+        .is_err());
+        assert!(parse_strs(&["partition", "g.txt", "--strategy", "grid", "--parts", "0"])
+            .is_err());
+        assert!(parse_strs(&["generate", "LiveJournal", "--scale", "0"]).is_err());
+        assert!(parse_strs(&["generate", "LiveJournal", "--scale", "-2"]).is_err());
+        assert!(parse_strs(&["recommend", "g.txt", "--machines", "0"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        let (code, text) = run_to_string(&Command::Help);
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn stats_and_classify_run_on_a_real_file() {
+        let path = temp_graph_named("stats");
+        let (code, text) = run_to_string(&Command::Stats { path: path.clone() });
+        assert_eq!(code, 0);
+        assert!(text.contains("|V|=5000"), "{text}");
+        let (code, text) = run_to_string(&Command::Classify { path });
+        assert_eq!(code, 0);
+        assert!(text.contains("heavy-tailed"), "{text}");
+    }
+
+    #[test]
+    fn partition_saves_and_run_reuses_the_file() {
+        let path = temp_graph_named("partition");
+        let pfile = std::env::temp_dir()
+            .join("distgraph-cli-test")
+            .join("parts.txt")
+            .to_string_lossy()
+            .to_string();
+        let (code, text) = run_to_string(&Command::Partition {
+            path: path.clone(),
+            strategy: Strategy::Grid,
+            parts: 9,
+            seed: 1,
+            out: Some(pfile.clone()),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("replication factor"));
+        let (code, text) = run_to_string(&Command::Run {
+            path,
+            app: AppChoice::Wcc,
+            strategy: Strategy::Random, // ignored: partition file wins
+            parts: 9,
+            seed: 1,
+            system: SystemChoice::PowerGraph,
+            partition_file: Some(pfile),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("WCC"), "{text}");
+        assert!(text.contains("supersteps"));
+    }
+
+    #[test]
+    fn run_works_on_all_three_systems() {
+        let path = temp_graph_named("run");
+        for system in [SystemChoice::PowerGraph, SystemChoice::PowerLyra, SystemChoice::GraphX]
+        {
+            let (code, text) = run_to_string(&Command::Run {
+                path: path.clone(),
+                app: AppChoice::PageRank,
+                strategy: Strategy::Hybrid,
+                parts: 9,
+                seed: 1,
+                system,
+                partition_file: None,
+            });
+            assert_eq!(code, 0, "{system:?}: {text}");
+            assert!(text.contains("PageRank"), "{system:?}: {text}");
+        }
+    }
+
+    #[test]
+    fn generate_writes_a_loadable_file() {
+        let dest = std::env::temp_dir()
+            .join("distgraph-cli-test")
+            .join("gen.txt")
+            .to_string_lossy()
+            .to_string();
+        let (code, text) = run_to_string(&Command::Generate {
+            dataset: Dataset::RoadNetCa,
+            scale: 0.05,
+            seed: 3,
+            out: Some(dest.clone()),
+        });
+        assert_eq!(code, 0, "{text}");
+        let loaded = read_edge_list(&dest).unwrap();
+        assert!(loaded.graph.num_edges() > 100);
+    }
+
+    #[test]
+    fn recommend_reports_a_path() {
+        let path = temp_graph_named("recommend");
+        let (code, text) = run_to_string(&Command::Recommend {
+            path,
+            system: SystemChoice::PowerGraph,
+            machines: 25,
+            compute_ingress: 0.5,
+            natural: false,
+        });
+        assert_eq!(code, 0);
+        assert!(text.contains("recommended: Grid"), "{text}");
+        assert!(text.contains("decision path"));
+    }
+
+    #[test]
+    fn errors_use_exit_code_two() {
+        let (code, text) =
+            run_to_string(&Command::Classify { path: "/nonexistent/graph.txt".into() });
+        assert_eq!(code, 2);
+        assert!(text.contains("error:"));
+    }
+
+    #[test]
+    fn pds_partition_count_is_validated() {
+        let path = temp_graph_named("classify");
+        let (code, text) = run_to_string(&Command::Partition {
+            path,
+            strategy: Strategy::Pds,
+            parts: 9,
+            seed: 1,
+            out: None,
+        });
+        assert_eq!(code, 2);
+        assert!(text.contains("cannot run on 9 partitions"), "{text}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Cost models: raw quantities → simulated seconds and bytes.
+//!
+//! Calibration targets the paper's *shapes*, not its absolute numbers (we do
+//! not own m4.2xlarge instances): hash strategies ingest faster than greedy
+//! ones, multi-pass strategies pay extra, and compute/network/memory grow
+//! linearly with replication factor (Figs 5.3–5.5).
+
+use crate::spec::ClusterSpec;
+use gp_partition::IngressReport;
+
+/// Byte sizes for the simulated wire and storage formats.
+#[derive(Debug, Clone)]
+pub struct CostRates {
+    /// Bytes to ship one edge to its partition during ingress.
+    pub edge_wire_bytes: f64,
+    /// Bytes for one mirror-registration exchange during ingress.
+    pub mirror_setup_bytes: f64,
+    /// Bytes per gather/scatter value on the wire (partial aggregate or
+    /// vertex-state sync).
+    pub value_wire_bytes: f64,
+    /// In-memory bytes per stored edge.
+    pub edge_store_bytes: u64,
+    /// In-memory bytes per vertex image (master or mirror) — vertex state,
+    /// routing entries, indices.
+    pub vertex_image_bytes: u64,
+}
+
+impl Default for CostRates {
+    fn default() -> Self {
+        CostRates {
+            edge_wire_bytes: 20.0,
+            mirror_setup_bytes: 48.0,
+            value_wire_bytes: 24.0,
+            edge_store_bytes: 32,
+            vertex_image_bytes: 96,
+        }
+    }
+}
+
+impl CostRates {
+    /// Simulated ingress wall time in seconds: the slowest loader's
+    /// parse+assign work, plus the edge/mirror exchange over the cluster
+    /// bisection, plus a barrier per pass.
+    pub fn ingress_seconds(&self, report: &IngressReport, spec: &ClusterSpec) -> f64 {
+        let cpu = report.max_loader_work() / spec.loader_rate();
+        let bytes = report.volumes.edges_shipped as f64 * self.edge_wire_bytes
+            + report.volumes.mirrors_created as f64 * self.mirror_setup_bytes;
+        let net = bytes / (spec.machines as f64 * spec.bandwidth_bytes_per_s);
+        let barriers = report.passes as f64 * (spec.latency_s * spec.machines as f64);
+        cpu + net + barriers
+    }
+
+    /// Bytes of network traffic for `values` gather/scatter value messages.
+    pub fn traffic_bytes(&self, values: u64) -> f64 {
+        values as f64 * self.value_wire_bytes
+    }
+
+    /// Seconds to move `bytes` through each machine's NIC, given traffic is
+    /// spread over `machines` links.
+    pub fn network_seconds(&self, bytes: f64, spec: &ClusterSpec) -> f64 {
+        bytes / (spec.machines as f64 * spec.bandwidth_bytes_per_s)
+    }
+}
+
+/// Per-machine memory accounting for a partitioned, loaded graph.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryModel {
+    rates: CostRates,
+}
+
+impl MemoryModel {
+    /// Model with custom rates.
+    pub fn new(rates: CostRates) -> Self {
+        MemoryModel { rates }
+    }
+
+    /// Bytes a machine needs to host `edges` edges and `images` vertex
+    /// images, plus `state_bytes` of strategy-private ingress state.
+    pub fn machine_bytes(&self, edges: u64, images: u64, state_bytes: u64) -> u64 {
+        edges * self.rates.edge_store_bytes
+            + images * self.rates.vertex_image_bytes
+            + state_bytes
+    }
+
+    /// Peak per-machine bytes across the cluster for a partitioned graph,
+    /// with partitions mapped round-robin onto machines (`p % machines`).
+    pub fn peak_machine_bytes(
+        &self,
+        edge_counts: &[u64],
+        image_counts: &[u64],
+        state_bytes: u64,
+        machines: u32,
+    ) -> u64 {
+        assert_eq!(edge_counts.len(), image_counts.len());
+        let mut per_machine = vec![0u64; machines as usize];
+        for (p, (&e, &i)) in edge_counts.iter().zip(image_counts).enumerate() {
+            per_machine[p % machines as usize] += self.machine_bytes(e, i, 0);
+        }
+        per_machine.iter().map(|&b| b + state_bytes).max().unwrap_or(state_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_partition::{PartitionContext, Strategy};
+
+    fn report(strategy: Strategy, edges: usize) -> IngressReport {
+        let g = gp_gen::erdos_renyi(1_000, edges, 3);
+        let ctx = PartitionContext::new(9);
+        let out = strategy.build().partition(&g, &ctx);
+        IngressReport::from_outcome(strategy.label(), &out, 9)
+    }
+
+    #[test]
+    fn greedy_ingress_costs_more_than_hash_ingress() {
+        let spec = ClusterSpec::local_9();
+        let rates = CostRates::default();
+        let hash = rates.ingress_seconds(&report(Strategy::Random, 20_000), &spec);
+        let greedy = rates.ingress_seconds(&report(Strategy::Oblivious, 20_000), &spec);
+        assert!(greedy > hash, "greedy {greedy} vs hash {hash}");
+    }
+
+    #[test]
+    fn ingress_seconds_scale_with_edges() {
+        // Zero the per-pass barrier so the constant term doesn't mask the
+        // linear scaling at unit-test sizes.
+        let mut spec = ClusterSpec::local_9();
+        spec.latency_s = 0.0;
+        let rates = CostRates::default();
+        // The vertex count (and hence mirror-setup volume) is fixed, so the
+        // ratio is below 10x even though edges scale 10x.
+        let small = rates.ingress_seconds(&report(Strategy::Random, 5_000), &spec);
+        let large = rates.ingress_seconds(&report(Strategy::Random, 50_000), &spec);
+        assert!(large > 3.0 * small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn network_seconds_inverse_in_bandwidth() {
+        let rates = CostRates::default();
+        let mut fast = ClusterSpec::local_9();
+        fast.bandwidth_bytes_per_s *= 2.0;
+        let slow = ClusterSpec::local_9();
+        let bytes = 1e9;
+        assert!(
+            rates.network_seconds(bytes, &fast) < rates.network_seconds(bytes, &slow)
+        );
+    }
+
+    #[test]
+    fn memory_grows_with_images() {
+        let m = MemoryModel::default();
+        let low = m.machine_bytes(1000, 500, 0);
+        let high = m.machine_bytes(1000, 2000, 0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn peak_machine_bytes_takes_the_max() {
+        let m = MemoryModel::default();
+        // Two machines, partition 0 heavy.
+        let peak = m.peak_machine_bytes(&[1000, 10], &[100, 5], 7, 2);
+        let expect = m.machine_bytes(1000, 100, 0) + 7;
+        assert_eq!(peak, expect);
+    }
+
+    #[test]
+    fn more_partitions_than_machines_fold_round_robin() {
+        let m = MemoryModel::default();
+        // 4 partitions on 2 machines: machine 0 gets p0+p2.
+        let peak = m.peak_machine_bytes(&[10, 10, 10, 10], &[1, 1, 1, 1], 0, 2);
+        assert_eq!(peak, 2 * m.machine_bytes(10, 1, 0));
+    }
+
+    #[test]
+    fn traffic_bytes_linear_in_values() {
+        let r = CostRates::default();
+        assert_eq!(r.traffic_bytes(10) * 2.0, r.traffic_bytes(20));
+    }
+}

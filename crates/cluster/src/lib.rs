@@ -1,0 +1,27 @@
+//! # gp-cluster — the simulated cluster
+//!
+//! The paper runs on four clusters (Table 4.1): a local cluster of 9/10
+//! machines and EC2 m4.2xlarge clusters of 16 and 25. We replace physical
+//! hardware with a deterministic model:
+//!
+//! * [`ClusterSpec`] — machine count, cores, memory, network bandwidth and
+//!   latency, with presets for the paper's four clusters;
+//! * [`cost`] — converts the raw quantities produced by partitioning and by
+//!   the engines (work units, bytes shipped, replicas stored) into simulated
+//!   seconds and bytes;
+//! * [`monitor`] — the `psutil`-equivalent: per-interval samples of
+//!   simulated memory/network/CPU per machine, with the paper's
+//!   "max − min" peak-memory methodology (§4.3);
+//! * [`table`] — plain-text table/CSV emission for the experiment harness.
+
+pub mod cost;
+pub mod monitor;
+pub mod plot;
+pub mod spec;
+pub mod table;
+
+pub use cost::{CostRates, MemoryModel};
+pub use monitor::{MachineSample, ResourceMonitor, Timeline};
+pub use plot::{Chart, ChartKind, Series};
+pub use spec::ClusterSpec;
+pub use table::Table;

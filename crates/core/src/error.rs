@@ -1,0 +1,74 @@
+//! Error types for the graph substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, loading or validating graphs.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Underlying I/O failure while reading or writing an edge list.
+    Io(io::Error),
+    /// A line in an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending content (truncated for display).
+        content: String,
+    },
+    /// A structural invariant was violated (e.g. an edge referencing a vertex
+    /// beyond the declared vertex count).
+    InvalidGraph(String),
+    /// A configuration value was out of range (e.g. zero partitions).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Io(e) => write!(f, "I/O error: {e}"),
+            CoreError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+            CoreError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CoreError {
+    fn from(e: io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_cause() {
+        let e = CoreError::Parse { line: 3, content: "a b c".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = CoreError::InvalidGraph("edge out of range".into());
+        assert!(e.to_string().contains("edge out of range"));
+        let e = CoreError::InvalidConfig("0 partitions".into());
+        assert!(e.to_string().contains("0 partitions"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let e = CoreError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

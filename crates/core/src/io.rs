@@ -1,0 +1,174 @@
+//! Plain-text edge-list I/O.
+//!
+//! All of the paper's datasets "were stored in plain-text edge-list format"
+//! (§4.2): one `src dst` pair per line, whitespace-separated, `#`-prefixed
+//! comment lines allowed (the SNAP convention). External vertex ids may be
+//! sparse; [`read_edge_list`] remaps them to a dense `0..n` space and returns
+//! the mapping so results can be reported in original ids.
+
+use crate::{CoreError, Edge, EdgeList, Result, VertexId};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Outcome of loading an edge list: the dense graph plus the original ids,
+/// indexed by dense id.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The graph with dense vertex ids.
+    pub graph: EdgeList,
+    /// `original_ids[dense] = external id as it appeared in the file`.
+    pub original_ids: Vec<u64>,
+}
+
+/// Parse an edge list from any reader. Lines starting with `#` or `%` are
+/// comments; blank lines are skipped; fields are split on ASCII whitespace;
+/// extra fields (e.g. weights) are ignored.
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
+    let reader = BufReader::new(reader);
+    let mut remap: HashMap<u64, u64> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+
+    let mut intern = |ext: u64| -> u64 {
+        *remap.entry(ext).or_insert_with(|| {
+            let dense = original_ids.len() as u64;
+            original_ids.push(ext);
+            dense
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
+            return Err(CoreError::Parse { line: lineno + 1, content: truncate(trimmed) });
+        };
+        let (Ok(src), Ok(dst)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(CoreError::Parse { line: lineno + 1, content: truncate(trimmed) });
+        };
+        edges.push(Edge::new(intern(src), intern(dst)));
+    }
+
+    let n = original_ids.len() as u64;
+    Ok(LoadedGraph { graph: EdgeList::with_vertex_count(edges, n)?, original_ids })
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<LoadedGraph> {
+    parse_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write a graph as a plain-text edge list (dense ids, one edge per line).
+pub fn write_edge_list<W: Write>(graph: &EdgeList, mut writer: W) -> Result<()> {
+    let mut buf = String::new();
+    for e in graph.edges() {
+        buf.clear();
+        buf.push_str(&e.src.0.to_string());
+        buf.push('\t');
+        buf.push_str(&e.dst.0.to_string());
+        buf.push('\n');
+        writer.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Map a dense-id edge back to original external ids.
+pub fn to_original(edge: Edge, original_ids: &[u64]) -> (u64, u64) {
+    (original_ids[edge.src.index()], original_ids[edge.dst.index()])
+}
+
+fn truncate(s: &str) -> String {
+    const MAX: usize = 60;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..MAX])
+    }
+}
+
+/// Iterate vertices of a loaded graph together with their external ids.
+pub fn original_vertices(loaded: &LoadedGraph) -> impl Iterator<Item = (VertexId, u64)> + '_ {
+    loaded
+        .original_ids
+        .iter()
+        .enumerate()
+        .map(|(dense, &ext)| (VertexId(dense as u64), ext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let text = "0 1\n1 2\n2 0\n";
+        let loaded = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.graph.num_vertices(), 3);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# SNAP header\n% matrix-market style\n\n10 20\n20 30\n";
+        let loaded = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn remaps_sparse_ids_densely_and_keeps_originals() {
+        let text = "100 7\n7 5000\n";
+        let loaded = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.original_ids, vec![100, 7, 5000]);
+        let back: Vec<_> = loaded
+            .graph
+            .edges()
+            .iter()
+            .map(|&e| to_original(e, &loaded.original_ids))
+            .collect();
+        assert_eq!(back, vec![(100, 7), (7, 5000)]);
+    }
+
+    #[test]
+    fn tolerates_extra_fields_like_weights() {
+        let text = "0 1 3.5\n1 2 0.25\n";
+        let loaded = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        let text = "0 1\nnot an edge\n";
+        let err = parse_edge_list(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_single_field_lines() {
+        let err = parse_edge_list("42\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CoreError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let g = EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = parse_edge_list(&buf[..]).unwrap();
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
+        assert_eq!(loaded.graph.edges(), g.edges());
+    }
+
+    #[test]
+    fn original_vertices_enumerates_mapping() {
+        let loaded = parse_edge_list("9 4\n".as_bytes()).unwrap();
+        let pairs: Vec<_> = original_vertices(&loaded).collect();
+        assert_eq!(pairs, vec![(VertexId(0), 9), (VertexId(1), 4)]);
+    }
+}

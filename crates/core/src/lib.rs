@@ -1,0 +1,42 @@
+//! # gp-core — graph substrate
+//!
+//! Foundation types shared by every other crate in the workspace: vertex and
+//! partition identifiers, edges, edge-list and CSR graph containers, degree
+//! tables, stable hashing, plain-text edge-list I/O (the on-disk format used
+//! by the paper's datasets, §4.2), and summary statistics.
+//!
+//! Everything here is deterministic: the hash functions are fixed-key
+//! SplitMix64-based mixers, so a given (graph, strategy, seed) triple always
+//! produces the same partitioning, replication factor and simulated metrics.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use gp_core::{EdgeList, VertexId, CsrGraph};
+//!
+//! // A tiny directed triangle plus a pendant vertex.
+//! let graph = EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! assert_eq!(graph.num_edges(), 4);
+//! assert_eq!(graph.num_vertices(), 4);
+//!
+//! let csr = CsrGraph::from_edge_list(&graph);
+//! assert_eq!(csr.out_neighbors(VertexId(2)).collect::<Vec<_>>(),
+//!            vec![VertexId(0), VertexId(3)]);
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod hash;
+pub mod ids;
+pub mod io;
+pub mod stats;
+pub mod transform;
+
+pub use error::CoreError;
+pub use graph::{CsrGraph, DegreeTable, Edge, EdgeList};
+pub use hash::{hash_canonical_edge, hash_directed_edge, hash_u64, hash_vertex, Splitmix64};
+pub use ids::{MachineId, PartitionId, VertexId};
+pub use stats::GraphStats;
+
+/// Convenient `Result` alias for fallible gp-core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,114 @@
+//! Whole-graph summary statistics (the columns of Table 4.2 plus extras used
+//! by the degree-distribution analysis in §5.4.2).
+
+use crate::EdgeList;
+
+/// Summary statistics for a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: u64,
+    /// Edge count.
+    pub num_edges: u64,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Mean total degree (`2m / n` for a directed graph counting both ends).
+    pub mean_degree: f64,
+    /// Fraction of vertices with total degree <= 2 (the "low-degree mass"
+    /// that separates UK-web-like power-law graphs from heavy-tailed social
+    /// networks in Fig 5.8).
+    pub low_degree_fraction: f64,
+    /// Number of self-loop edges.
+    pub self_loops: u64,
+}
+
+impl GraphStats {
+    /// Compute statistics in one pass over degrees.
+    pub fn compute(graph: &EdgeList) -> Self {
+        let degrees = graph.degrees();
+        let n = graph.num_vertices();
+        let m = graph.num_edges() as u64;
+        let mut max_in = 0u32;
+        let mut max_out = 0u32;
+        let mut low = 0u64;
+        for v in 0..n {
+            let vid = crate::VertexId(v);
+            let din = degrees.in_degree(vid);
+            let dout = degrees.out_degree(vid);
+            max_in = max_in.max(din);
+            max_out = max_out.max(dout);
+            if din + dout <= 2 {
+                low += 1;
+            }
+        }
+        let self_loops = graph.edges().iter().filter(|e| e.is_self_loop()).count() as u64;
+        GraphStats {
+            num_vertices: n,
+            num_edges: m,
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            low_degree_fraction: if n == 0 { 0.0 } else { low as f64 / n as f64 },
+            self_loops,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} max_in={} max_out={} mean_deg={:.2} low_deg_frac={:.3}",
+            self.num_vertices,
+            self.num_edges,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.mean_degree,
+            self.low_degree_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_star_graph() {
+        // Star: 0 -> 1..=4
+        let g = EdgeList::from_pairs((1..=4).map(|i| (0, i)).collect());
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_out_degree, 4);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.mean_degree - 8.0 / 5.0).abs() < 1e-12);
+        // Leaves have degree 1, hub has degree 4 -> 4/5 low-degree.
+        assert!((s.low_degree_fraction - 0.8).abs() < 1e-12);
+        assert_eq!(s.self_loops, 0);
+    }
+
+    #[test]
+    fn stats_counts_self_loops() {
+        let g = EdgeList::from_pairs(vec![(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(GraphStats::compute(&g).self_loops, 2);
+    }
+
+    #[test]
+    fn stats_on_empty_graph_are_zero() {
+        let s = GraphStats::compute(&EdgeList::default());
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.low_degree_fraction, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let g = EdgeList::from_pairs(vec![(0, 1)]);
+        let text = GraphStats::compute(&g).to_string();
+        assert!(text.contains("|V|=2"));
+        assert!(text.contains("|E|=1"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Graph transformations used by the harness and the CLI: reversal,
+//! symmetrization, deduplication, self-loop removal, and subgraph induction.
+
+use crate::{Edge, EdgeList};
+
+/// Reverse every edge (`u -> v` becomes `v -> u`). Useful for turning an
+/// out-edge dataset into the in-edge orientation an application expects.
+pub fn reverse(graph: &EdgeList) -> EdgeList {
+    let edges = graph.edges().iter().map(|e| e.reversed()).collect();
+    EdgeList::with_vertex_count(edges, graph.num_vertices())
+        .expect("reversal preserves the id space")
+}
+
+/// Symmetrize: emit each edge in both directions, deduplicated. This is how
+/// the SNAP road networks are stored (§4.2) and what undirected applications
+/// expect.
+pub fn symmetrize(graph: &EdgeList) -> EdgeList {
+    let mut edges: Vec<Edge> = Vec::with_capacity(graph.num_edges() * 2);
+    for e in graph.edges() {
+        if !e.is_self_loop() {
+            edges.push(*e);
+            edges.push(e.reversed());
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    EdgeList::with_vertex_count(edges, graph.num_vertices())
+        .expect("symmetrization preserves the id space")
+}
+
+/// Remove duplicate edges (keeping stream order of first occurrence is not
+/// required by any caller, so the result is sorted).
+pub fn dedup(graph: &EdgeList) -> EdgeList {
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.sort_unstable();
+    edges.dedup();
+    EdgeList::with_vertex_count(edges, graph.num_vertices())
+        .expect("dedup preserves the id space")
+}
+
+/// Remove self-loops.
+pub fn drop_self_loops(graph: &EdgeList) -> EdgeList {
+    let edges = graph.edges().iter().copied().filter(|e| !e.is_self_loop()).collect();
+    EdgeList::with_vertex_count(edges, graph.num_vertices())
+        .expect("filtering preserves the id space")
+}
+
+/// Induce the subgraph on `keep[v] == true` vertices, remapping ids densely.
+/// Returns the subgraph and the mapping `new id -> old id`.
+pub fn induce(graph: &EdgeList, keep: &[bool]) -> (EdgeList, Vec<u64>) {
+    assert_eq!(keep.len(), graph.num_vertices() as usize, "one flag per vertex");
+    let mut remap: Vec<Option<u64>> = vec![None; keep.len()];
+    let mut back: Vec<u64> = Vec::new();
+    for (v, &k) in keep.iter().enumerate() {
+        if k {
+            remap[v] = Some(back.len() as u64);
+            back.push(v as u64);
+        }
+    }
+    let edges: Vec<Edge> = graph
+        .edges()
+        .iter()
+        .filter_map(|e| {
+            match (remap[e.src.index()], remap[e.dst.index()]) {
+                (Some(s), Some(d)) => Some(Edge::new(s, d)),
+                _ => None,
+            }
+        })
+        .collect();
+    let sub = EdgeList::with_vertex_count(edges, back.len() as u64)
+        .expect("remapped ids are dense");
+    (sub, back)
+}
+
+/// Sample every `1/fraction`-th edge deterministically (by hash), producing
+/// a smaller graph with a similar degree profile. Used for quick previews.
+pub fn sample_edges(graph: &EdgeList, fraction: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1]");
+    let threshold = (fraction * u64::MAX as f64) as u64;
+    let edges: Vec<Edge> = graph
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| crate::hash::hash_canonical_edge(e.src, e.dst, seed) <= threshold)
+        .collect();
+    EdgeList::with_vertex_count(edges, graph.num_vertices())
+        .expect("sampling preserves the id space")
+}
+
+/// The largest weakly connected component's membership mask, via union-find.
+pub fn largest_component_mask(graph: &EdgeList) -> Vec<bool> {
+    let n = graph.num_vertices() as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for e in graph.edges() {
+        let (a, b) = (find(&mut parent, e.src.0 as u32), find(&mut parent, e.dst.0 as u32));
+        if a != b {
+            parent[a as usize] = b;
+        }
+    }
+    let mut sizes = vec![0u64; n];
+    for v in 0..n as u32 {
+        sizes[find(&mut parent, v) as usize] += 1;
+    }
+    let biggest = (0..n).max_by_key(|&r| sizes[r]).map(|r| r as u32);
+    (0..n as u32)
+        .map(|v| Some(find(&mut parent, v)) == biggest)
+        .collect()
+}
+
+/// Convenience: extract the largest weakly connected component.
+pub fn largest_component(graph: &EdgeList) -> (EdgeList, Vec<u64>) {
+    let mask = largest_component_mask(graph);
+    induce(graph, &mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> EdgeList {
+        EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0), (0, 1), (3, 3), (4, 5)])
+    }
+
+    #[test]
+    fn reverse_flips_every_edge() {
+        let r = reverse(&graph());
+        assert_eq!(r.edges()[0], Edge::new(1u64, 0u64));
+        assert_eq!(r.num_edges(), 6);
+        assert_eq!(r.num_vertices(), 6);
+    }
+
+    #[test]
+    fn symmetrize_doubles_and_dedups() {
+        let s = symmetrize(&graph());
+        // (0,1) duplicated in input → appears once each direction; self-loop
+        // dropped. Unique directed pairs: (0,1),(1,0),(1,2),(2,1),(2,0),(0,2),(4,5),(5,4).
+        assert_eq!(s.num_edges(), 8);
+        let set: std::collections::HashSet<_> = s.edges().iter().copied().collect();
+        for e in s.edges() {
+            assert!(set.contains(&e.reversed()));
+        }
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_only() {
+        let d = dedup(&graph());
+        assert_eq!(d.num_edges(), 5);
+    }
+
+    #[test]
+    fn drop_self_loops_works() {
+        let d = drop_self_loops(&graph());
+        assert_eq!(d.num_edges(), 5);
+        assert!(d.edges().iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn induce_remaps_densely() {
+        let keep = vec![true, true, false, false, true, true];
+        let (sub, back) = induce(&graph(), &keep);
+        assert_eq!(back, vec![0, 1, 4, 5]);
+        assert_eq!(sub.num_vertices(), 4);
+        // Only (0,1) [x2] and (4,5) survive; (1,2),(2,0),(3,3) dropped.
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    fn largest_component_finds_the_triangle() {
+        let (sub, back) = largest_component(&graph());
+        assert_eq!(back, vec![0, 1, 2]);
+        assert_eq!(sub.num_edges(), 4); // includes the duplicate (0,1)
+    }
+
+    #[test]
+    fn sample_edges_is_monotone_in_fraction() {
+        let g = crate::EdgeList::from_pairs((0..2000u64).map(|i| (i, (i * 7) % 2000)).collect());
+        let half = sample_edges(&g, 0.5, 1).num_edges();
+        let tenth = sample_edges(&g, 0.1, 1).num_edges();
+        assert!(tenth < half);
+        assert!(half < g.num_edges());
+        // Roughly proportional.
+        assert!((half as f64 / g.num_edges() as f64 - 0.5).abs() < 0.1);
+        assert_eq!(sample_edges(&g, 1.0, 1).num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag per vertex")]
+    fn induce_validates_mask_length() {
+        induce(&graph(), &[true]);
+    }
+}

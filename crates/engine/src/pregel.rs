@@ -1,0 +1,514 @@
+//! The GraphX-style Pregel/dataflow engine (§7.1).
+//!
+//! GraphX executes graph computation as Spark dataflow over two RDDs — a
+//! vertex RDD and an edge RDD cut into many partitions (typically one per
+//! core, §7.2). The mechanics we model, because the paper's GraphX results
+//! hinge on them:
+//!
+//! * **Vertex-attribute shipping**: each iteration, the updated attributes
+//!   of changed vertices are shipped to every edge partition holding a
+//!   replica (the "replicated vertex view"), and aggregated messages flow
+//!   back from edge partitions to vertex masters. Traffic is therefore
+//!   replica-driven, like the GAS engines, but *per edge partition*, of
+//!   which there are many more than machines.
+//! * **Join/scheduling overhead**: every iteration pays Spark task-launch
+//!   and join costs proportional to the partition count plus a fixed driver
+//!   coordination cost — the reason GraphX "computation time was always
+//!   found to be much larger than partitioning time" (§7.4).
+//! * **Executor memory pressure** ([`ExecutorMemoryModel`]): GraphX first
+//!   tries to co-locate partitions on few executors, then spreads out on
+//!   OOM, then fails the job (the three cases of §9.2.4, Fig 9.4), with GC
+//!   overhead growing as memory tightens.
+
+use crate::program::{ApplyInfo, InitInfo, VertexProgram};
+use crate::replicas::ReplicaTable;
+use crate::report::{ComputeReport, EngineConfig, SuperstepStats};
+use gp_core::{CsrGraph, EdgeList, VertexId};
+use gp_partition::Assignment;
+
+/// GraphX-specific tunables on top of [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct PregelConfig {
+    /// Shared engine configuration (cluster, wire sizes, work constants).
+    pub base: EngineConfig,
+    /// Fixed driver/scheduling cost per iteration, seconds.
+    pub iteration_overhead_s: f64,
+    /// Task-launch cost per partition per iteration, seconds.
+    pub task_overhead_s: f64,
+    /// Join work units per vertex per iteration (vertex/edge RDD co-join).
+    pub join_work_per_vertex: f64,
+    /// Memory available to each executor (one executor per machine), bytes.
+    pub executor_memory_bytes: u64,
+    /// Dimensionless GC aggressiveness; higher = more GC time under
+    /// pressure.
+    pub gc_coefficient: f64,
+}
+
+impl PregelConfig {
+    /// Defaults calibrated for the paper's Local-10 GraphX cluster.
+    pub fn new(base: EngineConfig) -> Self {
+        PregelConfig {
+            base,
+            iteration_overhead_s: 0.12,
+            task_overhead_s: 0.004,
+            join_work_per_vertex: 0.8,
+            executor_memory_bytes: 8 << 30,
+            gc_coefficient: 0.6,
+        }
+    }
+
+    /// Override executor memory (the Fig 9.4 sweep's x-axis).
+    pub fn with_executor_memory(mut self, bytes: u64) -> Self {
+        self.executor_memory_bytes = bytes;
+        self
+    }
+}
+
+/// The §9.2.4 partition-placement taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementCase {
+    /// Case 1: the graph cannot fit on the whole cluster — the job fails
+    /// after repeated OOM retries.
+    DoesNotFit,
+    /// Case 2: fits cluster-wide but not on a few executors; Spark's initial
+    /// co-location attempts fail `retries` times before it spreads out.
+    FitsCluster {
+        /// Failed placement attempts before success.
+        retries: u32,
+    },
+    /// Case 3: fits on a couple of executors; the first attempt succeeds.
+    FitsFew,
+}
+
+/// Executor memory-pressure model (Fig 9.4).
+#[derive(Debug, Clone)]
+pub struct ExecutorMemoryModel {
+    /// Bytes available per executor.
+    pub executor_memory_bytes: u64,
+    /// Number of executors (one per machine).
+    pub executors: u32,
+    /// GC aggressiveness.
+    pub gc_coefficient: f64,
+}
+
+impl ExecutorMemoryModel {
+    /// Classify placement for a graph occupying `graph_bytes` in total.
+    /// GraphX "first tries to co-locate partitions on a smaller number of
+    /// machines", i.e. two executors, then the whole cluster.
+    pub fn placement(&self, graph_bytes: u64) -> PlacementCase {
+        let per_two = graph_bytes / 2;
+        let cluster_capacity = self.executor_memory_bytes * self.executors as u64;
+        // Working headroom: Spark needs slack for shuffle buffers; a graph
+        // "fits" only below ~70% occupancy.
+        let usable = |cap: u64| (cap as f64 * 0.7) as u64;
+        if graph_bytes > usable(cluster_capacity) {
+            PlacementCase::DoesNotFit
+        } else if per_two > usable(self.executor_memory_bytes) {
+            // Retries grow as the graph gets closer to the cluster limit.
+            let pressure = graph_bytes as f64 / usable(cluster_capacity) as f64;
+            let retries = 1 + (pressure * 4.0) as u32;
+            PlacementCase::FitsCluster { retries }
+        } else {
+            PlacementCase::FitsFew
+        }
+    }
+
+    /// Multiplier on compute time from GC under memory pressure: approaches
+    /// 1.0 with abundant memory, grows hyperbolically as occupancy → 1.
+    pub fn gc_multiplier(&self, graph_bytes: u64) -> f64 {
+        let capacity = (self.executor_memory_bytes * self.executors as u64) as f64;
+        let occupancy = (graph_bytes as f64 / capacity).min(0.95);
+        1.0 + self.gc_coefficient * occupancy / (1.0 - occupancy)
+    }
+}
+
+/// Error returned when the job runs out of memory (placement case 1) — the
+/// paper hit this loading Twitter and UK-web into GraphX (§7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PregelOom {
+    /// Total graph footprint that failed to fit.
+    pub graph_bytes: u64,
+    /// Cluster capacity it exceeded.
+    pub cluster_capacity_bytes: u64,
+}
+
+impl std::fmt::Display for PregelOom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job failed: graph footprint {} B exceeds usable cluster memory {} B \
+             (GC overhead limit exceeded)",
+            self.graph_bytes, self.cluster_capacity_bytes
+        )
+    }
+}
+
+impl std::error::Error for PregelOom {}
+
+/// The GraphX-style engine.
+#[derive(Debug, Clone)]
+pub struct Pregel {
+    /// Configuration.
+    pub config: PregelConfig,
+}
+
+impl Pregel {
+    /// New engine.
+    pub fn new(config: PregelConfig) -> Self {
+        Pregel { config }
+    }
+
+    /// Memory model for the current configuration.
+    pub fn memory_model(&self) -> ExecutorMemoryModel {
+        ExecutorMemoryModel {
+            executor_memory_bytes: self.config.executor_memory_bytes,
+            executors: self.config.base.spec.machines,
+            gc_coefficient: self.config.gc_coefficient,
+        }
+    }
+
+    /// Total in-memory footprint of the partitioned graph.
+    pub fn graph_bytes(&self, assignment: &Assignment) -> u64 {
+        let images: u64 = assignment.replica_counts().iter().sum();
+        let edges: u64 = assignment.edge_counts().iter().sum();
+        edges * self.config.base.rates.edge_store_bytes
+            + images * self.config.base.rates.vertex_image_bytes
+    }
+
+    /// Run `program`; fails with [`PregelOom`] when the graph does not fit
+    /// (placement case 1).
+    pub fn run<P: VertexProgram>(
+        &self,
+        graph: &EdgeList,
+        assignment: &Assignment,
+        program: &P,
+    ) -> Result<(Vec<P::State>, ComputeReport), PregelOom> {
+        let memory = self.memory_model();
+        let graph_bytes = self.graph_bytes(assignment);
+        let placement = memory.placement(graph_bytes);
+        if placement == PlacementCase::DoesNotFit {
+            return Err(PregelOom {
+                graph_bytes,
+                cluster_capacity_bytes: self.config.executor_memory_bytes
+                    * self.config.base.spec.machines as u64,
+            });
+        }
+        let gc = memory.gc_multiplier(graph_bytes);
+        let placement_penalty_s = match placement {
+            PlacementCase::FitsCluster { retries } => retries as f64 * 18.0,
+            _ => 0.0,
+        };
+
+        let csr = CsrGraph::from_edge_list(graph);
+        let table = ReplicaTable::build(graph, assignment);
+        let n = csr.num_vertices() as usize;
+        let cfg = &self.config.base;
+        let machines = cfg.spec.machines as usize;
+        let partitions = assignment.num_partitions();
+        let info = |v: VertexId| InitInfo {
+            num_vertices: csr.num_vertices(),
+            out_degree: csr.out_degree(v),
+            in_degree: csr.in_degree(v),
+        };
+        let mut states: Vec<P::State> = (0..n)
+            .map(|v| program.init(VertexId(v as u64), info(VertexId(v as u64))))
+            .collect();
+        let mut active: Vec<bool> =
+            (0..n).map(|v| program.initially_active(VertexId(v as u64))).collect();
+        let gdir = program.gather_direction();
+        let sdir = program.scatter_direction();
+        let cap = program.max_supersteps().min(cfg.max_supersteps);
+        let compute_rate = cfg.spec.compute_threads() as f64 * cfg.spec.work_units_per_s;
+        let per_iter_overhead = self.config.iteration_overhead_s
+            + self.config.task_overhead_s * partitions as f64
+                / cfg.spec.machines as f64;
+
+        let mut steps = Vec::new();
+        let mut converged = false;
+        for superstep in 0..cap {
+            let actives: Vec<usize> = (0..n).filter(|&v| active[v]).collect();
+            if actives.is_empty() {
+                converged = true;
+                break;
+            }
+            let mut work = vec![0.0f64; machines];
+            let mut in_bytes = vec![0.0f64; machines];
+            let mut gather_messages = 0u64; // aggregated msgs edge-part → vertex master
+            let mut sync_messages = 0u64; // attribute shipping master → edge-part
+            let mut next_active = vec![false; n];
+            let mut pending: Vec<(usize, P::State, bool)> = Vec::with_capacity(actives.len());
+
+            for &vi in &actives {
+                let v = VertexId(vi as u64);
+                let mut acc: Option<P::Accum> = None;
+                if gdir.includes_in() {
+                    for u in csr.in_neighbors(v) {
+                        let g = program.gather(v, u, &states[u.index()], info(u));
+                        acc = Some(match acc {
+                            Some(a) => program.merge(a, g),
+                            None => g,
+                        });
+                    }
+                }
+                if gdir.includes_out() {
+                    for u in csr.out_neighbors(v) {
+                        let g = program.gather(v, u, &states[u.index()], info(u));
+                        acc = Some(match acc {
+                            Some(a) => program.merge(a, g),
+                            None => g,
+                        });
+                    }
+                }
+                let reps = table.replicas(v);
+                let master = table.master_of(v);
+                let master_machine = cfg.machine_of(master.0);
+                for r in reps {
+                    let local_gather = (if gdir.includes_in() { r.local_in } else { 0 })
+                        + (if gdir.includes_out() { r.local_out } else { 0 });
+                    work[cfg.machine_of(r.partition.0)] +=
+                        cfg.gather_work * local_gather as f64;
+                    // GraphX's aggregateMessages: edge partitions with
+                    // gather-direction edges emit one pre-aggregated message
+                    // per destination vertex.
+                    if local_gather > 0 && r.partition != master {
+                        gather_messages += 1;
+                        let m = cfg.machine_of(r.partition.0);
+                        if m != master_machine {
+                            in_bytes[master_machine] += program.accum_wire_bytes() as f64;
+                        }
+                    }
+                }
+                work[master_machine] += cfg.apply_work;
+                let new = program.apply(
+                    v,
+                    &states[vi],
+                    acc,
+                    ApplyInfo {
+                        superstep,
+                        out_degree: csr.out_degree(v),
+                        in_degree: csr.in_degree(v),
+                    },
+                );
+                let changed = new != states[vi];
+                if changed {
+                    // Ship the new attribute to every replica (routing table).
+                    for r in reps {
+                        if r.partition == master {
+                            continue;
+                        }
+                        sync_messages += 1;
+                        let m = cfg.machine_of(r.partition.0);
+                        if m != master_machine {
+                            in_bytes[m] += program.state_wire_bytes() as f64;
+                        }
+                    }
+                }
+                // Superstep-0 initial messages, as in Pregel.
+                if (changed || superstep == 0)
+                    && program.activates_on_change() {
+                        if sdir.includes_out() {
+                            for u in csr.out_neighbors(v) {
+                                next_active[u.index()] = true;
+                            }
+                        }
+                        if sdir.includes_in() {
+                            for u in csr.in_neighbors(v) {
+                                next_active[u.index()] = true;
+                            }
+                        }
+                    }
+                if program.self_reactivates(&new) {
+                    next_active[vi] = true;
+                }
+                pending.push((vi, new, changed));
+            }
+            let mut any_changed = false;
+            for (vi, new, changed) in pending {
+                if changed {
+                    states[vi] = new;
+                    any_changed = true;
+                }
+            }
+            // Join overhead: the vertex RDD is co-joined with edge partitions
+            // every iteration, over active vertices.
+            let join = self.config.join_work_per_vertex * actives.len() as f64;
+            for w in work.iter_mut() {
+                *w += join / machines as f64;
+            }
+            let wall = (work.iter().copied().fold(0.0, f64::max) / compute_rate) * gc
+                + in_bytes.iter().copied().fold(0.0, f64::max)
+                    / cfg.spec.bandwidth_bytes_per_s
+                + per_iter_overhead;
+            steps.push(SuperstepStats {
+                superstep,
+                active_vertices: actives.len() as u64,
+                gather_messages,
+                sync_messages,
+                machine_work: work,
+                machine_in_bytes: in_bytes,
+                wall_seconds: wall,
+            });
+            active = if program.always_active() { vec![true; n] } else { next_active };
+            if !any_changed && superstep > 0 && !program.always_active() {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            converged = (0..n).all(|v| !active[v]);
+        }
+        // Charge the placement retries to the first iteration.
+        if let Some(first) = steps.first_mut() {
+            first.wall_seconds += placement_penalty_s;
+        }
+        Ok((
+            states,
+            ComputeReport { program: program.name(), engine: "pregel", steps, converged },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Direction;
+    use gp_cluster::ClusterSpec;
+    use gp_partition::{PartitionContext, Strategy};
+
+    struct MinLabel;
+    impl VertexProgram for MinLabel {
+        type State = u64;
+        type Accum = u64;
+        fn name(&self) -> &'static str {
+            "min-label"
+        }
+        fn gather_direction(&self) -> Direction {
+            Direction::Both
+        }
+        fn scatter_direction(&self) -> Direction {
+            Direction::Both
+        }
+        fn init(&self, v: VertexId, _: InitInfo) -> u64 {
+            v.0
+        }
+        fn initially_active(&self, _: VertexId) -> bool {
+            true
+        }
+        fn gather(&self, _: VertexId, _: VertexId, s: &u64, _: InitInfo) -> u64 {
+            *s
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a.min(b)
+        }
+        fn apply(&self, _: VertexId, old: &u64, acc: Option<u64>, _: ApplyInfo) -> u64 {
+            acc.map_or(*old, |a| a.min(*old))
+        }
+    }
+
+    fn pregel(mem_gb: u64) -> Pregel {
+        let base = EngineConfig::new(ClusterSpec::local_10());
+        Pregel::new(PregelConfig::new(base).with_executor_memory(mem_gb << 30))
+    }
+
+    fn assignment(g: &gp_core::EdgeList, parts: u32) -> Assignment {
+        Strategy::Random.build().partition(g, &PartitionContext::new(parts)).assignment
+    }
+
+    #[test]
+    fn semantics_agree_with_sync_gas() {
+        let g = gp_gen::erdos_renyi(500, 3_000, 1);
+        let a = assignment(&g, 40); // many partitions per machine
+        let (s1, _) = crate::gas::SyncGas::new(EngineConfig::new(ClusterSpec::local_10()))
+            .run(&g, &a, &MinLabel);
+        let (s2, _) = pregel(8).run(&g, &a, &MinLabel).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn per_iteration_overhead_dominates_small_graphs() {
+        // §7.4: GraphX compute ≫ partitioning; tiny graphs still pay per-iter
+        // Spark costs.
+        let g = gp_gen::erdos_renyi(100, 400, 2);
+        let a = assignment(&g, 40);
+        let (_, rep) = pregel(8).run(&g, &a, &MinLabel).unwrap();
+        for s in &rep.steps {
+            assert!(s.wall_seconds >= 0.12, "missing per-iteration overhead");
+        }
+    }
+
+    #[test]
+    fn placement_cases_follow_section_9_2_4() {
+        let m = ExecutorMemoryModel {
+            executor_memory_bytes: 1 << 30,
+            executors: 10,
+            gc_coefficient: 0.6,
+        };
+        // Case 1: bigger than the usable cluster (70% of 10 GiB).
+        assert_eq!(m.placement(8 << 30), PlacementCase::DoesNotFit);
+        // Case 3: half fits in one executor's usable memory.
+        assert_eq!(m.placement(1 << 30), PlacementCase::FitsFew);
+        // Case 2: in between.
+        assert!(matches!(m.placement(4 << 30), PlacementCase::FitsCluster { .. }));
+    }
+
+    #[test]
+    fn gc_multiplier_grows_with_pressure() {
+        let m = ExecutorMemoryModel {
+            executor_memory_bytes: 1 << 30,
+            executors: 10,
+            gc_coefficient: 0.6,
+        };
+        let low = m.gc_multiplier(1 << 30);
+        let high = m.gc_multiplier(6 << 30);
+        assert!(low >= 1.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn oom_fails_the_job_like_twitter_on_graphx() {
+        let g = gp_gen::barabasi_albert(20_000, 10, 3);
+        let a = assignment(&g, 40);
+        // 1 MiB executors cannot hold this.
+        let tiny = pregel(0).config.clone();
+        let p = Pregel::new(PregelConfig {
+            executor_memory_bytes: 1 << 20,
+            ..tiny
+        });
+        let err = p.run(&g, &a, &MinLabel).unwrap_err();
+        assert!(err.to_string().contains("exceeds usable cluster memory"));
+    }
+
+    #[test]
+    fn more_memory_is_never_slower() {
+        // The case-3 region of Fig 9.4: execution time decreases as memory
+        // grows (less GC).
+        let g = gp_gen::barabasi_albert(5_000, 8, 4);
+        let a = assignment(&g, 40);
+        let t_small = pregel(1).run(&g, &a, &MinLabel).unwrap().1.compute_seconds();
+        let t_large = pregel(16).run(&g, &a, &MinLabel).unwrap().1.compute_seconds();
+        assert!(t_large <= t_small, "16 GiB {t_large} vs 1 GiB {t_small}");
+    }
+
+    #[test]
+    fn retry_penalty_hits_case_two() {
+        let g = gp_gen::barabasi_albert(5_000, 8, 5);
+        let a = assignment(&g, 40);
+        let bytes = pregel(8).graph_bytes(&a);
+        // Choose executor memory so graph/2 doesn't fit per executor but the
+        // cluster holds it: per-executor usable must be < bytes/2.
+        let per_exec = (bytes / 2) as u64; // usable = 0.7*per_exec < bytes/2 ✓
+        let p = Pregel::new(
+            PregelConfig::new(EngineConfig::new(ClusterSpec::local_10()))
+                .with_executor_memory(per_exec),
+        );
+        assert!(matches!(
+            p.memory_model().placement(bytes),
+            PlacementCase::FitsCluster { .. }
+        ));
+        let (_, rep) = p.run(&g, &a, &MinLabel).unwrap();
+        assert!(
+            rep.steps[0].wall_seconds > 10.0,
+            "first iteration should carry the retry penalty"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The replica-location table: for every vertex, which partitions hold its
+//! images and how many in/out edges each image sees locally.
+//!
+//! This is the bridge between a [`gp_partition::Assignment`]
+//! and engine accounting: gather/scatter work lands on the partitions that
+//! hold the edges, partial aggregates flow from replica partitions to
+//! masters, and state sync flows back.
+
+use gp_core::{EdgeList, PartitionId, VertexId};
+use gp_partition::Assignment;
+
+/// One vertex image on one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaEntry {
+    /// The hosting partition.
+    pub partition: PartitionId,
+    /// In-edges of the vertex stored on this partition.
+    pub local_in: u32,
+    /// Out-edges of the vertex stored on this partition.
+    pub local_out: u32,
+}
+
+/// Per-vertex replica entries, flattened CSR-style.
+#[derive(Debug, Clone)]
+pub struct ReplicaTable {
+    offsets: Vec<u64>,
+    entries: Vec<ReplicaEntry>,
+    masters: Vec<PartitionId>,
+}
+
+impl ReplicaTable {
+    /// Build from a graph and its assignment.
+    pub fn build(graph: &EdgeList, assignment: &Assignment) -> Self {
+        let n = graph.num_vertices() as usize;
+        // First pass: per (vertex, partition) in/out counts via the replica
+        // lists, which are sorted — index into them with binary search.
+        let mut counts: Vec<Vec<(u32, u32)>> = (0..n)
+            .map(|v| vec![(0u32, 0u32); assignment.replicas(VertexId(v as u64)).len()])
+            .collect();
+        for (i, e) in graph.edges().iter().enumerate() {
+            let p = assignment.edge_partition(i).0;
+            let src_slot = assignment
+                .replicas(e.src)
+                .binary_search(&p)
+                .expect("edge partition must host src replica");
+            counts[e.src.index()][src_slot].1 += 1;
+            let dst_slot = assignment
+                .replicas(e.dst)
+                .binary_search(&p)
+                .expect("edge partition must host dst replica");
+            counts[e.dst.index()][dst_slot].0 += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u64);
+        for (v, vertex_counts) in counts.iter().enumerate().take(n) {
+            let reps = assignment.replicas(VertexId(v as u64));
+            for (slot, &p) in reps.iter().enumerate() {
+                let (li, lo) = vertex_counts[slot];
+                entries.push(ReplicaEntry {
+                    partition: PartitionId(p),
+                    local_in: li,
+                    local_out: lo,
+                });
+            }
+            offsets.push(entries.len() as u64);
+        }
+        let masters = (0..n).map(|v| assignment.master_of(VertexId(v as u64))).collect();
+        ReplicaTable { offsets, entries, masters }
+    }
+
+    /// Replica entries of `v`.
+    #[inline]
+    pub fn replicas(&self, v: VertexId) -> &[ReplicaEntry] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Master partition of `v`.
+    #[inline]
+    pub fn master_of(&self, v: VertexId) -> PartitionId {
+        self.masters[v.index()]
+    }
+
+    /// Image count of `v`.
+    #[inline]
+    pub fn replica_count(&self, v: VertexId) -> u32 {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as u32
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_partition::{PartitionContext, Strategy};
+
+    #[test]
+    fn local_degrees_sum_to_global_degrees() {
+        let g = gp_gen::erdos_renyi(500, 4_000, 1);
+        let out = Strategy::Random.build().partition(&g, &PartitionContext::new(6));
+        let table = ReplicaTable::build(&g, &out.assignment);
+        let deg = g.degrees();
+        for v in 0..g.num_vertices() {
+            let v = VertexId(v);
+            let (tin, tout) = table
+                .replicas(v)
+                .iter()
+                .fold((0u32, 0u32), |(i, o), r| (i + r.local_in, o + r.local_out));
+            assert_eq!(tin, deg.in_degree(v));
+            assert_eq!(tout, deg.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn replica_counts_match_assignment() {
+        let g = gp_gen::barabasi_albert(2_000, 5, 2);
+        let out = Strategy::Grid.build().partition(&g, &PartitionContext::new(9));
+        let table = ReplicaTable::build(&g, &out.assignment);
+        for v in 0..g.num_vertices() {
+            let v = VertexId(v);
+            assert_eq!(table.replica_count(v), out.assignment.replica_count(v));
+            assert_eq!(table.master_of(v), out.assignment.master_of(v));
+        }
+    }
+
+    #[test]
+    fn every_entry_has_at_least_one_local_edge() {
+        // A replica only exists because some edge touched the vertex there.
+        let g = gp_gen::erdos_renyi(300, 2_000, 3);
+        let out = Strategy::Hdrf.build().partition(&g, &PartitionContext::new(4));
+        let table = ReplicaTable::build(&g, &out.assignment);
+        for v in 0..g.num_vertices() {
+            for r in table.replicas(VertexId(v)) {
+                assert!(r.local_in + r.local_out > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_low_degree_in_edges_all_at_master() {
+        // The property HybridGas exploits (§6.1).
+        let g = gp_gen::barabasi_albert(3_000, 5, 7);
+        let out = Strategy::Hybrid.build().partition(&g, &PartitionContext::new(8));
+        let table = ReplicaTable::build(&g, &out.assignment);
+        let deg = g.degrees();
+        for v in 0..g.num_vertices() {
+            let v = VertexId(v);
+            if deg.in_degree(v) > 0 && deg.in_degree(v) <= 100 {
+                let master = table.master_of(v);
+                for r in table.replicas(v) {
+                    if r.partition != master {
+                        assert_eq!(
+                            r.local_in, 0,
+                            "low-degree v{v} has in-edges off-master"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

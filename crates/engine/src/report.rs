@@ -1,0 +1,302 @@
+//! Engine configuration and compute-phase reporting.
+
+use gp_cluster::{ClusterSpec, CostRates, MachineSample, MemoryModel, ResourceMonitor, Timeline};
+use gp_partition::Assignment;
+
+/// Configuration shared by all engines: the cluster being simulated, wire
+/// sizes, and per-operation work constants.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The simulated cluster.
+    pub spec: ClusterSpec,
+    /// Wire/storage byte sizes.
+    pub rates: CostRates,
+    /// Work units per edge visited during gather.
+    pub gather_work: f64,
+    /// Work units per apply.
+    pub apply_work: f64,
+    /// Work units per edge visited during scatter.
+    pub scatter_work: f64,
+    /// Cap on supersteps (safety net on top of the program's own cap).
+    pub max_supersteps: u32,
+    /// Enable PowerGraph's gather (delta) caching: a vertex whose gather
+    /// neighborhood did not change since its last apply reuses its cached
+    /// accumulator instead of re-gathering — skipping the gather work *and*
+    /// the mirror→master partial-aggregate messages for that vertex.
+    /// Results are unchanged; only cost is. Off by default, as in the
+    /// paper's experiments.
+    pub delta_caching: bool,
+}
+
+impl EngineConfig {
+    /// Default configuration for a cluster.
+    pub fn new(spec: ClusterSpec) -> Self {
+        EngineConfig {
+            spec,
+            rates: CostRates::default(),
+            gather_work: 1.0,
+            apply_work: 2.0,
+            scatter_work: 0.6,
+            max_supersteps: 10_000,
+            delta_caching: false,
+        }
+    }
+
+    /// Builder: enable gather/delta caching.
+    pub fn with_delta_caching(mut self, on: bool) -> Self {
+        self.delta_caching = on;
+        self
+    }
+
+    /// Machine hosting partition `p` (round-robin fold, exact identity when
+    /// partitions == machines as in PowerGraph/PowerLyra).
+    #[inline]
+    pub fn machine_of(&self, partition: u32) -> usize {
+        (partition % self.spec.machines) as usize
+    }
+}
+
+/// Metrics for one synchronous superstep (or async epoch).
+#[derive(Debug, Clone)]
+pub struct SuperstepStats {
+    /// Superstep index (0-based).
+    pub superstep: u32,
+    /// Vertices active at the start of the step.
+    pub active_vertices: u64,
+    /// Partial-aggregate messages mirror→master.
+    pub gather_messages: u64,
+    /// State-sync messages master→mirror.
+    pub sync_messages: u64,
+    /// Work units per machine this step.
+    pub machine_work: Vec<f64>,
+    /// Inbound network bytes per machine this step.
+    pub machine_in_bytes: Vec<f64>,
+    /// Simulated wall-clock duration of the step.
+    pub wall_seconds: f64,
+}
+
+impl SuperstepStats {
+    /// Total inbound bytes across machines.
+    pub fn total_in_bytes(&self) -> f64 {
+        self.machine_in_bytes.iter().sum()
+    }
+}
+
+/// The compute-phase outcome of an engine run.
+#[derive(Debug, Clone)]
+pub struct ComputeReport {
+    /// Application name.
+    pub program: &'static str,
+    /// Engine name.
+    pub engine: &'static str,
+    /// Per-superstep metrics.
+    pub steps: Vec<SuperstepStats>,
+    /// True if the run reached a fixed point (no active vertices) rather
+    /// than hitting the superstep cap.
+    pub converged: bool,
+}
+
+impl ComputeReport {
+    /// Total simulated compute time — the paper's "computation time" metric,
+    /// which "always excludes the ingress/partitioning time" (§4.3).
+    pub fn compute_seconds(&self) -> f64 {
+        self.steps.iter().map(|s| s.wall_seconds).sum()
+    }
+
+    /// Supersteps executed.
+    pub fn supersteps(&self) -> u32 {
+        self.steps.len() as u32
+    }
+
+    /// Total inbound network bytes, cluster-wide.
+    pub fn total_in_bytes(&self) -> f64 {
+        self.steps.iter().map(|s| s.total_in_bytes()).sum()
+    }
+
+    /// Mean per-machine inbound bytes (the y-axis of Figs 5.3/6.1/8.3).
+    pub fn mean_machine_in_bytes(&self) -> f64 {
+        let machines = self.steps.first().map(|s| s.machine_in_bytes.len()).unwrap_or(0);
+        if machines == 0 {
+            0.0
+        } else {
+            self.total_in_bytes() / machines as f64
+        }
+    }
+
+    /// Cumulative wall time at the end of each superstep — the Fig 9.1/9.2
+    /// series.
+    pub fn cumulative_seconds(&self) -> Vec<f64> {
+        self.steps
+            .iter()
+            .scan(0.0, |acc, s| {
+                *acc += s.wall_seconds;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    /// Per-machine mean CPU utilization in percent: time spent doing work
+    /// divided by wall time (Fig 8.4's y-axis).
+    pub fn machine_cpu_percent(&self, config: &EngineConfig) -> Vec<f64> {
+        let machines = config.spec.machines as usize;
+        let mut busy = vec![0.0f64; machines];
+        let rate =
+            config.spec.compute_threads() as f64 * config.spec.work_units_per_s;
+        for s in &self.steps {
+            for (m, &w) in s.machine_work.iter().enumerate() {
+                busy[m] += w / rate;
+            }
+        }
+        let wall = self.compute_seconds().max(1e-12);
+        busy.iter().map(|b| (b / wall * 100.0).min(100.0)).collect()
+    }
+
+    /// Feed this run into a resource monitor as per-superstep samples,
+    /// starting at `t0` seconds with `base_memory_bytes[m]` already resident
+    /// on each machine. Returns the end time.
+    pub fn feed_monitor(
+        &self,
+        monitor: &ResourceMonitor,
+        t0: f64,
+        base_memory_bytes: &[f64],
+        config: &EngineConfig,
+    ) -> f64 {
+        let mut t = t0;
+        let rate = config.spec.compute_threads() as f64 * config.spec.work_units_per_s;
+        for s in &self.steps {
+            t += s.wall_seconds;
+            for (m, &base) in base_memory_bytes.iter().enumerate() {
+                let buffers = s.machine_in_bytes.get(m).copied().unwrap_or(0.0);
+                let cpu = if s.wall_seconds > 0.0 {
+                    (s.machine_work.get(m).copied().unwrap_or(0.0) / rate / s.wall_seconds
+                        * 100.0)
+                        .min(100.0)
+                } else {
+                    0.0
+                };
+                monitor.record(
+                    m,
+                    MachineSample {
+                        time_s: t,
+                        memory_bytes: base + buffers,
+                        net_in_bytes: buffers,
+                        cpu_percent: cpu,
+                    },
+                );
+            }
+        }
+        t
+    }
+}
+
+/// Static per-machine memory for a loaded, partitioned graph: edges +
+/// vertex images hosted by each machine (used as the monitor's base level).
+pub fn base_memory_per_machine(
+    assignment: &Assignment,
+    config: &EngineConfig,
+    extra_state_bytes: u64,
+) -> Vec<f64> {
+    let machines = config.spec.machines as usize;
+    let model = MemoryModel::new(config.rates.clone());
+    let mut per = vec![0.0f64; machines];
+    let images = assignment.replica_counts();
+    for (p, (&e, &i)) in assignment.edge_counts().iter().zip(&images).enumerate() {
+        per[p % machines] += model.machine_bytes(e, i, 0) as f64;
+    }
+    for v in per.iter_mut() {
+        *v += extra_state_bytes as f64;
+    }
+    per
+}
+
+/// Build a compute-phase timeline on a fresh monitor and return the
+/// per-machine timelines (convenience for the harness).
+pub fn monitor_run(
+    report: &ComputeReport,
+    assignment: &Assignment,
+    config: &EngineConfig,
+) -> Vec<Timeline> {
+    let monitor = ResourceMonitor::new(config.spec.machines);
+    // Baseline sample before the job (the paper starts monitors early).
+    monitor.record_uniform(MachineSample::default());
+    let base = base_memory_per_machine(assignment, config, 0);
+    report.feed_monitor(&monitor, 0.0, &base, config);
+    monitor.timelines()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_cluster::ClusterSpec;
+
+    fn step(i: u32, wall: f64, work: Vec<f64>, bytes: Vec<f64>) -> SuperstepStats {
+        SuperstepStats {
+            superstep: i,
+            active_vertices: 10,
+            gather_messages: 5,
+            sync_messages: 5,
+            machine_work: work,
+            machine_in_bytes: bytes,
+            wall_seconds: wall,
+        }
+    }
+
+    fn report() -> ComputeReport {
+        ComputeReport {
+            program: "test",
+            engine: "sync-gas",
+            steps: vec![
+                step(0, 1.0, vec![10.0, 20.0], vec![100.0, 200.0]),
+                step(1, 2.0, vec![30.0, 10.0], vec![50.0, 50.0]),
+            ],
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = report();
+        assert!((r.compute_seconds() - 3.0).abs() < 1e-12);
+        assert_eq!(r.supersteps(), 2);
+        assert!((r.total_in_bytes() - 400.0).abs() < 1e-12);
+        assert!((r.mean_machine_in_bytes() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone() {
+        let c = report().cumulative_seconds();
+        assert_eq!(c.len(), 2);
+        assert!(c[0] < c[1]);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_of_folds_partitions() {
+        let cfg = EngineConfig::new(ClusterSpec::local_9());
+        assert_eq!(cfg.machine_of(3), 3);
+        assert_eq!(cfg.machine_of(9), 0);
+        assert_eq!(cfg.machine_of(13), 4);
+    }
+
+    #[test]
+    fn cpu_percent_bounded() {
+        let cfg = EngineConfig::new(ClusterSpec::local_9());
+        let mut r = report();
+        r.steps[0].machine_work = vec![1e12, 0.0];
+        let cpus = r.machine_cpu_percent(&cfg);
+        assert!(cpus[0] <= 100.0);
+        assert!(cpus[1] >= 0.0);
+    }
+
+    #[test]
+    fn feed_monitor_produces_ordered_samples() {
+        let cfg = EngineConfig::new(ClusterSpec::local_9());
+        let monitor = ResourceMonitor::new(2);
+        let end = report().feed_monitor(&monitor, 5.0, &[1e9, 1e9], &cfg);
+        assert!((end - 8.0).abs() < 1e-12);
+        for t in monitor.timelines().iter().take(2) {
+            assert_eq!(t.samples().len(), 2);
+            assert!(t.samples()[0].time_s < t.samples()[1].time_s);
+        }
+    }
+}

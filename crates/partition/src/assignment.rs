@@ -1,0 +1,364 @@
+//! Edge→partition assignments and the statistics the paper derives from them.
+//!
+//! The central quality metric is the **replication factor** (§5.1.1): the
+//! mean number of images (master + mirrors) per vertex. "Lower replication
+//! factors are associated with lower communication overheads and faster
+//! computation" — Figs 5.3–5.5 show the linear relationships, which our
+//! engine models reproduce because network/memory accounting is driven by
+//! the replica sets computed here.
+
+use gp_core::{hash_u64, Edge, EdgeList, PartitionId, VertexId};
+
+/// An edge→partition assignment plus derived replication structure.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    num_partitions: u32,
+    num_vertices: u64,
+    /// Partition of each edge, aligned with the source edge stream.
+    edge_partition: Vec<PartitionId>,
+    /// Sorted list of partitions each vertex is replicated on.
+    replicas: Vec<Vec<u32>>,
+    /// Master partition of each vertex (meaningless for isolated vertices).
+    masters: Vec<PartitionId>,
+    /// Edges per partition.
+    edge_counts: Vec<u64>,
+}
+
+impl Assignment {
+    /// Build from per-edge partition choices. Masters are chosen
+    /// pseudo-randomly among each vertex's replicas (PowerGraph's policy,
+    /// §5.1.1) unless a strategy overrides them via
+    /// [`Assignment::set_masters`].
+    pub fn from_edge_partitions(
+        graph: &EdgeList,
+        edge_partition: Vec<PartitionId>,
+        num_partitions: u32,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(edge_partition.len(), graph.num_edges(), "one partition per edge");
+        let n = graph.num_vertices() as usize;
+        let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut edge_counts = vec![0u64; num_partitions as usize];
+        for (e, &p) in graph.edges().iter().zip(&edge_partition) {
+            debug_assert!(p.0 < num_partitions, "partition {p} out of range");
+            edge_counts[p.index()] += 1;
+            for v in [e.src, e.dst] {
+                let list = &mut replicas[v.index()];
+                if let Err(pos) = list.binary_search(&p.0) {
+                    list.insert(pos, p.0);
+                }
+            }
+        }
+        let masters = replicas
+            .iter()
+            .enumerate()
+            .map(|(v, list)| {
+                if list.is_empty() {
+                    PartitionId(0)
+                } else {
+                    let pick = hash_u64(v as u64, seed ^ 0x5EED_0F0A) as usize % list.len();
+                    PartitionId(list[pick])
+                }
+            })
+            .collect();
+        Assignment {
+            num_partitions,
+            num_vertices: graph.num_vertices(),
+            edge_partition,
+            replicas,
+            masters,
+            edge_counts,
+        }
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> u32 {
+        self.num_partitions
+    }
+
+    /// Number of vertices in the underlying graph.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of edges assigned.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_partition.len()
+    }
+
+    /// Partition of the `i`-th edge of the source stream.
+    #[inline]
+    pub fn edge_partition(&self, i: usize) -> PartitionId {
+        self.edge_partition[i]
+    }
+
+    /// All per-edge partitions, stream-aligned.
+    #[inline]
+    pub fn edge_partitions(&self) -> &[PartitionId] {
+        &self.edge_partition
+    }
+
+    /// Partitions holding a replica of `v` (sorted, possibly empty for
+    /// isolated vertices).
+    #[inline]
+    pub fn replicas(&self, v: VertexId) -> &[u32] {
+        &self.replicas[v.index()]
+    }
+
+    /// Number of images (master + mirrors) of `v`.
+    #[inline]
+    pub fn replica_count(&self, v: VertexId) -> u32 {
+        self.replicas[v.index()].len() as u32
+    }
+
+    /// Master partition of `v`.
+    #[inline]
+    pub fn master_of(&self, v: VertexId) -> PartitionId {
+        self.masters[v.index()]
+    }
+
+    /// Override master placement (used by Hybrid, which co-locates a
+    /// low-degree vertex's master with its in-edges, §6.2.1). Each master
+    /// must be one of the vertex's replicas.
+    pub fn set_masters(&mut self, masters: Vec<PartitionId>) {
+        assert_eq!(masters.len(), self.replicas.len());
+        for (v, &m) in masters.iter().enumerate() {
+            if !self.replicas[v].is_empty() {
+                assert!(
+                    self.replicas[v].binary_search(&m.0).is_ok(),
+                    "master {m} of v{v} is not a replica"
+                );
+            }
+        }
+        self.masters = masters;
+    }
+
+    /// Average number of images per vertex, over vertices with at least one
+    /// image — the paper's headline partitioning-quality metric.
+    pub fn replication_factor(&self) -> f64 {
+        let (total, present) = self
+            .replicas
+            .iter()
+            .filter(|r| !r.is_empty())
+            .fold((0u64, 0u64), |(t, c), r| (t + r.len() as u64, c + 1));
+        if present == 0 {
+            0.0
+        } else {
+            total as f64 / present as f64
+        }
+    }
+
+    /// Total number of mirrors (images that are not masters).
+    pub fn total_mirrors(&self) -> u64 {
+        self.replicas
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| r.len() as u64 - 1)
+            .sum()
+    }
+
+    /// Edges per partition.
+    #[inline]
+    pub fn edge_counts(&self) -> &[u64] {
+        &self.edge_counts
+    }
+
+    /// Vertex images per partition (masters + mirrors hosted).
+    pub fn replica_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_partitions as usize];
+        for r in &self.replicas {
+            for &p in r {
+                counts[p as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Master vertices per partition.
+    pub fn master_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_partitions as usize];
+        for (v, &m) in self.masters.iter().enumerate() {
+            if !self.replicas[v].is_empty() {
+                counts[m.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Load-balance summary over edge counts.
+    pub fn balance(&self) -> BalanceReport {
+        BalanceReport::from_counts(&self.edge_counts)
+    }
+}
+
+/// Max/mean load imbalance statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    /// Largest per-partition count.
+    pub max: u64,
+    /// Smallest per-partition count.
+    pub min: u64,
+    /// Mean per-partition count.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfectly balanced; the paper's "balanced
+    /// partitions" requirement (§1) caps this.
+    pub imbalance: f64,
+}
+
+impl BalanceReport {
+    /// Summarize a per-partition count vector.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        let mean = if counts.is_empty() {
+            0.0
+        } else {
+            counts.iter().sum::<u64>() as f64 / counts.len() as f64
+        };
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        BalanceReport { max, min, mean, imbalance }
+    }
+}
+
+/// Convenience: partition every edge with a pure function of the edge.
+/// Used by the stateless hash strategies.
+pub fn assign_stateless(
+    graph: &EdgeList,
+    num_partitions: u32,
+    seed: u64,
+    mut f: impl FnMut(Edge) -> PartitionId,
+) -> Assignment {
+    let parts: Vec<PartitionId> = graph.edges().iter().map(|&e| f(e)).collect();
+    Assignment::from_edge_partitions(graph, parts, num_partitions, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EdgeList {
+        EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0), (0, 3)])
+    }
+
+    fn assign_round_robin(graph: &EdgeList, parts: u32) -> Assignment {
+        let v: Vec<PartitionId> = (0..graph.num_edges())
+            .map(|i| PartitionId((i as u32) % parts))
+            .collect();
+        Assignment::from_edge_partitions(graph, v, parts, 1)
+    }
+
+    #[test]
+    fn replicas_are_sorted_and_deduplicated() {
+        let g = tiny();
+        let a = assign_round_robin(&g, 2);
+        for v in 0..g.num_vertices() {
+            let r = a.replicas(VertexId(v));
+            assert!(r.windows(2).all(|w| w[0] < w[1]), "replicas not sorted/unique: {r:?}");
+        }
+    }
+
+    #[test]
+    fn single_partition_has_rf_one() {
+        let g = tiny();
+        let a = assign_round_robin(&g, 1);
+        assert_eq!(a.replication_factor(), 1.0);
+        assert_eq!(a.total_mirrors(), 0);
+    }
+
+    #[test]
+    fn replication_factor_hand_computed() {
+        // Edges (0,1),(1,2),(2,0),(0,3) round-robin over 2 partitions:
+        // p0: (0,1),(2,0)  p1: (1,2),(0,3)
+        // replicas: v0 {0,1}, v1 {0,1}, v2 {0,1}, v3 {1} → RF = 7/4
+        let a = assign_round_robin(&tiny(), 2);
+        assert!((a.replication_factor() - 1.75).abs() < 1e-12);
+        assert_eq!(a.total_mirrors(), 3);
+    }
+
+    #[test]
+    fn masters_are_replicas() {
+        let g = tiny();
+        let a = assign_round_robin(&g, 3);
+        for v in 0..g.num_vertices() {
+            let v = VertexId(v);
+            if a.replica_count(v) > 0 {
+                assert!(a.replicas(v).contains(&a.master_of(v).0));
+            }
+        }
+    }
+
+    #[test]
+    fn master_counts_sum_to_present_vertices() {
+        let g = tiny();
+        let a = assign_round_robin(&g, 3);
+        let sum: u64 = a.master_counts().iter().sum();
+        assert_eq!(sum, 4);
+    }
+
+    #[test]
+    fn replica_counts_sum_matches_total_images() {
+        let g = tiny();
+        let a = assign_round_robin(&g, 2);
+        let images: u64 = a.replica_counts().iter().sum();
+        let direct: u64 = (0..4).map(|v| a.replica_count(VertexId(v)) as u64).sum();
+        assert_eq!(images, direct);
+    }
+
+    #[test]
+    fn set_masters_validates_membership() {
+        let g = tiny();
+        let mut a = assign_round_robin(&g, 2);
+        // v3 only lives on p1, so forcing master p1 everywhere it exists works:
+        let forced: Vec<PartitionId> = (0..4)
+            .map(|v| PartitionId(a.replicas(VertexId(v))[0]))
+            .collect();
+        a.set_masters(forced.clone());
+        assert_eq!(a.master_of(VertexId(3)), forced[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a replica")]
+    fn set_masters_rejects_non_replica() {
+        let g = EdgeList::from_pairs(vec![(0, 1)]);
+        let mut a = Assignment::from_edge_partitions(
+            &g,
+            vec![PartitionId(0)],
+            2,
+            1,
+        );
+        a.set_masters(vec![PartitionId(1), PartitionId(0)]);
+    }
+
+    #[test]
+    fn balance_report_math() {
+        let b = BalanceReport::from_counts(&[10, 20, 30]);
+        assert_eq!(b.max, 30);
+        assert_eq!(b.min, 10);
+        assert!((b.mean - 20.0).abs() < 1e-12);
+        assert!((b.imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_of_empty_counts_is_neutral() {
+        let b = BalanceReport::from_counts(&[]);
+        assert_eq!(b.imbalance, 1.0);
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_skew_rf() {
+        let g = EdgeList::with_vertex_count(vec![Edge::new(0u64, 1u64)], 10).unwrap();
+        let a = Assignment::from_edge_partitions(&g, vec![PartitionId(0)], 4, 1);
+        assert_eq!(a.replication_factor(), 1.0);
+    }
+
+    #[test]
+    fn stateless_helper_applies_function() {
+        let g = tiny();
+        let a = assign_stateless(&g, 2, 1, |e| PartitionId((e.src.0 % 2) as u32));
+        assert_eq!(a.edge_partition(0), PartitionId(0)); // (0,1)
+        assert_eq!(a.edge_partition(1), PartitionId(1)); // (1,2)
+    }
+}

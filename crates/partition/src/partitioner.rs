@@ -1,0 +1,170 @@
+//! The [`Partitioner`] trait and partitioning context.
+//!
+//! All strategies are *online* (streaming) partitioners in the paper's sense:
+//! they see the edge stream once per pass and assign each edge as it arrives.
+//! The paper's ingress setup (§5.3) splits the input into one block per
+//! machine and loads blocks in parallel; stateful heuristics (Oblivious,
+//! HDRF) keep **per-loader** state only — each loader is "oblivious" to
+//! assignments made by the others. [`PartitionContext::num_loaders`] models
+//! that: stateless strategies ignore it, stateful ones shard their state.
+
+use crate::assignment::Assignment;
+use gp_core::EdgeList;
+
+/// Tunable simulated-work constants (arbitrary units; the cluster model
+/// converts them to seconds). Defaults are calibrated so the relative ingress
+/// times of Figs 5.7/6.4/8.2 hold: hash assignment is much cheaper than the
+/// greedy heuristics, whose per-edge cost grows with the replica sets they
+/// must scan, and multi-pass strategies pay per extra pass.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Work to parse one edge off the input stream (paid every pass).
+    pub parse_edge: f64,
+    /// Work to hash-assign one edge (Random/Grid/1D/2D/PDS and Hybrid's
+    /// hashing phases).
+    pub hash_assign: f64,
+    /// Fixed work per greedy-heuristic decision (Oblivious/HDRF).
+    pub heuristic_base: f64,
+    /// Work per candidate-partition inspected by a greedy heuristic. The
+    /// candidate count is `|A(u)| + |A(v)|` (Appendix A), so hubs that are
+    /// replicated everywhere make the heuristic slow — this is what makes
+    /// HDRF/Oblivious ingress slow on power-law graphs but competitive on
+    /// road networks (§5.4.3).
+    pub heuristic_per_candidate: f64,
+    /// Work per vertex scored by the Ginger heuristic phase.
+    pub ginger_base: f64,
+    /// Work per in-neighbor scanned by the Ginger heuristic.
+    pub ginger_per_neighbor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            parse_edge: 3.0,
+            hash_assign: 0.15,
+            heuristic_base: 0.3,
+            heuristic_per_candidate: 0.4,
+            ginger_base: 0.8,
+            ginger_per_neighbor: 0.25,
+        }
+    }
+}
+
+/// Everything a strategy needs besides the edges themselves.
+#[derive(Debug, Clone)]
+pub struct PartitionContext {
+    /// Number of partitions to produce. One per machine for
+    /// PowerGraph/PowerLyra; typically one per core for GraphX (§7.2).
+    pub num_partitions: u32,
+    /// Number of parallel ingress loaders (= machines, §5.3). Stateful
+    /// heuristics shard their state per loader.
+    pub num_loaders: u32,
+    /// Hash/tie-break seed.
+    pub seed: u64,
+    /// Simulated-work constants.
+    pub cost: CostModel,
+}
+
+impl PartitionContext {
+    /// Context with `num_partitions` partitions, the same number of loaders,
+    /// seed 42 and default costs.
+    pub fn new(num_partitions: u32) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        PartitionContext {
+            num_partitions,
+            num_loaders: num_partitions,
+            seed: 42,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the loader count (e.g. GraphX: 16 partitions/machine but 9
+    /// loading machines).
+    pub fn with_loaders(mut self, loaders: u32) -> Self {
+        assert!(loaders > 0, "need at least one loader");
+        self.num_loaders = loaders;
+        self
+    }
+}
+
+/// What a partitioning run produces: the assignment plus ingress accounting.
+#[derive(Debug, Clone)]
+pub struct PartitionOutcome {
+    /// Edge → partition mapping with derived replication statistics.
+    pub assignment: Assignment,
+    /// Simulated work units burned by each parallel loader. Ingress wall
+    /// time is driven by `max(loader_work)`.
+    pub loader_work: Vec<f64>,
+    /// Full passes made over the edge stream (1 = single-pass streaming,
+    /// 2 = Hybrid's counting+reassignment, 3 = Hybrid-Ginger).
+    pub passes: u32,
+    /// Peak bytes of strategy-private state (degree counters, replica
+    /// bitsets, reassignment buffers). Hybrid/H-Ginger's extra phases make
+    /// this large — the memory overhead of Figs 6.2/6.3.
+    pub state_bytes: u64,
+}
+
+/// A graph partitioning strategy.
+pub trait Partitioner {
+    /// Short name as used in the paper's figures (e.g. `"HDRF"`).
+    fn name(&self) -> &'static str;
+
+    /// Partition the graph's edges into `ctx.num_partitions` parts.
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome;
+}
+
+/// Split `total` items into per-loader chunk lengths (mirrors
+/// [`EdgeList::blocks`]); used by strategies to attribute work to loaders.
+pub fn loader_chunks(total: usize, loaders: u32) -> Vec<usize> {
+    let l = loaders as usize;
+    let base = total / l;
+    let rem = total % l;
+    (0..l).map(|i| base + usize::from(i < rem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_defaults_are_sane() {
+        let ctx = PartitionContext::new(9);
+        assert_eq!(ctx.num_partitions, 9);
+        assert_eq!(ctx.num_loaders, 9);
+        assert_eq!(ctx.seed, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_is_rejected() {
+        PartitionContext::new(0);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let ctx = PartitionContext::new(4).with_seed(7).with_loaders(2);
+        assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.num_loaders, 2);
+    }
+
+    #[test]
+    fn loader_chunks_cover_everything_evenly() {
+        let chunks = loader_chunks(10, 3);
+        assert_eq!(chunks.iter().sum::<usize>(), 10);
+        assert_eq!(chunks, vec![4, 3, 3]);
+        assert_eq!(loader_chunks(0, 3), vec![0, 0, 0]);
+        assert_eq!(loader_chunks(2, 5), vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn default_cost_model_orders_hash_below_heuristic() {
+        let c = CostModel::default();
+        assert!(c.hash_assign < c.heuristic_base);
+    }
+}

@@ -1,0 +1,250 @@
+//! Saving and reloading partitionings.
+//!
+//! §5.4.3: "When a graph may be partitioned, saved to disk, and reused
+//! later, such cases should be treated similar to the high compute/ingress
+//! ratio case ... and lower replication factor should be the priority."
+//! This module provides the save/reuse mechanism: a compact text format
+//! holding the per-edge partition choices and per-vertex masters, so a
+//! partitioning computed once (e.g. by a slow, high-quality strategy) can be
+//! reloaded against the same edge stream without re-running the strategy.
+//!
+//! Format (line-oriented, `#`-comments allowed):
+//!
+//! ```text
+//! distgraph-partition v1
+//! partitions <P>
+//! edges <M>
+//! vertices <N>
+//! e <p0> <p1> ... <pM-1>     (may repeat; chunks concatenate)
+//! m <m0> <m1> ... <mN-1>     (may repeat; chunks concatenate)
+//! ```
+
+use crate::assignment::Assignment;
+use gp_core::{CoreError, EdgeList, PartitionId, Result, VertexId};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "distgraph-partition v1";
+const CHUNK: usize = 4096;
+
+/// Serialize an assignment.
+pub fn write_assignment<W: Write>(assignment: &Assignment, mut w: W) -> Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "partitions {}", assignment.num_partitions())?;
+    writeln!(w, "edges {}", assignment.num_edges())?;
+    writeln!(w, "vertices {}", assignment.num_vertices())?;
+    for chunk in assignment.edge_partitions().chunks(CHUNK) {
+        let line: Vec<String> = chunk.iter().map(|p| p.0.to_string()).collect();
+        writeln!(w, "e {}", line.join(" "))?;
+    }
+    let masters: Vec<String> = (0..assignment.num_vertices())
+        .map(|v| assignment.master_of(VertexId(v)).0.to_string())
+        .collect();
+    for chunk in masters.chunks(CHUNK) {
+        writeln!(w, "m {}", chunk.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Save an assignment to a file.
+pub fn save_assignment(assignment: &Assignment, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_assignment(assignment, std::io::BufWriter::new(file))
+}
+
+/// Deserialize an assignment against the edge stream it was computed for.
+/// Fails if the stream's shape (edge/vertex counts) does not match.
+pub fn read_assignment<R: Read>(graph: &EdgeList, reader: R) -> Result<Assignment> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != MAGIC {
+        return Err(CoreError::InvalidGraph(format!(
+            "not a distgraph partition file (header {header:?})"
+        )));
+    }
+    let mut partitions: Option<u32> = None;
+    let mut edges_expected: Option<usize> = None;
+    let mut vertices_expected: Option<u64> = None;
+    let mut edge_parts: Vec<PartitionId> = Vec::new();
+    let mut masters: Vec<PartitionId> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let bad = |content: &str| CoreError::Parse {
+            line: lineno + 2,
+            content: content.to_string(),
+        };
+        let mut fields = trimmed.split_ascii_whitespace();
+        match fields.next() {
+            Some("partitions") => {
+                partitions = Some(
+                    fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad(trimmed))?,
+                )
+            }
+            Some("edges") => {
+                edges_expected = Some(
+                    fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad(trimmed))?,
+                )
+            }
+            Some("vertices") => {
+                vertices_expected = Some(
+                    fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad(trimmed))?,
+                )
+            }
+            Some("e") => {
+                for f in fields {
+                    edge_parts.push(PartitionId(
+                        f.parse().map_err(|_| bad(f))?,
+                    ));
+                }
+            }
+            Some("m") => {
+                for f in fields {
+                    masters.push(PartitionId(f.parse().map_err(|_| bad(f))?));
+                }
+            }
+            _ => return Err(bad(trimmed)),
+        }
+    }
+    let partitions =
+        partitions.ok_or_else(|| CoreError::InvalidGraph("missing partitions header".into()))?;
+    if edges_expected != Some(graph.num_edges())
+        || vertices_expected != Some(graph.num_vertices())
+    {
+        return Err(CoreError::InvalidGraph(format!(
+            "partition file was computed for a different graph: file says \
+             {edges_expected:?} edges / {vertices_expected:?} vertices, graph has {} / {}",
+            graph.num_edges(),
+            graph.num_vertices()
+        )));
+    }
+    if edge_parts.len() != graph.num_edges() {
+        return Err(CoreError::InvalidGraph(format!(
+            "expected {} edge assignments, found {}",
+            graph.num_edges(),
+            edge_parts.len()
+        )));
+    }
+    if let Some(bad) = edge_parts.iter().find(|p| p.0 >= partitions) {
+        return Err(CoreError::InvalidGraph(format!(
+            "edge partition {bad} out of range (< {partitions})"
+        )));
+    }
+    let mut assignment =
+        Assignment::from_edge_partitions(graph, edge_parts, partitions, 0);
+    if !masters.is_empty() {
+        if masters.len() != graph.num_vertices() as usize {
+            return Err(CoreError::InvalidGraph(format!(
+                "expected {} masters, found {}",
+                graph.num_vertices(),
+                masters.len()
+            )));
+        }
+        // Tolerate master hints that are not replicas (e.g. isolated
+        // vertices): fall back to the default pick.
+        let sanitized: Vec<PartitionId> = masters
+            .iter()
+            .enumerate()
+            .map(|(v, &m)| {
+                let v = VertexId(v as u64);
+                if assignment.replicas(v).is_empty()
+                    || assignment.replicas(v).binary_search(&m.0).is_ok()
+                {
+                    m
+                } else {
+                    assignment.master_of(v)
+                }
+            })
+            .collect();
+        assignment.set_masters(sanitized);
+    }
+    Ok(assignment)
+}
+
+/// Load an assignment from a file.
+pub fn load_assignment(graph: &EdgeList, path: impl AsRef<Path>) -> Result<Assignment> {
+    read_assignment(graph, std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{PartitionContext, Partitioner};
+    use crate::strategies::{Hybrid, Random};
+
+    fn graph() -> EdgeList {
+        gp_gen::erdos_renyi(200, 1_500, 3)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = graph();
+        let out = Hybrid::default().partition(&g, &PartitionContext::new(6));
+        let mut buf = Vec::new();
+        write_assignment(&out.assignment, &mut buf).unwrap();
+        let loaded = read_assignment(&g, &buf[..]).unwrap();
+        assert_eq!(loaded.num_partitions(), 6);
+        assert_eq!(loaded.edge_partitions(), out.assignment.edge_partitions());
+        for v in 0..g.num_vertices() {
+            let v = VertexId(v);
+            assert_eq!(loaded.master_of(v), out.assignment.master_of(v));
+            assert_eq!(loaded.replicas(v), out.assignment.replicas(v));
+        }
+        assert!(
+            (loaded.replication_factor() - out.assignment.replication_factor()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_graph() {
+        let g = graph();
+        let out = Random.partition(&g, &PartitionContext::new(4));
+        let mut buf = Vec::new();
+        write_assignment(&out.assignment, &mut buf).unwrap();
+        let other = gp_gen::erdos_renyi(200, 1_499, 4);
+        let err = read_assignment(&other, &buf[..]).unwrap_err();
+        assert!(err.to_string().contains("different graph"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let g = graph();
+        let err = read_assignment(&g, "not a partition file\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("not a distgraph partition file"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_partitions() {
+        let g = EdgeList::from_pairs(vec![(0, 1)]);
+        let text = format!("{MAGIC}\npartitions 2\nedges 1\nvertices 2\ne 5\n");
+        let err = read_assignment(&g, text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = graph();
+        let out = Random.partition(&g, &PartitionContext::new(4));
+        let dir = std::env::temp_dir().join("distgraph-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.txt");
+        save_assignment(&out.assignment, &path).unwrap();
+        let loaded = load_assignment(&g, &path).unwrap();
+        assert_eq!(loaded.edge_partitions(), out.assignment.edge_partitions());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = EdgeList::from_pairs(vec![(0, 1), (1, 0)]);
+        let text = format!(
+            "{MAGIC}\n# a comment\n\npartitions 2\nedges 2\nvertices 2\ne 0\ne 1\nm 0 1\n"
+        );
+        let a = read_assignment(&g, text.as_bytes()).unwrap();
+        assert_eq!(a.edge_partition(0), PartitionId(0));
+        assert_eq!(a.edge_partition(1), PartitionId(1));
+    }
+}

@@ -1,0 +1,377 @@
+//! Constrained partitioning strategies: Grid and PDS (§5.2.3).
+//!
+//! Constrained strategies hash edges but restrict placement to the
+//! intersection of per-vertex *constraint sets* `S(v)`, which caps the
+//! replication factor of `v` at `|S(v)|`.
+//!
+//! * **Grid** arranges machines in a matrix; `S(v)` is the row+column of the
+//!   machine `v` hashes to, giving a `2*sqrt(N) - 1` replication bound.
+//!   PowerGraph requires a perfect-square machine count; following §9.1 we
+//!   also provide the resilient variant that rounds up to the next square
+//!   and maps assignments back down modulo `N`.
+//! * **PDS** derives `S(v)` from a perfect difference set modulo
+//!   `N = p² + p + 1` (p prime), giving `|S(v)| = p + 1 ≈ sqrt(N)` with the
+//!   projective-plane property that any two constraint sets intersect in
+//!   *exactly one* machine.
+
+use crate::assignment::assign_stateless;
+use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
+use crate::strategies::stateless_loader_work;
+use gp_core::{hash_canonical_edge, hash_vertex, EdgeList, PartitionId};
+
+/// Grid (constrained) partitioning.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    /// If false (PowerGraph's native behaviour), `partition` panics unless
+    /// the partition count is a perfect square. If true (the §9.1 port),
+    /// non-square counts use the next-larger square and map back modulo `N`.
+    pub resilient: bool,
+}
+
+impl Grid {
+    /// The strict perfect-square variant (PowerGraph, §5.2.3).
+    pub fn strict() -> Self {
+        Grid { resilient: false }
+    }
+
+    /// The non-square-resilient variant the thesis added to GraphX (§9.1).
+    pub fn resilient() -> Self {
+        Grid { resilient: true }
+    }
+
+    /// True if `n` is a perfect square.
+    pub fn is_square(n: u32) -> bool {
+        let r = (n as f64).sqrt().round() as u32;
+        r * r == n
+    }
+
+    /// Constraint set of the machine with index `m` in a `side × side` grid:
+    /// all machines in its row and column.
+    fn constraint_set(m: u64, side: u64) -> Vec<u64> {
+        let (row, col) = (m / side, m % side);
+        let mut set: Vec<u64> = (0..side).map(|c| row * side + c).collect();
+        for r in 0..side {
+            let idx = r * side + col;
+            if r != row {
+                set.push(idx);
+            }
+        }
+        set.sort_unstable();
+        set
+    }
+}
+
+impl Partitioner for Grid {
+    fn name(&self) -> &'static str {
+        "Grid"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let p = ctx.num_partitions;
+        if !self.resilient {
+            assert!(
+                Grid::is_square(p),
+                "PowerGraph's Grid requires a perfect-square machine count, got {p}; \
+                 use Grid::resilient() for other counts"
+            );
+        }
+        let side = (p as f64).sqrt().ceil() as u64;
+        let virtual_n = side * side;
+        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+            let mu = hash_vertex(e.src, ctx.seed) % virtual_n;
+            let mv = hash_vertex(e.dst, ctx.seed) % virtual_n;
+            let su = Grid::constraint_set(mu, side);
+            let sv = Grid::constraint_set(mv, side);
+            let inter: Vec<u64> =
+                su.iter().copied().filter(|x| sv.binary_search(x).is_ok()).collect();
+            debug_assert!(!inter.is_empty(), "grid constraint sets always intersect");
+            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x6161) as usize
+                % inter.len();
+            PartitionId((inter[pick] % p as u64) as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+/// PDS (perfect-difference-set) partitioning.
+#[derive(Debug, Default, Clone)]
+pub struct Pds;
+
+impl Pds {
+    /// Check whether `n` is a valid PDS machine count, i.e. `n = p² + p + 1`
+    /// for a prime `p`, and return `p`.
+    pub fn order_for(n: u32) -> Option<u32> {
+        (2..=n).find(|&p| is_prime(p) && p * p + p + 1 == n)
+    }
+
+    /// Find a perfect difference set of size `p + 1` modulo `p² + p + 1` by
+    /// backtracking (Singer difference sets exist for every prime `p`).
+    /// Feasible for the small machine counts the strategy targets
+    /// (p ≤ 13 ⇒ N ≤ 183).
+    pub fn difference_set(p: u32) -> Option<Vec<u32>> {
+        let n = p * p + p + 1;
+        let k = (p + 1) as usize;
+        // Normalize: 0 and 1 can always be rotated/scaled into the set.
+        let mut set: Vec<u32> = vec![0, 1];
+        let mut used = vec![false; n as usize];
+        used[1] = true; // differences ±1 (1 and n-1 share a slot pair)
+        used[(n - 1) as usize] = true;
+        if backtrack(&mut set, &mut used, k, n) {
+            Some(set)
+        } else {
+            None
+        }
+    }
+
+    fn constraint_set(v_hash: u64, ds: &[u32], n: u32) -> Vec<u64> {
+        let base = v_hash % n as u64;
+        let mut set: Vec<u64> = ds.iter().map(|&d| (base + d as u64) % n as u64).collect();
+        set.sort_unstable();
+        set
+    }
+}
+
+fn backtrack(set: &mut Vec<u32>, used: &mut [bool], k: usize, n: u32) -> bool {
+    if set.len() == k {
+        return true;
+    }
+    let start = set.last().copied().unwrap_or(0) + 1;
+    for cand in start..n {
+        // Compute differences to existing members; all must be fresh, both
+        // against committed differences (`used`) and against differences
+        // introduced earlier for this same candidate (`diffs`).
+        let mut diffs = Vec::with_capacity(set.len() * 2);
+        let mut ok = true;
+        for &s in set.iter() {
+            let d1 = (cand - s) % n;
+            let d2 = (n - d1) % n;
+            if used[d1 as usize]
+                || used[d2 as usize]
+                || d1 == d2
+                || diffs.contains(&d1)
+                || diffs.contains(&d2)
+            {
+                ok = false;
+                break;
+            }
+            diffs.push(d1);
+            diffs.push(d2);
+        }
+        if !ok {
+            continue;
+        }
+        for &d in &diffs {
+            used[d as usize] = true;
+        }
+        set.push(cand);
+        if backtrack(set, used, k, n) {
+            return true;
+        }
+        set.pop();
+        for &d in &diffs {
+            used[d as usize] = false;
+        }
+    }
+    false
+}
+
+fn is_prime(x: u32) -> bool {
+    if x < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= x {
+        if x.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+impl Partitioner for Pds {
+    fn name(&self) -> &'static str {
+        "PDS"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let n = ctx.num_partitions;
+        let p = Pds::order_for(n).unwrap_or_else(|| {
+            panic!("PDS requires p^2+p+1 machines for prime p (7, 13, 31, 57, ...), got {n}")
+        });
+        let ds = Pds::difference_set(p).expect("difference set exists for prime order");
+        let assignment = assign_stateless(graph, n, ctx.seed, |e| {
+            let su = Pds::constraint_set(hash_vertex(e.src, ctx.seed), &ds, n);
+            let sv = Pds::constraint_set(hash_vertex(e.dst, ctx.seed), &ds, n);
+            let inter: Vec<u64> =
+                su.iter().copied().filter(|x| sv.binary_search(x).is_ok()).collect();
+            debug_assert!(!inter.is_empty(), "PDS lines always intersect");
+            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x9d5) as usize
+                % inter.len();
+            PartitionId(inter[pick] as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::VertexId;
+
+    fn ctx(p: u32) -> PartitionContext {
+        PartitionContext::new(p)
+    }
+
+    #[test]
+    fn grid_respects_replication_bound() {
+        let g = gp_gen::barabasi_albert(5_000, 8, 3);
+        let p = 9u32;
+        let out = Grid::strict().partition(&g, &ctx(p));
+        let bound = 2 * 3 - 1;
+        for v in 0..g.num_vertices() {
+            let rc = out.assignment.replica_count(VertexId(v));
+            assert!(rc <= bound, "v{v} has {rc} replicas, bound {bound}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-square")]
+    fn strict_grid_rejects_non_square() {
+        let g = gp_gen::erdos_renyi(100, 500, 1);
+        Grid::strict().partition(&g, &ctx(10));
+    }
+
+    #[test]
+    fn resilient_grid_accepts_non_square() {
+        let g = gp_gen::erdos_renyi(2_000, 20_000, 1);
+        let out = Grid::resilient().partition(&g, &ctx(10));
+        let counts = out.assignment.edge_counts();
+        assert_eq!(counts.len(), 10);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn grid_constraint_sets_intersect() {
+        for side in [2u64, 3, 4, 5] {
+            let n = side * side;
+            for a in 0..n {
+                for b in 0..n {
+                    let sa = Grid::constraint_set(a, side);
+                    let sb = Grid::constraint_set(b, side);
+                    assert!(
+                        sa.iter().any(|x| sb.contains(x)),
+                        "no intersection for machines {a},{b} side {side}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_constraint_set_size_is_2s_minus_1() {
+        let s = Grid::constraint_set(4, 3);
+        assert_eq!(s.len(), 5);
+        // Machine 4 = row 1, col 1 in 3x3: row {3,4,5}, col {1,4,7}.
+        assert_eq!(s, vec![1, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn grid_rf_beats_random_on_heavy_tailed() {
+        // The core Fig 5.6 observation.
+        let g = gp_gen::barabasi_albert(20_000, 10, 5);
+        let grid_rf = Grid::strict().partition(&g, &ctx(16)).assignment.replication_factor();
+        let rand_rf = crate::strategies::hash::Random
+            .partition(&g, &ctx(16))
+            .assignment
+            .replication_factor();
+        assert!(grid_rf < rand_rf, "grid {grid_rf} should beat random {rand_rf}");
+    }
+
+    #[test]
+    fn pds_order_detection() {
+        assert_eq!(Pds::order_for(7), Some(2));
+        assert_eq!(Pds::order_for(13), Some(3));
+        assert_eq!(Pds::order_for(31), Some(5));
+        assert_eq!(Pds::order_for(57), Some(7));
+        assert_eq!(Pds::order_for(9), None);
+        assert_eq!(Pds::order_for(21), None); // 4^2+4+1 but 4 is not prime
+    }
+
+    #[test]
+    fn difference_sets_are_perfect() {
+        for p in [2u32, 3, 5, 7] {
+            let n = p * p + p + 1;
+            let ds = Pds::difference_set(p).expect("set exists");
+            assert_eq!(ds.len(), (p + 1) as usize, "size for p={p}");
+            // Every nonzero residue appears exactly once as a difference.
+            let mut seen = vec![0u32; n as usize];
+            for &a in &ds {
+                for &b in &ds {
+                    if a != b {
+                        seen[((a + n - b) % n) as usize] += 1;
+                    }
+                }
+            }
+            assert_eq!(seen[0], 0);
+            assert!(
+                seen[1..].iter().all(|&c| c == 1),
+                "p={p}: differences not perfect: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pds_constraint_sets_intersect_in_exactly_one() {
+        let p = 3u32;
+        let n = p * p + p + 1; // 13
+        let ds = Pds::difference_set(p).unwrap();
+        for a in 0..n as u64 {
+            for b in 0..n as u64 {
+                if a == b {
+                    continue;
+                }
+                let sa = Pds::constraint_set(a, &ds, n);
+                let sb = Pds::constraint_set(b, &ds, n);
+                let inter = sa.iter().filter(|x| sb.contains(x)).count();
+                assert_eq!(inter, 1, "machines {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pds_partitions_within_bound() {
+        let g = gp_gen::barabasi_albert(3_000, 6, 9);
+        let n = 13u32; // p = 3
+        let out = Pds.partition(&g, &ctx(n));
+        for v in 0..g.num_vertices() {
+            assert!(out.assignment.replica_count(VertexId(v)) <= 4); // p+1
+        }
+        assert!(out.assignment.edge_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "PDS requires")]
+    fn pds_rejects_invalid_machine_counts() {
+        let g = gp_gen::erdos_renyi(100, 500, 1);
+        Pds.partition(&g, &ctx(9));
+    }
+
+    #[test]
+    fn constrained_strategies_are_deterministic() {
+        let g = gp_gen::erdos_renyi(1_000, 5_000, 4);
+        let a = Grid::strict().partition(&g, &ctx(9));
+        let b = Grid::strict().partition(&g, &ctx(9));
+        assert_eq!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+    }
+}

@@ -1,0 +1,310 @@
+//! Stateless hash partitioners: Random (canonical), Asymmetric Random,
+//! 1D, 1D-Target and 2D.
+//!
+//! These are GraphX's whole strategy set (§7.2) — "hash-based and stateless
+//! (they assign each edge independent of previous assignments), making them
+//! highly parallelizable streaming graph partitioning strategies" — plus the
+//! thesis's 1D-Target variant (§8.2.3).
+
+use crate::assignment::assign_stateless;
+use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
+use crate::strategies::stateless_loader_work;
+use gp_core::{hash_canonical_edge, hash_directed_edge, hash_vertex, EdgeList, PartitionId};
+
+/// PowerGraph's `Random` / GraphX's `CanonicalRandomVertexCut` (§5.2.1,
+/// §7.2.1): hash of the edge ignoring direction, so `(u,v)` and `(v,u)`
+/// land on the same partition.
+#[derive(Debug, Default, Clone)]
+pub struct Random;
+
+impl Partitioner for Random {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let p = ctx.num_partitions;
+        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+            PartitionId((hash_canonical_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+/// GraphX's `RandomVertexCut` — "Asymmetric Random" in the thesis (§8.1):
+/// hash of the *directed* edge, so `(u,v)` and `(v,u)` may land on different
+/// partitions. §8.2.2 shows this yields strictly worse replication factors
+/// than canonical Random; we reproduce that.
+#[derive(Debug, Default, Clone)]
+pub struct AsymmetricRandom;
+
+impl Partitioner for AsymmetricRandom {
+    fn name(&self) -> &'static str {
+        "Assym-Rand"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let p = ctx.num_partitions;
+        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+            PartitionId((hash_directed_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+/// GraphX's 1D edge partitioning (§7.2.2): hash by **source** vertex, so all
+/// out-edges of a vertex are co-located.
+#[derive(Debug, Default, Clone)]
+pub struct OneD;
+
+impl Partitioner for OneD {
+    fn name(&self) -> &'static str {
+        "1D"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let p = ctx.num_partitions;
+        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+            PartitionId((hash_vertex(e.src, ctx.seed) % p as u64) as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+/// The thesis's new 1D variant (§8.2.3): hash by **target** vertex, so all
+/// *in*-edges are co-located. Under PowerLyra's hybrid engine this matches
+/// the gather direction of natural applications (PageRank gathers along
+/// in-edges) and cuts gather-phase network traffic — Fig 8.3.
+#[derive(Debug, Default, Clone)]
+pub struct OneDTarget;
+
+impl Partitioner for OneDTarget {
+    fn name(&self) -> &'static str {
+        "1D-Target"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let p = ctx.num_partitions;
+        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+            PartitionId((hash_vertex(e.dst, ctx.seed) % p as u64) as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+/// GraphX's 2D edge partitioning (§7.2.3): arrange partitions in a
+/// `ceil(sqrt(P))²` matrix, pick the column from the source hash and the row
+/// from the destination hash, then map back down modulo `P` when `P` is not
+/// a perfect square. Guarantees a `2*sqrt(P) - 1` replication upper bound
+/// (for perfect squares).
+#[derive(Debug, Default, Clone)]
+pub struct TwoD;
+
+impl TwoD {
+    /// Matrix side used for `p` partitions.
+    pub fn side(p: u32) -> u32 {
+        (p as f64).sqrt().ceil() as u32
+    }
+}
+
+impl Partitioner for TwoD {
+    fn name(&self) -> &'static str {
+        "2D"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let p = ctx.num_partitions;
+        let side = Self::side(p) as u64;
+        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+            let col = hash_vertex(e.src, ctx.seed) % side;
+            let row = hash_vertex(e.dst, ctx.seed ^ 0x2D2D) % side;
+            PartitionId(((col * side + row) % p as u64) as u32)
+        });
+        PartitionOutcome {
+            assignment,
+            loader_work: stateless_loader_work(graph.num_edges(), ctx),
+            passes: 1,
+            state_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::{Edge, VertexId};
+
+    fn graph_with_reversals() -> EdgeList {
+        // Every edge and its reversal.
+        let mut pairs = Vec::new();
+        for i in 0..500u64 {
+            let (u, v) = (i, (i * 7 + 3) % 997);
+            if u != v {
+                pairs.push((u, v));
+                pairs.push((v, u));
+            }
+        }
+        EdgeList::from_pairs(pairs)
+    }
+
+    fn ctx(p: u32) -> PartitionContext {
+        PartitionContext::new(p)
+    }
+
+    #[test]
+    fn random_places_reversed_edges_together() {
+        let g = graph_with_reversals();
+        let out = Random.partition(&g, &ctx(8));
+        for i in (0..g.num_edges()).step_by(2) {
+            assert_eq!(
+                out.assignment.edge_partition(i),
+                out.assignment.edge_partition(i + 1),
+                "edge {i} and its reversal split"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_random_splits_some_reversed_edges() {
+        let g = graph_with_reversals();
+        let out = AsymmetricRandom.partition(&g, &ctx(8));
+        let split = (0..g.num_edges())
+            .step_by(2)
+            .filter(|&i| {
+                out.assignment.edge_partition(i) != out.assignment.edge_partition(i + 1)
+            })
+            .count();
+        assert!(split > 100, "expected many split pairs, got {split}");
+    }
+
+    #[test]
+    fn asymmetric_rf_exceeds_canonical_rf_on_symmetric_graphs() {
+        // §8.2.2: Asymmetric Random yields higher replication factors.
+        let g = graph_with_reversals();
+        let rf_canon = Random.partition(&g, &ctx(9)).assignment.replication_factor();
+        let rf_asym =
+            AsymmetricRandom.partition(&g, &ctx(9)).assignment.replication_factor();
+        assert!(
+            rf_asym > rf_canon,
+            "asym {rf_asym} should exceed canonical {rf_canon}"
+        );
+    }
+
+    #[test]
+    fn one_d_colocates_out_edges() {
+        let g = EdgeList::from_pairs((1..50).map(|i| (7, i)).collect());
+        let out = OneD.partition(&g, &ctx(6));
+        let first = out.assignment.edge_partition(0);
+        assert!((0..g.num_edges()).all(|i| out.assignment.edge_partition(i) == first));
+        assert_eq!(out.assignment.replica_count(VertexId(7)), 1);
+    }
+
+    #[test]
+    fn one_d_target_colocates_in_edges() {
+        let g = EdgeList::from_pairs((1..50).map(|i| (i, 7)).collect());
+        let out = OneDTarget.partition(&g, &ctx(6));
+        let first = out.assignment.edge_partition(0);
+        assert!((0..g.num_edges()).all(|i| out.assignment.edge_partition(i) == first));
+        assert_eq!(out.assignment.replica_count(VertexId(7)), 1);
+    }
+
+    #[test]
+    fn two_d_respects_replication_upper_bound() {
+        // 2*sqrt(P)-1 bound for perfect-square P (§7.2.3).
+        let g = gp_gen::barabasi_albert(5_000, 8, 3);
+        let p = 16u32;
+        let out = TwoD.partition(&g, &ctx(p));
+        let bound = 2 * TwoD::side(p) - 1;
+        for v in 0..g.num_vertices() {
+            assert!(
+                out.assignment.replica_count(VertexId(v)) <= bound,
+                "v{v} exceeds 2sqrt(P)-1"
+            );
+        }
+    }
+
+    #[test]
+    fn two_d_handles_non_square_partition_counts() {
+        let g = gp_gen::erdos_renyi(2_000, 10_000, 5);
+        let out = TwoD.partition(&g, &ctx(10));
+        // All partitions in range and all used.
+        let counts = out.assignment.edge_counts();
+        assert_eq!(counts.len(), 10);
+        assert!(counts.iter().all(|&c| c > 0), "unused partition: {counts:?}");
+    }
+
+    #[test]
+    fn stateless_strategies_have_balanced_edge_loads() {
+        let g = gp_gen::erdos_renyi(5_000, 100_000, 8);
+        for (name, out) in [
+            ("random", Random.partition(&g, &ctx(9))),
+            ("asym", AsymmetricRandom.partition(&g, &ctx(9))),
+        ] {
+            let b = out.assignment.balance();
+            assert!(b.imbalance < 1.1, "{name} imbalance {}", b.imbalance);
+        }
+    }
+
+    #[test]
+    fn one_d_balance_suffers_on_power_law_graphs() {
+        // A hub's out-edges all pile onto one partition.
+        let mut pairs: Vec<(u64, u64)> = (1..2_000).map(|i| (0, i)).collect();
+        pairs.extend((1..500).map(|i| (i, i + 1)));
+        let g = EdgeList::from_pairs(pairs);
+        let out = OneD.partition(&g, &ctx(8));
+        assert!(out.assignment.balance().imbalance > 2.0);
+    }
+
+    #[test]
+    fn different_seeds_change_assignments() {
+        let g = gp_gen::erdos_renyi(500, 2_000, 2);
+        let a = Random.partition(&g, &PartitionContext::new(4).with_seed(1));
+        let b = Random.partition(&g, &PartitionContext::new(4).with_seed(2));
+        assert_ne!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+    }
+
+    #[test]
+    fn single_edge_graph_works_everywhere() {
+        let g = EdgeList::from_edges(vec![Edge::new(0u64, 1u64)]);
+        for mut s in [
+            Box::new(Random) as Box<dyn Partitioner>,
+            Box::new(AsymmetricRandom),
+            Box::new(OneD),
+            Box::new(OneDTarget),
+            Box::new(TwoD),
+        ] {
+            let out = s.partition(&g, &ctx(4));
+            assert_eq!(out.assignment.num_edges(), 1);
+            assert_eq!(out.assignment.replication_factor(), 1.0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn loader_work_is_reported_per_loader() {
+        let g = gp_gen::erdos_renyi(100, 1_000, 1);
+        let out = Random.partition(&g, &PartitionContext::new(4).with_loaders(4));
+        assert_eq!(out.loader_work.len(), 4);
+        assert!(out.loader_work.iter().all(|&w| w > 0.0));
+        assert_eq!(out.passes, 1);
+    }
+}

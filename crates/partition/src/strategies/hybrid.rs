@@ -1,0 +1,412 @@
+//! PowerLyra's Hybrid and Hybrid-Ginger strategies (§6.2).
+//!
+//! **Hybrid** differentiates by destination in-degree: edges whose
+//! destination is *low-degree* are placed by hashing the **destination**
+//! (edge-cut-like: a low-degree vertex keeps all its in-edges, and its
+//! master, in one place), while edges whose destination is *high-degree* are
+//! placed by hashing the **source** (vertex-cut-like: the hub's in-edges
+//! spread over the cluster). Unlike HDRF, Hybrid uses *actual* degrees, which
+//! takes a second "reassignment" pass over the data (§6.2.1); the default
+//! degree threshold is 100, as in the paper.
+//!
+//! **Hybrid-Ginger** adds a third phase: a Fennel-inspired heuristic that
+//! tries to move each low-degree vertex `v` to the partition holding most of
+//! its in-neighbours, tempered by a load-balance term (§6.2.2):
+//!
+//! ```text
+//! c(v, p) = |Ni(v) ∩ Vp| − b(p),   b(p) = ½(|Vp| + |V|/|E|·|Ep|)
+//! ```
+//!
+//! The extra phases cost ingress time and memory — the overheads behind
+//! Figs 6.3/6.4 — in exchange for a slightly better replication factor.
+
+use crate::assignment::Assignment;
+use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome, Partitioner};
+use gp_core::{hash_vertex, CsrGraph, EdgeList, PartitionId, VertexId};
+
+/// The default high-degree threshold (θ) used by the paper (§6.2.1).
+pub const DEFAULT_THRESHOLD: u32 = 100;
+
+/// PowerLyra's Hybrid partitioner.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    /// In-degree above which a vertex is treated as high-degree.
+    pub threshold: u32,
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Hybrid { threshold: DEFAULT_THRESHOLD }
+    }
+}
+
+impl Hybrid {
+    /// Hybrid with a custom high-degree threshold.
+    pub fn with_threshold(threshold: u32) -> Self {
+        Hybrid { threshold }
+    }
+
+    /// Shared core: produce per-edge partitions plus the per-vertex "home"
+    /// partition of low-degree vertices. Used by both Hybrid and
+    /// Hybrid-Ginger (which then perturbs the homes).
+    fn assign(
+        &self,
+        graph: &EdgeList,
+        ctx: &PartitionContext,
+    ) -> (Vec<PartitionId>, Vec<PartitionId>, Vec<u32>) {
+        let p = ctx.num_partitions as u64;
+        let n = graph.num_vertices() as usize;
+        // Pass 1: count actual in-degrees (and conceptually hash-assign).
+        let mut in_deg = vec![0u32; n];
+        for e in graph.edges() {
+            in_deg[e.dst.index()] += 1;
+        }
+        // Vertex home = hash(v): where a low-degree vertex's in-edges (and
+        // master) live.
+        let homes: Vec<PartitionId> = (0..n)
+            .map(|v| PartitionId((hash_vertex(VertexId(v as u64), ctx.seed) % p) as u32))
+            .collect();
+        // Pass 2: final placement using actual degrees.
+        let parts: Vec<PartitionId> = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                if in_deg[e.dst.index()] > self.threshold {
+                    PartitionId((hash_vertex(e.src, ctx.seed) % p) as u32)
+                } else {
+                    homes[e.dst.index()]
+                }
+            })
+            .collect();
+        (parts, homes, in_deg)
+    }
+
+    /// Masters: a vertex's master sits at its home partition when that
+    /// partition holds a replica (always true for low-degree vertices with
+    /// in-edges), otherwise at the first replica.
+    fn masters(assignment: &Assignment, homes: &[PartitionId]) -> Vec<PartitionId> {
+        homes
+            .iter()
+            .enumerate()
+            .map(|(v, &home)| {
+                let reps = assignment.replicas(VertexId(v as u64));
+                if reps.is_empty() || reps.binary_search(&home.0).is_ok() {
+                    home
+                } else {
+                    PartitionId(reps[0])
+                }
+            })
+            .collect()
+    }
+
+    fn two_pass_work(graph: &EdgeList, ctx: &PartitionContext) -> Vec<f64> {
+        // Pass 1 (count) + pass 2 (reassign): both stream every edge.
+        loader_chunks(graph.num_edges(), ctx.num_loaders)
+            .into_iter()
+            .map(|c| c as f64 * (2.0 * ctx.cost.parse_edge + 2.0 * ctx.cost.hash_assign))
+            .collect()
+    }
+
+    fn base_state_bytes(graph: &EdgeList, ctx: &PartitionContext) -> u64 {
+        // Per-machine overhead of the multi-pass ingress (§6.4.2): the full
+        // degree-counter table plus this loader's share of the edge stream,
+        // buffered across the reassignment pass.
+        graph.num_vertices() * 4 + graph.num_edges() as u64 * 16 / ctx.num_loaders as u64
+    }
+}
+
+impl Partitioner for Hybrid {
+    fn name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let (parts, homes, _) = self.assign(graph, ctx);
+        let mut assignment =
+            Assignment::from_edge_partitions(graph, parts, ctx.num_partitions, ctx.seed);
+        let masters = Self::masters(&assignment, &homes);
+        assignment.set_masters(masters);
+        PartitionOutcome {
+            assignment,
+            loader_work: Self::two_pass_work(graph, ctx),
+            passes: 2,
+            state_bytes: Self::base_state_bytes(graph, ctx),
+        }
+    }
+}
+
+/// PowerLyra's Hybrid-Ginger partitioner.
+#[derive(Debug, Clone)]
+pub struct HybridGinger {
+    /// In-degree above which a vertex is treated as high-degree.
+    pub threshold: u32,
+}
+
+impl Default for HybridGinger {
+    fn default() -> Self {
+        HybridGinger { threshold: DEFAULT_THRESHOLD }
+    }
+}
+
+impl HybridGinger {
+    /// Hybrid-Ginger with a custom threshold.
+    pub fn with_threshold(threshold: u32) -> Self {
+        HybridGinger { threshold }
+    }
+}
+
+impl Partitioner for HybridGinger {
+    fn name(&self) -> &'static str {
+        "H-Ginger"
+    }
+
+    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+        let hybrid = Hybrid::with_threshold(self.threshold);
+        let (_, mut homes, in_deg) = hybrid.assign(graph, ctx);
+        let p = ctx.num_partitions as usize;
+        let n = graph.num_vertices() as usize;
+        let m = graph.num_edges() as f64;
+
+        // Phase 3: Ginger refinement of low-degree vertex homes.
+        let csr = CsrGraph::from_edge_list(graph);
+        let mut vcount = vec![0u64; p]; // vertices per partition
+        let mut ecount = vec![0u64; p]; // in-edges homed per partition
+        for v in 0..n {
+            vcount[homes[v].index()] += 1;
+            if in_deg[v] <= self.threshold {
+                ecount[homes[v].index()] += in_deg[v] as u64;
+            }
+        }
+        let nv_over_ne = if m > 0.0 { n as f64 / m } else { 0.0 };
+        let mut ginger_work = 0.0f64;
+        let mut affinity = vec![0u64; p];
+        for v in 0..n {
+            if in_deg[v] > self.threshold || in_deg[v] == 0 {
+                continue;
+            }
+            let vid = VertexId(v as u64);
+            affinity.iter_mut().for_each(|a| *a = 0);
+            for u in csr.in_neighbors(vid) {
+                affinity[homes[u.index()].index()] += 1;
+            }
+            ginger_work +=
+                ctx.cost.ginger_base + ctx.cost.ginger_per_neighbor * in_deg[v] as f64;
+            let current = homes[v].index();
+            let mut best = current;
+            let mut best_score = f64::NEG_INFINITY;
+            for cand in 0..p {
+                // Score the partition as if v were not already counted there.
+                let vc = vcount[cand] - u64::from(cand == current);
+                let ec = ecount[cand] - if cand == current { in_deg[v] as u64 } else { 0 };
+                let balance = 0.5 * (vc as f64 + nv_over_ne * ec as f64);
+                let score = affinity[cand] as f64 - balance;
+                if score > best_score {
+                    best_score = score;
+                    best = cand;
+                }
+            }
+            if best != current {
+                vcount[current] -= 1;
+                vcount[best] += 1;
+                ecount[current] -= in_deg[v] as u64;
+                ecount[best] += in_deg[v] as u64;
+                homes[v] = PartitionId(best as u32);
+            }
+        }
+
+        // Re-emit edge partitions with the refined homes.
+        let p64 = ctx.num_partitions as u64;
+        let parts: Vec<PartitionId> = graph
+            .edges()
+            .iter()
+            .map(|e| {
+                if in_deg[e.dst.index()] > self.threshold {
+                    PartitionId((hash_vertex(e.src, ctx.seed) % p64) as u32)
+                } else {
+                    homes[e.dst.index()]
+                }
+            })
+            .collect();
+        let mut assignment =
+            Assignment::from_edge_partitions(graph, parts, ctx.num_partitions, ctx.seed);
+        let masters = Hybrid::masters(&assignment, &homes);
+        assignment.set_masters(masters);
+
+        // Work: Hybrid's two passes + a third full scan (parallel across
+        // loaders) + the heuristic itself, whose serial refinement is not
+        // loader-parallel (PowerLyra runs it as an extra coordination
+        // phase) — charged to one loader to model the straggler.
+        let mut loader_work = Hybrid::two_pass_work(graph, ctx);
+        let third_pass_each =
+            graph.num_edges() as f64 * ctx.cost.parse_edge / ctx.num_loaders as f64;
+        for w in loader_work.iter_mut() {
+            *w += third_pass_each;
+        }
+        if let Some(w) = loader_work.first_mut() {
+            *w += ginger_work;
+        }
+        // State: Hybrid's buffers plus this loader's share of the in-neighbor
+        // adjacency built for the heuristic phase, plus per-vertex homes.
+        let state_bytes = Hybrid::base_state_bytes(graph, ctx)
+            + graph.num_edges() as u64 * 8 / ctx.num_loaders as u64
+            + graph.num_vertices() * 8;
+        PartitionOutcome { assignment, loader_work, passes: 3, state_bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::hash::Random;
+    use crate::strategies::oblivious::Oblivious;
+
+    fn ctx(p: u32) -> PartitionContext {
+        PartitionContext::new(p)
+    }
+
+    /// A graph with one obvious hub and many low-degree vertices.
+    fn hub_and_chain() -> EdgeList {
+        let mut pairs: Vec<(u64, u64)> = (1..=300).map(|i| (i, 0)).collect(); // hub in-degree 300
+        pairs.extend((301..400).map(|i| (i, i + 1))); // low-degree chain
+        EdgeList::from_pairs(pairs)
+    }
+
+    #[test]
+    fn low_degree_in_edges_are_colocated_with_master() {
+        let g = hub_and_chain();
+        let out = Hybrid::default().partition(&g, &ctx(8));
+        let a = &out.assignment;
+        // Chain vertices have in-degree 1 <= 100: their single in-edge lives
+        // at their master.
+        for (i, e) in g.edges().iter().enumerate() {
+            if e.dst.0 >= 302 {
+                assert_eq!(
+                    a.edge_partition(i),
+                    a.master_of(e.dst),
+                    "low-degree in-edge must sit at the destination's master"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hub_in_edges_are_spread_by_source() {
+        let g = hub_and_chain();
+        let out = Hybrid::default().partition(&g, &ctx(8));
+        // The hub (in-degree 300 > 100) should be replicated widely.
+        assert!(
+            out.assignment.replica_count(VertexId(0)) >= 6,
+            "hub replicas: {}",
+            out.assignment.replica_count(VertexId(0))
+        );
+    }
+
+    #[test]
+    fn threshold_controls_differentiation() {
+        let g = hub_and_chain();
+        // With an enormous threshold every vertex is low-degree → pure
+        // destination hashing → hub has exactly 1 replica... as destination.
+        let out = Hybrid::with_threshold(1_000_000).partition(&g, &ctx(8));
+        assert_eq!(out.assignment.replicas(VertexId(0)).len(), 1);
+    }
+
+    #[test]
+    fn hybrid_reports_two_passes_and_buffer_state() {
+        let g = hub_and_chain();
+        let out = Hybrid::default().partition(&g, &ctx(4));
+        assert_eq!(out.passes, 2);
+        assert!(out.state_bytes > g.num_edges() as u64 * 8);
+    }
+
+    #[test]
+    fn ginger_reports_three_passes_and_more_state() {
+        let g = hub_and_chain();
+        let h = Hybrid::default().partition(&g, &ctx(4));
+        let hg = HybridGinger::default().partition(&g, &ctx(4));
+        assert_eq!(hg.passes, 3);
+        assert!(hg.state_bytes > h.state_bytes);
+        let h_work: f64 = h.loader_work.iter().sum();
+        let hg_work: f64 = hg.loader_work.iter().sum();
+        assert!(hg_work > h_work, "Ginger must cost more ingress work");
+    }
+
+    #[test]
+    fn ginger_rf_not_worse_than_hybrid() {
+        // §6.4.4: slightly better replication factor than Hybrid.
+        let g = gp_gen::barabasi_albert(10_000, 8, 3);
+        let h = Hybrid::default().partition(&g, &ctx(9)).assignment.replication_factor();
+        let hg =
+            HybridGinger::default().partition(&g, &ctx(9)).assignment.replication_factor();
+        assert!(hg <= h * 1.02, "Ginger {hg} should not be worse than Hybrid {h}");
+    }
+
+    #[test]
+    fn hybrid_beats_random_on_heavy_tailed() {
+        let g = gp_gen::barabasi_albert(10_000, 8, 6);
+        let h = Hybrid::default().partition(&g, &ctx(9)).assignment.replication_factor();
+        let r = Random.partition(&g, &ctx(9)).assignment.replication_factor();
+        assert!(h < r, "Hybrid {h} vs Random {r}");
+    }
+
+    #[test]
+    fn oblivious_beats_hybrid_on_low_degree_graphs() {
+        // §6.4.4: "Oblivious is a better choice for low-degree graphs".
+        let g = gp_gen::road_network(
+            &gp_gen::RoadNetworkParams { width: 60, height: 60, ..Default::default() },
+            4,
+        );
+        let ob = Oblivious
+            .partition(&g, &PartitionContext::new(9).with_loaders(1))
+            .assignment
+            .replication_factor();
+        let h = Hybrid::default().partition(&g, &ctx(9)).assignment.replication_factor();
+        assert!(ob < h, "Oblivious {ob} vs Hybrid {h}");
+    }
+
+    #[test]
+    fn masters_are_valid_replicas() {
+        let g = hub_and_chain();
+        for out in [
+            Hybrid::default().partition(&g, &ctx(8)),
+            HybridGinger::default().partition(&g, &ctx(8)),
+        ] {
+            for v in 0..g.num_vertices() {
+                let v = VertexId(v);
+                if out.assignment.replica_count(v) > 0 {
+                    assert!(out
+                        .assignment
+                        .replicas(v)
+                        .contains(&out.assignment.master_of(v).0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ginger_moves_chain_vertices_toward_neighbors() {
+        // A long path: Ginger should pull adjacent vertices into the same
+        // partition more often than raw hashing does.
+        let g = EdgeList::from_pairs((0..2_000).map(|i| (i, i + 1)).collect());
+        let h = Hybrid::default().partition(&g, &ctx(4));
+        let hg = HybridGinger::default().partition(&g, &ctx(4));
+        let cut = |a: &Assignment| -> usize {
+            (0..g.num_edges() - 1)
+                .filter(|&i| a.edge_partition(i) != a.edge_partition(i + 1))
+                .count()
+        };
+        assert!(
+            cut(&hg.assignment) < cut(&h.assignment),
+            "Ginger should reduce adjacent-edge splits: {} vs {}",
+            cut(&hg.assignment),
+            cut(&h.assignment)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gp_gen::barabasi_albert(3_000, 5, 8);
+        let a = HybridGinger::default().partition(&g, &ctx(4));
+        let b = HybridGinger::default().partition(&g, &ctx(4));
+        assert_eq!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+    }
+}

@@ -1,0 +1,28 @@
+//! Strategy implementations, one module per family.
+
+pub mod bicut;
+pub mod chunking;
+pub mod constrained;
+pub mod hash;
+pub mod hdrf;
+pub mod hybrid;
+pub mod oblivious;
+
+pub use bicut::{BiCut, FavoriteSide};
+pub use chunking::Chunking;
+pub use constrained::{Grid, Pds};
+pub use hash::{AsymmetricRandom, OneD, OneDTarget, Random, TwoD};
+pub use hdrf::Hdrf;
+pub use hybrid::{Hybrid, HybridGinger};
+pub use oblivious::Oblivious;
+
+use crate::partitioner::{loader_chunks, PartitionContext};
+
+/// Per-loader work for a single-pass stateless hash strategy: every loader
+/// parses and hash-assigns its block.
+pub(crate) fn stateless_loader_work(total_edges: usize, ctx: &PartitionContext) -> Vec<f64> {
+    loader_chunks(total_edges, ctx.num_loaders)
+        .into_iter()
+        .map(|c| c as f64 * (ctx.cost.parse_edge + ctx.cost.hash_assign))
+        .collect()
+}

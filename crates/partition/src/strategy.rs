@@ -1,0 +1,293 @@
+//! The strategy catalog: Table 1.1 as code.
+
+use crate::partitioner::Partitioner;
+use crate::strategies::{
+    AsymmetricRandom, Grid, Hdrf, Hybrid, HybridGinger, Oblivious, OneD, OneDTarget, Pds, Random,
+    TwoD,
+};
+
+/// The three systems the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// PowerGraph (OSDI'12), chapter 5.
+    PowerGraph,
+    /// PowerLyra (EuroSys'15), chapter 6.
+    PowerLyra,
+    /// GraphX (OSDI'14), chapter 7.
+    GraphX,
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            System::PowerGraph => "PowerGraph",
+            System::PowerLyra => "PowerLyra",
+            System::GraphX => "GraphX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Every partitioning strategy in the thesis (Table 1.1 plus the ports of
+/// chapters 8–9 and the new 1D-Target variant).
+///
+/// ```
+/// use gp_partition::{PartitionContext, Strategy};
+///
+/// let graph = gp_core::EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0), (0, 3)]);
+/// let ctx = PartitionContext::new(4).with_seed(7);
+/// for strategy in [Strategy::Random, Strategy::Grid, Strategy::Oblivious] {
+///     let outcome = strategy.build().partition(&graph, &ctx);
+///     assert!(outcome.assignment.replication_factor() >= 1.0);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Canonical random edge hashing (PowerGraph "Random", GraphX
+    /// "Canonical Random").
+    Random,
+    /// Directed random edge hashing (GraphX "Random"; "Assym-Rand" in §8).
+    AsymmetricRandom,
+    /// Constrained grid hashing.
+    Grid,
+    /// Constrained perfect-difference-set hashing.
+    Pds,
+    /// Greedy replication-minimizing heuristic.
+    Oblivious,
+    /// Greedy high-degree-replicated-first heuristic (λ = 1).
+    Hdrf,
+    /// Source-vertex hashing.
+    OneD,
+    /// Target-vertex hashing (the thesis's new variant, §8.2.3).
+    OneDTarget,
+    /// Source×target grid hashing.
+    TwoD,
+    /// PowerLyra differentiated hashing (threshold 100).
+    Hybrid,
+    /// Hybrid plus the Ginger/Fennel refinement phase.
+    HybridGinger,
+}
+
+impl Strategy {
+    /// Every strategy, in the order used by the chapter-8/9 figures.
+    pub const ALL: [Strategy; 11] = [
+        Strategy::OneD,
+        Strategy::TwoD,
+        Strategy::AsymmetricRandom,
+        Strategy::Grid,
+        Strategy::Hdrf,
+        Strategy::Hybrid,
+        Strategy::HybridGinger,
+        Strategy::Oblivious,
+        Strategy::Random,
+        Strategy::OneDTarget,
+        Strategy::Pds,
+    ];
+
+    /// PowerGraph's native set (Table 1.1): Random, Grid, Oblivious, HDRF, PDS.
+    pub const POWERGRAPH: [Strategy; 5] = [
+        Strategy::Random,
+        Strategy::Grid,
+        Strategy::Oblivious,
+        Strategy::Hdrf,
+        Strategy::Pds,
+    ];
+
+    /// PowerLyra's native set (Table 1.1).
+    pub const POWERLYRA: [Strategy; 6] = [
+        Strategy::Random,
+        Strategy::Grid,
+        Strategy::Oblivious,
+        Strategy::Hybrid,
+        Strategy::HybridGinger,
+        Strategy::Pds,
+    ];
+
+    /// GraphX's native set (Table 1.1): Random, Canonical Random, 1D, 2D.
+    pub const GRAPHX: [Strategy; 4] = [
+        Strategy::AsymmetricRandom,
+        Strategy::Random,
+        Strategy::OneD,
+        Strategy::TwoD,
+    ];
+
+    /// The nine strategies compared in the PowerLyra-all experiments (§8.2:
+    /// everything except PDS, which the paper excludes for machine-count
+    /// reasons, plus 1D-Target which is analyzed separately in Fig 8.3).
+    pub const POWERLYRA_ALL: [Strategy; 9] = [
+        Strategy::OneD,
+        Strategy::TwoD,
+        Strategy::AsymmetricRandom,
+        Strategy::Grid,
+        Strategy::Hdrf,
+        Strategy::Hybrid,
+        Strategy::HybridGinger,
+        Strategy::Oblivious,
+        Strategy::Random,
+    ];
+
+    /// Construct a boxed partitioner with the paper's default parameters.
+    pub fn build(self) -> Box<dyn Partitioner> {
+        match self {
+            Strategy::Random => Box::new(Random),
+            Strategy::AsymmetricRandom => Box::new(AsymmetricRandom),
+            // The catalog builds the resilient Grid so sweeps over arbitrary
+            // cluster sizes work; PowerGraph-specific experiments use
+            // `Grid::strict()` directly.
+            Strategy::Grid => Box::new(Grid::resilient()),
+            Strategy::Pds => Box::new(Pds),
+            Strategy::Oblivious => Box::new(Oblivious),
+            Strategy::Hdrf => Box::new(Hdrf::recommended()),
+            Strategy::OneD => Box::new(OneD),
+            Strategy::OneDTarget => Box::new(OneDTarget),
+            Strategy::TwoD => Box::new(TwoD),
+            Strategy::Hybrid => Box::new(Hybrid::default()),
+            Strategy::HybridGinger => Box::new(HybridGinger::default()),
+        }
+    }
+
+    /// Figure label for this strategy.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Random => "Random",
+            Strategy::AsymmetricRandom => "Assym-Rand",
+            Strategy::Grid => "Grid",
+            Strategy::Pds => "PDS",
+            Strategy::Oblivious => "Oblivious",
+            Strategy::Hdrf => "HDRF",
+            Strategy::OneD => "1D",
+            Strategy::OneDTarget => "1D-Target",
+            Strategy::TwoD => "2D",
+            Strategy::Hybrid => "Hybrid",
+            Strategy::HybridGinger => "H-Ginger",
+        }
+    }
+
+    /// Systems that ship this strategy natively (Table 1.1). The thesis's
+    /// 1D-Target is native to none.
+    pub fn native_systems(self) -> &'static [System] {
+        match self {
+            Strategy::Random => {
+                &[System::PowerGraph, System::PowerLyra, System::GraphX]
+            }
+            Strategy::AsymmetricRandom | Strategy::OneD | Strategy::TwoD => &[System::GraphX],
+            Strategy::Grid | Strategy::Pds | Strategy::Oblivious => {
+                &[System::PowerGraph, System::PowerLyra]
+            }
+            Strategy::Hdrf => &[System::PowerGraph],
+            Strategy::Hybrid | Strategy::HybridGinger => &[System::PowerLyra],
+            Strategy::OneDTarget => &[],
+        }
+    }
+
+    /// Whether the strategy can run on `n` partitions (Grid in the catalog is
+    /// the resilient variant, so only PDS constrains the count).
+    pub fn supports_partition_count(self, n: u32) -> bool {
+        match self {
+            Strategy::Pds => crate::strategies::Pds::order_for(n).is_some(),
+            _ => n > 0,
+        }
+    }
+
+    /// The Table 1.1 matrix: each system with its native strategies.
+    pub fn catalog() -> Vec<(System, Vec<Strategy>)> {
+        vec![
+            (System::PowerGraph, Strategy::POWERGRAPH.to_vec()),
+            (System::PowerLyra, Strategy::POWERLYRA.to_vec()),
+            (System::GraphX, Strategy::GRAPHX.to_vec()),
+        ]
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let found = Strategy::ALL
+            .into_iter()
+            .find(|st| st.label().to_ascii_lowercase() == lower);
+        match (found, lower.as_str()) {
+            (Some(st), _) => Ok(st),
+            (None, "canonical-random" | "canonical random") => Ok(Strategy::Random),
+            (None, "asymmetric-random" | "asym-rand") => Ok(Strategy::AsymmetricRandom),
+            (None, "hybrid-ginger" | "ginger") => Ok(Strategy::HybridGinger),
+            _ => Err(format!("unknown strategy {s:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::PartitionContext;
+
+    #[test]
+    fn catalog_matches_table_1_1() {
+        let catalog = Strategy::catalog();
+        assert_eq!(catalog.len(), 3);
+        let (sys, pg) = &catalog[0];
+        assert_eq!(*sys, System::PowerGraph);
+        assert_eq!(pg.len(), 5);
+        assert!(pg.contains(&Strategy::Hdrf));
+        let (_, pl) = &catalog[1];
+        assert_eq!(pl.len(), 6);
+        assert!(pl.contains(&Strategy::HybridGinger));
+        let (_, gx) = &catalog[2];
+        assert_eq!(gx.len(), 4);
+        assert!(gx.contains(&Strategy::TwoD));
+    }
+
+    #[test]
+    fn every_strategy_builds_and_partitions() {
+        let g = gp_gen::erdos_renyi(500, 3_000, 1);
+        for s in Strategy::ALL {
+            let n = if s == Strategy::Pds { 7 } else { 9 };
+            let mut p = s.build();
+            let out = p.partition(&g, &PartitionContext::new(n));
+            assert_eq!(out.assignment.num_edges(), g.num_edges(), "{s}");
+            assert!(out.assignment.replication_factor() >= 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Strategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), Strategy::ALL.len());
+    }
+
+    #[test]
+    fn from_str_accepts_labels_and_aliases() {
+        assert_eq!("HDRF".parse::<Strategy>().unwrap(), Strategy::Hdrf);
+        assert_eq!("hdrf".parse::<Strategy>().unwrap(), Strategy::Hdrf);
+        assert_eq!("1D-Target".parse::<Strategy>().unwrap(), Strategy::OneDTarget);
+        assert_eq!("ginger".parse::<Strategy>().unwrap(), Strategy::HybridGinger);
+        assert_eq!(
+            "canonical-random".parse::<Strategy>().unwrap(),
+            Strategy::Random
+        );
+        assert!("bogus".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn pds_partition_count_gate() {
+        assert!(Strategy::Pds.supports_partition_count(7));
+        assert!(Strategy::Pds.supports_partition_count(13));
+        assert!(!Strategy::Pds.supports_partition_count(9));
+        assert!(Strategy::Grid.supports_partition_count(10)); // resilient
+    }
+
+    #[test]
+    fn native_systems_match_table() {
+        assert_eq!(Strategy::Hdrf.native_systems(), &[System::PowerGraph]);
+        assert!(Strategy::Random.native_systems().contains(&System::GraphX));
+        assert!(Strategy::OneDTarget.native_systems().is_empty());
+    }
+}

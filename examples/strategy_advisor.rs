@@ -1,0 +1,60 @@
+//! Interactive-style walkthrough of the paper's decision trees: classify a
+//! graph, describe the job, and get the recommendation each system's tree
+//! produces — with the decision path spelled out.
+//!
+//! ```sh
+//! cargo run --release --example strategy_advisor
+//! ```
+
+use distgraph::advisor::{
+    graphx_all, powergraph, powerlyra, render_graphx_all_tree, render_powergraph_tree,
+    render_powerlyra_tree, Workload,
+};
+use distgraph::gen::{classify, Dataset};
+
+fn main() {
+    println!("=== The paper's decision trees ===\n");
+    println!("PowerGraph (Fig 5.9):\n{}", render_powergraph_tree());
+    println!("PowerLyra (Fig 6.6):\n{}", render_powerlyra_tree());
+    println!("GraphX-all (Fig 9.3):\n{}", render_graphx_all_tree());
+
+    // Walk three representative scenarios through the trees.
+    let scenarios = [
+        ("30-iteration PageRank on a web crawl, 25 machines", Dataset::UkWeb, 25, 5.0, true),
+        ("one-shot WCC on a social network, 16 machines", Dataset::Twitter, 16, 0.4, false),
+        ("repeated SSSP on a road network, 10 machines", Dataset::RoadNetUsa, 10, 3.0, true),
+    ];
+
+    for (desc, dataset, machines, ratio, natural) in scenarios {
+        // Classify the actual graph rather than trusting the label.
+        let graph = dataset.generate(0.1, 1);
+        let class = classify(&graph);
+        let w = Workload {
+            graph_class: class,
+            machines,
+            compute_ingress_ratio: ratio,
+            natural_app: natural,
+        };
+        println!("--- {desc} ---");
+        println!("classified as: {class}");
+        let pg = powergraph(&w);
+        println!(
+            "  PowerGraph: {}   [{}]",
+            pg.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join("/"),
+            pg.path.join(" → ")
+        );
+        let pl = powerlyra(&w);
+        println!(
+            "  PowerLyra : {}   [{}]",
+            pl.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join("/"),
+            pl.path.join(" → ")
+        );
+        let gx = graphx_all(&w);
+        println!(
+            "  GraphX    : {}   [{}]",
+            gx.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join("/"),
+            gx.path.join(" → ")
+        );
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! # distgraph — umbrella crate
+//!
+//! Re-exports the full public API of the workspace reproducing *"An
+//! Experimental Comparison of Partitioning Strategies in Distributed Graph
+//! Processing"* (VLDB 2017). See the README for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! The individual crates:
+//!
+//! * [`core`] (gp-core) — graph substrate: ids, edge lists, CSR, hashing, I/O.
+//! * [`gen`] (gp-gen) — synthetic dataset analogues + degree analysis.
+//! * [`partition`] (gp-partition) — the eleven partitioning strategies.
+//! * [`cluster`] (gp-cluster) — simulated cluster and resource models.
+//! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
+//! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
+//! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
+
+pub use gp_advisor as advisor;
+pub use gp_apps as apps;
+pub use gp_cluster as cluster;
+pub use gp_core as core;
+pub use gp_engine as engine;
+pub use gp_gen as gen;
+pub use gp_partition as partition;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
