@@ -83,20 +83,25 @@ impl Recommendation {
 pub fn powergraph(w: &Workload) -> Recommendation {
     let heuristics = vec![Strategy::Hdrf, Strategy::Oblivious];
     match w.graph_class {
-        GraphClass::LowDegree => Recommendation::new(
-            heuristics,
-            vec!["low-degree graph? yes"],
-        ),
+        GraphClass::LowDegree => Recommendation::new(heuristics, vec!["low-degree graph? yes"]),
         GraphClass::HeavyTailed => {
             if w.square_cluster() {
                 Recommendation::new(
                     vec![Strategy::Grid],
-                    vec!["low-degree graph? no", "heavy-tailed graph? yes", "N^2 machines? yes"],
+                    vec![
+                        "low-degree graph? no",
+                        "heavy-tailed graph? yes",
+                        "N^2 machines? yes",
+                    ],
                 )
             } else {
                 Recommendation::new(
                     heuristics,
-                    vec!["low-degree graph? no", "heavy-tailed graph? yes", "N^2 machines? no"],
+                    vec![
+                        "low-degree graph? no",
+                        "heavy-tailed graph? yes",
+                        "N^2 machines? no",
+                    ],
                 )
             }
         }
@@ -149,13 +154,15 @@ pub fn powerlyra_all(w: &Workload) -> Recommendation {
 
 fn powerlyra_tree(w: &Workload, heuristics: Vec<Strategy>) -> Recommendation {
     match w.graph_class {
-        GraphClass::LowDegree => {
-            Recommendation::new(heuristics, vec!["low-degree graph? yes"])
-        }
+        GraphClass::LowDegree => Recommendation::new(heuristics, vec!["low-degree graph? yes"]),
         GraphClass::HeavyTailed => {
             let mut path = vec![
                 "low-degree graph? no",
-                if w.natural_app { "natural application? yes" } else { "natural application? no" },
+                if w.natural_app {
+                    "natural application? yes"
+                } else {
+                    "natural application? no"
+                },
                 "heavy-tailed graph? yes",
             ];
             if w.square_cluster() {
@@ -169,7 +176,11 @@ fn powerlyra_tree(w: &Workload, heuristics: Vec<Strategy>) -> Recommendation {
         GraphClass::PowerLaw => {
             let mut path = vec![
                 "low-degree graph? no",
-                if w.natural_app { "natural application? yes" } else { "natural application? no" },
+                if w.natural_app {
+                    "natural application? yes"
+                } else {
+                    "natural application? no"
+                },
                 "heavy-tailed graph? no",
             ];
             if w.long_job() {
@@ -192,10 +203,9 @@ fn powerlyra_tree(w: &Workload, heuristics: Vec<Strategy>) -> Recommendation {
 /// 2D partitioning for power-law-like graphs".
 pub fn graphx(w: &Workload) -> Recommendation {
     match w.graph_class {
-        GraphClass::LowDegree => Recommendation::new(
-            vec![Strategy::Random],
-            vec!["low-degree graph? yes"],
-        ),
+        GraphClass::LowDegree => {
+            Recommendation::new(vec![Strategy::Random], vec!["low-degree graph? yes"])
+        }
         _ => Recommendation::new(
             vec![Strategy::TwoD],
             vec!["low-degree graph? no (power-law/heavy-tailed)"],
@@ -352,7 +362,11 @@ mod tests {
 
     #[test]
     fn powerlyra_never_recommends_random_or_ginger() {
-        for class in [GraphClass::LowDegree, GraphClass::HeavyTailed, GraphClass::PowerLaw] {
+        for class in [
+            GraphClass::LowDegree,
+            GraphClass::HeavyTailed,
+            GraphClass::PowerLaw,
+        ] {
             for machines in [9u32, 10, 16, 25] {
                 for ratio in [0.2, 5.0] {
                     for natural in [false, true] {
@@ -376,7 +390,10 @@ mod tests {
             graphx(&w(GraphClass::HeavyTailed, 10, 1.0, false)).best(),
             Strategy::TwoD
         );
-        assert_eq!(graphx(&w(GraphClass::PowerLaw, 10, 1.0, false)).best(), Strategy::TwoD);
+        assert_eq!(
+            graphx(&w(GraphClass::PowerLaw, 10, 1.0, false)).best(),
+            Strategy::TwoD
+        );
     }
 
     #[test]

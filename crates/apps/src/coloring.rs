@@ -100,7 +100,10 @@ mod tests {
     use gp_partition::{PartitionContext, Strategy};
 
     fn run_async(g: &EdgeList) -> (Vec<u32>, gp_engine::ComputeReport) {
-        let a = Strategy::Oblivious.build().partition(g, &PartitionContext::new(4)).assignment;
+        let a = Strategy::Oblivious
+            .build()
+            .partition(g, &PartitionContext::new(4))
+            .assignment;
         AsyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(g, &a, &Coloring)
     }
 
@@ -120,7 +123,11 @@ mod tests {
         let g = EdgeList::from_pairs((1..=30).map(|i| (0, i)).collect());
         let (colors, _) = run_async(&g);
         assert!(is_proper_coloring(&g, &colors));
-        assert!(color_count(&colors) <= 3, "used {} colors", color_count(&colors));
+        assert!(
+            color_count(&colors) <= 3,
+            "used {} colors",
+            color_count(&colors)
+        );
     }
 
     #[test]

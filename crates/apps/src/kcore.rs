@@ -109,7 +109,10 @@ pub fn decompose(
         core_sizes.push((k, alive.iter().filter(|&&a| a).count() as u64));
         reports.push(report);
     }
-    KCoreResult { core_sizes, reports }
+    KCoreResult {
+        core_sizes,
+        reports,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +128,10 @@ mod tests {
     }
 
     fn assignment(g: &EdgeList) -> gp_partition::Assignment {
-        Strategy::Random.build().partition(g, &PartitionContext::new(4)).assignment
+        Strategy::Random
+            .build()
+            .partition(g, &PartitionContext::new(4))
+            .assignment
     }
 
     /// A 4-clique with a pendant path: the 3-core is exactly the clique.
@@ -154,7 +160,10 @@ mod tests {
         let g = EdgeList::from_pairs((0..20).map(|i| (i, i + 1)).collect());
         let (alive, report) = engine().run(&g, &assignment(&g), &KCore::new(2));
         assert!(alive.iter().all(|&a| !a), "paths have no 2-core");
-        assert!(report.supersteps() > 5, "peeling should cascade over supersteps");
+        assert!(
+            report.supersteps() > 5,
+            "peeling should cascade over supersteps"
+        );
     }
 
     #[test]
@@ -172,7 +181,11 @@ mod tests {
         let g = gp_gen::barabasi_albert(3_000, 6, 3);
         let result = decompose(&engine(), &g, &assignment(&g), 2, 8);
         for w in result.core_sizes.windows(2) {
-            assert!(w[0].1 >= w[1].1, "core sizes must shrink with k: {:?}", result.core_sizes);
+            assert!(
+                w[0].1 >= w[1].1,
+                "core sizes must shrink with k: {:?}",
+                result.core_sizes
+            );
         }
         assert_eq!(result.reports.len(), 7);
         assert!(result.compute_seconds() > 0.0);

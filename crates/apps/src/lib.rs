@@ -26,5 +26,12 @@ pub use wcc::Wcc;
 /// The application set used in the PowerGraph/PowerLyra chapters, by figure
 /// label: K-Core, Coloring, PageRank(10), WCC, SSSP, PageRank(C).
 pub fn paper_app_labels() -> [&'static str; 6] {
-    ["K-Core", "Coloring", "PageRank(10)", "WCC", "SSSP", "PageRank(C)"]
+    [
+        "K-Core",
+        "Coloring",
+        "PageRank(10)",
+        "WCC",
+        "SSSP",
+        "PageRank(C)",
+    ]
 }

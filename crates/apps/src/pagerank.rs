@@ -47,18 +47,27 @@ pub struct PageRank {
 impl PageRank {
     /// Fixed-iteration PageRank — `PageRank(10)` with `iters = 10`.
     pub fn fixed(iters: u32) -> Self {
-        PageRank { damping: 0.85, mode: PageRankMode::Iterations(iters) }
+        PageRank {
+            damping: 0.85,
+            mode: PageRankMode::Iterations(iters),
+        }
     }
 
     /// Fixed-iteration PageRank whose vertices freeze once their rank moves
     /// less than `tolerance` (used by the delta-caching ablation).
     pub fn fixed_with_tolerance(iters: u32, tolerance: f64) -> Self {
-        PageRank { damping: 0.85, mode: PageRankMode::IterationsWithTolerance(iters, tolerance) }
+        PageRank {
+            damping: 0.85,
+            mode: PageRankMode::IterationsWithTolerance(iters, tolerance),
+        }
     }
 
     /// Convergence PageRank with the default tolerance 1e-3.
     pub fn to_convergence() -> Self {
-        PageRank { damping: 0.85, mode: PageRankMode::Convergence { tolerance: 1e-3 } }
+        PageRank {
+            damping: 0.85,
+            mode: PageRankMode::Convergence { tolerance: 1e-3 },
+        }
     }
 
     fn tolerance(&self) -> f64 {
@@ -148,7 +157,10 @@ mod tests {
     use gp_partition::{PartitionContext, Strategy};
 
     fn run(g: &EdgeList, pr: &PageRank) -> (Vec<Rank>, gp_engine::ComputeReport) {
-        let a = Strategy::Random.build().partition(g, &PartitionContext::new(4)).assignment;
+        let a = Strategy::Random
+            .build()
+            .partition(g, &PartitionContext::new(4))
+            .assignment;
         SyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(g, &a, pr)
     }
 
@@ -164,7 +176,11 @@ mod tests {
         let g = EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0)]);
         let (ranks, _) = run(&g, &PageRank::to_convergence());
         for r in &ranks {
-            assert!((r.0 - 1.0).abs() < 1e-2, "cycle rank should be 1, got {}", r.0);
+            assert!(
+                (r.0 - 1.0).abs() < 1e-2,
+                "cycle rank should be 1, got {}",
+                r.0
+            );
         }
     }
 
@@ -174,7 +190,12 @@ mod tests {
         let g = EdgeList::from_pairs((1..=20).map(|i| (i, 0)).collect());
         let (ranks, report) = run(&g, &PageRank::to_convergence());
         assert!(report.converged);
-        assert!(ranks[0].0 > 5.0 * ranks[1].0, "hub {} vs spoke {}", ranks[0].0, ranks[1].0);
+        assert!(
+            ranks[0].0 > 5.0 * ranks[1].0,
+            "hub {} vs spoke {}",
+            ranks[0].0,
+            ranks[1].0
+        );
     }
 
     #[test]

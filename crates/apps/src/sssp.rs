@@ -30,12 +30,18 @@ pub struct Sssp {
 impl Sssp {
     /// Undirected SSSP from `source` (the PG/PL configuration).
     pub fn undirected(source: impl Into<VertexId>) -> Self {
-        Sssp { source: source.into(), undirected: true }
+        Sssp {
+            source: source.into(),
+            undirected: true,
+        }
     }
 
     /// Directed SSSP from `source` — a natural application.
     pub fn directed(source: impl Into<VertexId>) -> Self {
-        Sssp { source: source.into(), undirected: false }
+        Sssp {
+            source: source.into(),
+            undirected: false,
+        }
     }
 }
 
@@ -105,7 +111,10 @@ mod tests {
     use gp_partition::{PartitionContext, Strategy};
 
     fn run(g: &EdgeList, prog: &Sssp) -> (Vec<u32>, gp_engine::ComputeReport) {
-        let a = Strategy::Grid.build().partition(g, &PartitionContext::new(4)).assignment;
+        let a = Strategy::Grid
+            .build()
+            .partition(g, &PartitionContext::new(4))
+            .assignment;
         SyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(g, a_ref(&a), prog)
     }
 
@@ -178,11 +187,20 @@ mod tests {
         // SSSP activates only the frontier: its busiest superstep touches a
         // fraction of the vertices PageRank would.
         let g = gp_gen::road_network(
-            &gp_gen::RoadNetworkParams { width: 40, height: 40, ..Default::default() },
+            &gp_gen::RoadNetworkParams {
+                width: 40,
+                height: 40,
+                ..Default::default()
+            },
             2,
         );
         let (_, report) = run(&g, &Sssp::undirected(0u64));
-        let peak_active = report.steps.iter().map(|s| s.active_vertices).max().unwrap();
+        let peak_active = report
+            .steps
+            .iter()
+            .map(|s| s.active_vertices)
+            .max()
+            .unwrap();
         assert!(
             (peak_active as f64) < 0.5 * g.num_vertices() as f64,
             "frontier should stay well below |V|: peak {peak_active}"

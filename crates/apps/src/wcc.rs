@@ -74,8 +74,13 @@ mod tests {
     use gp_partition::{PartitionContext, Strategy};
 
     fn run(g: &EdgeList) -> Vec<u64> {
-        let a = Strategy::Hdrf.build().partition(g, &PartitionContext::new(4)).assignment;
-        SyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(g, &a, &Wcc).0
+        let a = Strategy::Hdrf
+            .build()
+            .partition(g, &PartitionContext::new(4))
+            .assignment;
+        SyncGas::new(EngineConfig::new(ClusterSpec::local_9()))
+            .run(g, &a, &Wcc)
+            .0
     }
 
     #[test]
@@ -116,7 +121,10 @@ mod tests {
             p[x]
         }
         for e in g.edges() {
-            let (a, b) = (find(&mut parent, e.src.index()), find(&mut parent, e.dst.index()));
+            let (a, b) = (
+                find(&mut parent, e.src.index()),
+                find(&mut parent, e.dst.index()),
+            );
             if a != b {
                 parent[a] = b;
             }

@@ -2,18 +2,16 @@
 //! analysis throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gp_gen::{DegreeAnalysis, Dataset};
+use gp_gen::{Dataset, DegreeAnalysis};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");
     for dataset in [Dataset::RoadNetCa, Dataset::LiveJournal, Dataset::UkWeb] {
         let edges = dataset.generate(0.25, 1).num_edges() as u64;
         group.throughput(Throughput::Elements(edges));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(dataset),
-            &dataset,
-            |b, &d| b.iter(|| d.generate(0.25, 1).num_edges()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(dataset), &dataset, |b, &d| {
+            b.iter(|| d.generate(0.25, 1).num_edges())
+        });
     }
     group.finish();
 }

@@ -13,12 +13,25 @@ fn graphs() -> Vec<(&'static str, EdgeList)> {
     vec![
         (
             "road",
-            road_network(&RoadNetworkParams { width: 120, height: 120, ..Default::default() }, 1),
+            road_network(
+                &RoadNetworkParams {
+                    width: 120,
+                    height: 120,
+                    ..Default::default()
+                },
+                1,
+            ),
         ),
         ("social", barabasi_albert(25_000, 10, 1)),
         (
             "web",
-            web_graph(&WebGraphParams { domains: 800, ..Default::default() }, 1),
+            web_graph(
+                &WebGraphParams {
+                    domains: 800,
+                    ..Default::default()
+                },
+                1,
+            ),
         ),
     ]
 }
@@ -36,14 +49,16 @@ fn bench_strategies(c: &mut Criterion) {
             Strategy::Hybrid,
             Strategy::HybridGinger,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), class),
-                &graph,
-                |b, g| {
-                    let ctx = PartitionContext::new(9).with_seed(7);
-                    b.iter(|| strategy.build().partition(g, &ctx).assignment.replication_factor())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.label(), class), &graph, |b, g| {
+                let ctx = PartitionContext::new(9).with_seed(7);
+                b.iter(|| {
+                    strategy
+                        .build()
+                        .partition(g, &ctx)
+                        .assignment
+                        .replication_factor()
+                })
+            });
         }
     }
     group.finish();
@@ -54,16 +69,15 @@ fn bench_hdrf_lambda_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("hdrf-lambda");
     group.throughput(Throughput::Elements(graph.num_edges() as u64));
     for lambda in [0.0, 1.0, 4.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(lambda),
-            &graph,
-            |b, g| {
-                let ctx = PartitionContext::new(9).with_seed(7);
-                b.iter(|| {
-                    Hdrf::with_lambda(lambda).partition(g, &ctx).assignment.replication_factor()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &graph, |b, g| {
+            let ctx = PartitionContext::new(9).with_seed(7);
+            b.iter(|| {
+                Hdrf::with_lambda(lambda)
+                    .partition(g, &ctx)
+                    .assignment
+                    .replication_factor()
+            })
+        });
     }
     group.finish();
 }
@@ -73,19 +87,15 @@ fn bench_hybrid_threshold_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("hybrid-threshold");
     group.throughput(Throughput::Elements(graph.num_edges() as u64));
     for threshold in [10u32, 100, 1000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threshold),
-            &graph,
-            |b, g| {
-                let ctx = PartitionContext::new(9).with_seed(7);
-                b.iter(|| {
-                    Hybrid::with_threshold(threshold)
-                        .partition(g, &ctx)
-                        .assignment
-                        .replication_factor()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threshold), &graph, |b, g| {
+            let ctx = PartitionContext::new(9).with_seed(7);
+            b.iter(|| {
+                Hybrid::with_threshold(threshold)
+                    .partition(g, &ctx)
+                    .assignment
+                    .replication_factor()
+            })
+        });
     }
     group.finish();
 }

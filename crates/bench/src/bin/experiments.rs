@@ -23,8 +23,13 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { ids: Vec::new(), scale: 1.0, seed: 42, csv_dir: None, svg_dir: None };
+    let mut args = Args {
+        ids: Vec::new(),
+        scale: 1.0,
+        seed: 42,
+        csv_dir: None,
+        svg_dir: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -102,7 +107,10 @@ fn main() -> ExitCode {
             eprintln!("error: unknown experiment {id:?} (see `experiments list`)");
             return ExitCode::FAILURE;
         };
-        eprintln!(">> {id}: {} (scale {}, seed {})", exp.title, args.scale, args.seed);
+        eprintln!(
+            ">> {id}: {} (scale {}, seed {})",
+            exp.title, args.scale, args.seed
+        );
         let start = std::time::Instant::now();
         let tables = (exp.run)(args.scale, args.seed);
         for (i, table) in tables.iter().enumerate() {

@@ -41,11 +41,7 @@ pub fn parse_value(cell: &str) -> Option<f64> {
 /// Build a chart from a table, if its shape is recognized.
 pub fn chart_for(table: &Table) -> Option<Chart> {
     let headers = table.headers();
-    if headers.len() >= 4
-        && headers[0] == "App"
-        && headers[1] == "Strategy"
-        && headers[2] == "RF"
-    {
+    if headers.len() >= 4 && headers[0] == "App" && headers[1] == "Strategy" && headers[2] == "RF" {
         return Some(rf_scatter(table));
     }
     if headers.len() >= 3 && headers[0] == "Dataset" && headers[1] == "Cluster" {
@@ -96,9 +92,13 @@ fn histogram_line(table: &Table) -> Chart {
 
 fn rf_scatter(table: &Table) -> Chart {
     let metric = table.headers()[3].clone();
-    let mut chart =
-        Chart::new(table.title(), "Replication factor", metric, ChartKind::Scatter)
-            .with_trend_lines();
+    let mut chart = Chart::new(
+        table.title(),
+        "Replication factor",
+        metric,
+        ChartKind::Scatter,
+    )
+    .with_trend_lines();
     let mut order: Vec<String> = Vec::new();
     for row in table.rows() {
         if !order.contains(&row[0]) {
@@ -131,8 +131,8 @@ fn sweep_bars(table: &Table, first_value_col: usize) -> Chart {
             }
         })
         .collect();
-    let mut chart = Chart::new(table.title(), "", value_axis(table), ChartKind::Bars)
-        .categories(categories);
+    let mut chart =
+        Chart::new(table.title(), "", value_axis(table), ChartKind::Bars).categories(categories);
     for (ci, name) in table.headers().iter().enumerate().skip(first_value_col) {
         let points: Vec<(f64, f64)> = table
             .rows()
@@ -146,14 +146,20 @@ fn sweep_bars(table: &Table, first_value_col: usize) -> Chart {
 }
 
 fn iteration_lines(table: &Table) -> Chart {
-    let mut chart =
-        Chart::new(table.title(), "Iteration", "Total time (s)", ChartKind::Line);
+    let mut chart = Chart::new(
+        table.title(),
+        "Iteration",
+        "Total time (s)",
+        ChartKind::Line,
+    );
     let iters: Vec<(usize, f64)> = table
         .headers()
         .iter()
         .enumerate()
         .filter_map(|(i, h)| {
-            h.strip_prefix("iter ").and_then(|n| n.parse::<f64>().ok()).map(|n| (i, n))
+            h.strip_prefix("iter ")
+                .and_then(|n| n.parse::<f64>().ok())
+                .map(|n| (i, n))
         })
         .collect();
     for row in table.rows() {
@@ -172,12 +178,15 @@ fn memory_line(table: &Table) -> Chart {
     let points: Vec<(f64, f64)> = table
         .rows()
         .iter()
-        .filter_map(|r| {
-            Some((parse_value(&r[0])? / (1 << 20) as f64, parse_value(&r[1])?))
-        })
+        .filter_map(|r| Some((parse_value(&r[0])? / (1 << 20) as f64, parse_value(&r[1])?)))
         .collect();
-    Chart::new(table.title(), "Executor memory (MiB)", "Execution time (s)", ChartKind::Line)
-        .series(Series::new("execution time", points))
+    Chart::new(
+        table.title(),
+        "Executor memory (MiB)",
+        "Execution time (s)",
+        ChartKind::Line,
+    )
+    .series(Series::new("execution time", points))
 }
 
 fn value_axis(table: &Table) -> &'static str {
@@ -209,8 +218,20 @@ mod tests {
     #[test]
     fn recognizes_rf_scatter_tables() {
         let mut t = Table::new("Fig X", &["App", "Strategy", "RF", "Net I/O", "vs trend"]);
-        t.row(vec!["PR".into(), "Grid".into(), "3.0".into(), "1.00 MiB".into(), "1.0x".into()]);
-        t.row(vec!["PR".into(), "Random".into(), "6.0".into(), "2.00 MiB".into(), "1.0x".into()]);
+        t.row(vec![
+            "PR".into(),
+            "Grid".into(),
+            "3.0".into(),
+            "1.00 MiB".into(),
+            "1.0x".into(),
+        ]);
+        t.row(vec![
+            "PR".into(),
+            "Random".into(),
+            "6.0".into(),
+            "2.00 MiB".into(),
+            "1.0x".into(),
+        ]);
         let chart = chart_for(&t).expect("recognized");
         assert_eq!(chart.kind, ChartKind::Scatter);
         assert_eq!(chart.series.len(), 1);
@@ -221,7 +242,12 @@ mod tests {
     #[test]
     fn recognizes_sweep_tables() {
         let mut t = Table::new("RFs", &["Dataset", "Cluster", "Random", "Grid"]);
-        t.row(vec!["uk".into(), "EC2-25".into(), "9.5".into(), "6.4".into()]);
+        t.row(vec![
+            "uk".into(),
+            "EC2-25".into(),
+            "9.5".into(),
+            "6.4".into(),
+        ]);
         let chart = chart_for(&t).expect("recognized");
         assert_eq!(chart.kind, ChartKind::Bars);
         assert_eq!(chart.series.len(), 2);
@@ -234,7 +260,12 @@ mod tests {
             "Fig 9.1",
             &["Strategy", "Partitioning (s)", "iter 1", "iter 5"],
         );
-        t.row(vec!["HDRF".into(), "30.0".into(), "31.0".into(), "35.0".into()]);
+        t.row(vec![
+            "HDRF".into(),
+            "30.0".into(),
+            "31.0".into(),
+            "35.0".into(),
+        ]);
         let chart = chart_for(&t).expect("recognized");
         assert_eq!(chart.kind, ChartKind::Line);
         assert_eq!(chart.series[0].points, vec![(1.0, 31.0), (5.0, 35.0)]);
@@ -242,7 +273,10 @@ mod tests {
 
     #[test]
     fn skips_failed_rows_in_memory_sweep() {
-        let mut t = Table::new("Fig 9.4", &["Executor memory", "Execution time (s)", "case"]);
+        let mut t = Table::new(
+            "Fig 9.4",
+            &["Executor memory", "Execution time (s)", "case"],
+        );
         t.row(vec!["2.00 MiB".into(), "FAILED".into(), "case 1".into()]);
         t.row(vec!["8.00 MiB".into(), "100.0".into(), "case 3".into()]);
         let chart = chart_for(&t).expect("recognized");

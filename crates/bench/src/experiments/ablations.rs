@@ -39,7 +39,12 @@ pub fn ablation_hybrid_threshold(scale: f64, seed: u64) -> Vec<Table> {
     let ctx = PartitionContext::new(25).with_seed(seed);
     let mut t = Table::new(
         "Ablation — Hybrid degree-threshold sweep (UK-web analogue, 25 partitions)",
-        &["threshold", "RF", "edge imbalance", "high-degree share of edges"],
+        &[
+            "threshold",
+            "RF",
+            "edge imbalance",
+            "high-degree share of edges",
+        ],
     );
     let degrees = graph.degrees();
     for threshold in [0u32, 10, 30, 100, 300, 1000, u32::MAX] {
@@ -50,10 +55,17 @@ pub fn ablation_hybrid_threshold(scale: f64, seed: u64) -> Vec<Table> {
             .filter(|e| degrees.in_degree(e.dst) > threshold)
             .count();
         t.row(vec![
-            if threshold == u32::MAX { "inf".to_string() } else { threshold.to_string() },
+            if threshold == u32::MAX {
+                "inf".to_string()
+            } else {
+                threshold.to_string()
+            },
             format!("{:.2}", out.assignment.replication_factor()),
             format!("{:.3}", out.assignment.balance().imbalance),
-            format!("{:.1}%", 100.0 * high_edges as f64 / graph.num_edges() as f64),
+            format!(
+                "{:.1}%",
+                100.0 * high_edges as f64 / graph.num_edges() as f64
+            ),
         ]);
     }
     vec![t]
@@ -68,10 +80,18 @@ pub fn ablation_loaders(scale: f64, seed: u64) -> Vec<Table> {
     let rates = CostRates::default();
     let mut t = Table::new(
         "Ablation — greedy heuristics vs parallel loader count (UK-web analogue, 25 partitions)",
-        &["loaders", "Oblivious RF", "Oblivious ingress (s)", "HDRF RF", "HDRF ingress (s)"],
+        &[
+            "loaders",
+            "Oblivious RF",
+            "Oblivious ingress (s)",
+            "HDRF RF",
+            "HDRF ingress (s)",
+        ],
     );
     for loaders in [1u32, 5, 13, 25] {
-        let ctx = PartitionContext::new(25).with_seed(seed).with_loaders(loaders);
+        let ctx = PartitionContext::new(25)
+            .with_seed(seed)
+            .with_loaders(loaders);
         let ob = Oblivious.partition(&graph, &ctx);
         let ob_rep = IngressReport::from_outcome("Oblivious", &ob, loaders);
         let hd = Hdrf::recommended().partition(&graph, &ctx);
@@ -103,14 +123,17 @@ pub fn ablation_engines(scale: f64, seed: u64) -> Vec<Table> {
             "saving",
         ],
     );
-    for strategy in [Strategy::Hybrid, Strategy::OneDTarget, Strategy::TwoD, Strategy::Grid] {
+    for strategy in [
+        Strategy::Hybrid,
+        Strategy::OneDTarget,
+        Strategy::TwoD,
+        Strategy::Grid,
+    ] {
         for app in [App::PageRankFixed(10), App::Wcc] {
             let mut p1 = Pipeline::new(scale, seed);
-            let sync =
-                p1.run(Dataset::UkWeb, strategy, &spec, EngineKind::PowerGraph, app);
+            let sync = p1.run(Dataset::UkWeb, strategy, &spec, EngineKind::PowerGraph, app);
             let mut p2 = Pipeline::new(scale, seed);
-            let hybrid =
-                p2.run(Dataset::UkWeb, strategy, &spec, EngineKind::PowerLyra, app);
+            let hybrid = p2.run(Dataset::UkWeb, strategy, &spec, EngineKind::PowerLyra, app);
             let saving = 1.0 - hybrid.mean_net_in_bytes / sync.mean_net_in_bytes.max(1.0);
             t.row(vec![
                 strategy.label().to_string(),
@@ -134,10 +157,13 @@ pub fn ablation_reuse(scale: f64, seed: u64) -> Vec<Table> {
     let app = App::PageRankFixed(30);
     let jobs = 5u32;
     let mut t = Table::new(
-        format!(
-            "Ablation — partition reuse over {jobs} successive jobs (UK-web analogue, EC2-25)"
-        ),
-        &["Strategy", "1 job (ingress+compute)", "5 jobs, re-partitioning", "5 jobs, reused partitions"],
+        format!("Ablation — partition reuse over {jobs} successive jobs (UK-web analogue, EC2-25)"),
+        &[
+            "Strategy",
+            "1 job (ingress+compute)",
+            "5 jobs, re-partitioning",
+            "5 jobs, reused partitions",
+        ],
     );
     for strategy in [Strategy::Grid, Strategy::Hdrf] {
         let mut pipeline = Pipeline::new(scale, seed);
@@ -146,8 +172,7 @@ pub fn ablation_reuse(scale: f64, seed: u64) -> Vec<Table> {
         let repartition = jobs as f64 * single;
         // Reuse: pay ingress once, then only a (cheap) reload plus compute.
         let reload = job.ingress_seconds * 0.2; // stream the saved assignment
-        let reused =
-            job.total_seconds() + (jobs - 1) as f64 * (reload + job.compute_seconds);
+        let reused = job.total_seconds() + (jobs - 1) as f64 * (reload + job.compute_seconds);
         t.row(vec![
             strategy.label().to_string(),
             secs(single),
@@ -170,19 +195,28 @@ pub fn ablation_edge_vs_vertex_cut(scale: f64, seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::ec2_25();
     let mut t = Table::new(
         "Ablation — edge-cut vs vertex-cut gather-work imbalance, PageRank (EC2-25)",
-        &["Dataset", "1D-Target (edge-cut-like)", "Grid (vertex-cut)", "HDRF (vertex-cut)"],
+        &[
+            "Dataset",
+            "1D-Target (edge-cut-like)",
+            "Grid (vertex-cut)",
+            "HDRF (vertex-cut)",
+        ],
     );
     // The scaled analogues cap hub in-degrees well below a machine's edge
     // share, muting the effect; add an extreme-hub Chung-Lu graph whose top
     // vertices collect a Twitter-like share of all edges.
     let extreme = {
         let n = (50_000.0 * scale) as usize;
-        let weights: Vec<f64> =
-            (0..n).map(|i| 600_000.0 * scale / (i as f64 + 1.0).powf(0.85)).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|i| 600_000.0 * scale / (i as f64 + 1.0).powf(0.85))
+            .collect();
         gp_gen::chung_lu(&weights, seed)
     };
     let named: Vec<(String, gp_core::EdgeList)> = vec![
-        ("road-net-USA".into(), Dataset::RoadNetUsa.generate(scale, seed)),
+        (
+            "road-net-USA".into(),
+            Dataset::RoadNetUsa.generate(scale, seed),
+        ),
         ("Twitter".into(), Dataset::Twitter.generate(scale, seed)),
         ("UK-web".into(), Dataset::UkWeb.generate(scale, seed)),
         ("extreme power-law".into(), extreme),
@@ -191,7 +225,10 @@ pub fn ablation_edge_vs_vertex_cut(scale: f64, seed: u64) -> Vec<Table> {
         let imbalance = |strategy: Strategy| -> String {
             let assignment = strategy
                 .build()
-                .partition(&graph, &PartitionContext::new(spec.machines).with_seed(seed))
+                .partition(
+                    &graph,
+                    &PartitionContext::new(spec.machines).with_seed(seed),
+                )
                 .assignment;
             let (_, report) = SyncGas::new(EngineConfig::new(spec.clone())).run(
                 &graph,
@@ -233,7 +270,10 @@ pub fn ablation_chunking(scale: f64, seed: u64) -> Vec<Table> {
     for dataset in Dataset::POWERGRAPH_SET {
         let graph = dataset.generate(scale, seed);
         let rf = |mut p: Box<dyn Partitioner>| {
-            format!("{:.2}", p.partition(&graph, &ctx).assignment.replication_factor())
+            format!(
+                "{:.2}",
+                p.partition(&graph, &ctx).assignment.replication_factor()
+            )
         };
         t.row(vec![
             dataset.to_string(),
@@ -260,22 +300,38 @@ pub fn ablation_delta_caching(scale: f64, seed: u64) -> Vec<Table> {
     let spec = ClusterSpec::ec2_25();
     let mut t = Table::new(
         "Ablation — PowerGraph gather (delta) caching, PageRank(30) (UK-web analogue, EC2-25)",
-        &["Strategy", "gather msgs (off)", "gather msgs (on)", "compute s (off)", "compute s (on)"],
+        &[
+            "Strategy",
+            "gather msgs (off)",
+            "gather msgs (on)",
+            "compute s (off)",
+            "compute s (on)",
+        ],
     );
     let graph = Dataset::UkWeb.generate(scale, seed);
     for strategy in [Strategy::Grid, Strategy::Hdrf] {
         let assignment = strategy
             .build()
-            .partition(&graph, &PartitionContext::new(spec.machines).with_seed(seed))
+            .partition(
+                &graph,
+                &PartitionContext::new(spec.machines).with_seed(seed),
+            )
             .assignment;
-        let gm = |r: &gp_engine::ComputeReport| {
-            r.steps.iter().map(|s| s.gather_messages).sum::<u64>()
-        };
+        let gm =
+            |r: &gp_engine::ComputeReport| r.steps.iter().map(|s| s.gather_messages).sum::<u64>();
         let off = SyncGas::new(EngineConfig::new(spec.clone()))
-            .run(&graph, &assignment, &PageRank::fixed_with_tolerance(30, 1e-3))
+            .run(
+                &graph,
+                &assignment,
+                &PageRank::fixed_with_tolerance(30, 1e-3),
+            )
             .1;
         let on = SyncGas::new(EngineConfig::new(spec.clone()).with_delta_caching(true))
-            .run(&graph, &assignment, &PageRank::fixed_with_tolerance(30, 1e-3))
+            .run(
+                &graph,
+                &assignment,
+                &PageRank::fixed_with_tolerance(30, 1e-3),
+            )
             .1;
         t.row(vec![
             strategy.label().to_string(),
@@ -316,9 +372,16 @@ pub fn ablation_bipartite(scale: f64, seed: u64) -> Vec<Table> {
             format!("{:.3}", out.assignment.balance().imbalance),
         ]);
     };
-    run("BiCut", Box::new(BiCut::default()));
+    run("BiCut", Box::<BiCut>::default());
     run("Chunking", Box::new(Chunking));
-    for s in [Strategy::Random, Strategy::Grid, Strategy::Oblivious, Strategy::Hdrf, Strategy::Hybrid, Strategy::TwoD] {
+    for s in [
+        Strategy::Random,
+        Strategy::Grid,
+        Strategy::Oblivious,
+        Strategy::Hdrf,
+        Strategy::Hybrid,
+        Strategy::TwoD,
+    ] {
         run(s.label(), s.build());
     }
     vec![t]

@@ -9,8 +9,12 @@ use gp_partition::Strategy;
 
 /// The four PowerGraph strategies the paper evaluates (PDS is excluded for
 /// machine-count reasons, §5.2.3).
-pub const PG_STRATEGIES: [Strategy; 4] =
-    [Strategy::Random, Strategy::Hdrf, Strategy::Oblivious, Strategy::Grid];
+pub const PG_STRATEGIES: [Strategy; 4] = [
+    Strategy::Random,
+    Strategy::Hdrf,
+    Strategy::Oblivious,
+    Strategy::Grid,
+];
 
 /// Shared driver for Figs 5.3–5.5: run the six applications with the four
 /// strategies on UK-web/EC2-25 and tabulate `metric(job)` against RF.
@@ -24,10 +28,7 @@ fn rf_scatter(
 ) -> Vec<Table> {
     let mut pipeline = Pipeline::new(scale, seed);
     let spec = ClusterSpec::ec2_25();
-    let mut t = Table::new(
-        title.to_string(),
-        &["App", "Strategy", "RF", metric_header],
-    );
+    let mut t = Table::new(title.to_string(), &["App", "Strategy", "RF", metric_header]);
     let mut trend = Table::new(
         format!("{title} — per-app linear trend"),
         &["App", "slope", "intercept", "pearson r"],
@@ -158,7 +159,12 @@ pub fn fig5_8(scale: f64, seed: u64) -> Vec<Table> {
     let mut tables = Vec::new();
     let mut summary = Table::new(
         "Fig 5.8 — power-law regression per graph",
-        &["Graph", "slope", "low-degree residual (obs/pred)", "classified"],
+        &[
+            "Graph",
+            "slope",
+            "low-degree residual (obs/pred)",
+            "classified",
+        ],
     );
     for dataset in [Dataset::LiveJournal, Dataset::Twitter, Dataset::UkWeb] {
         let g = dataset.generate(scale, seed);
@@ -212,7 +218,10 @@ pub fn table5_1(scale: f64, seed: u64) -> Vec<Table> {
             strategy,
             &spec,
             EngineKind::PowerGraph,
-            App::KCore { k_min: 10, k_max: 20 },
+            App::KCore {
+                k_min: 10,
+                k_max: 20,
+            },
         );
         t.row(vec![
             strategy.label().to_string(),

@@ -45,7 +45,10 @@ fn rf_scatter_with_hybrid_deviation(
         let jobs: Vec<(Strategy, crate::pipeline::JobResult)> = PL_STRATEGIES
             .iter()
             .map(|&s| {
-                (s, pipeline.run(Dataset::UkWeb, s, &spec, EngineKind::PowerLyra, app))
+                (
+                    s,
+                    pipeline.run(Dataset::UkWeb, s, &spec, EngineKind::PowerLyra, app),
+                )
             })
             .collect();
         let base_points: Vec<(f64, f64)> = jobs
@@ -57,7 +60,11 @@ fn rf_scatter_with_hybrid_deviation(
         for (s, j) in &jobs {
             let y = metric(j);
             let predicted = intercept + slope * j.replication_factor;
-            let deviation = if predicted.abs() > 1e-12 { y / predicted } else { 1.0 };
+            let deviation = if predicted.abs() > 1e-12 {
+                y / predicted
+            } else {
+                1.0
+            };
             t.row(vec![
                 app.label().to_string(),
                 s.label().to_string(),

@@ -8,8 +8,12 @@ use gp_partition::Strategy;
 
 /// GraphX's native strategies (Table 1.1): Random ("Assym-Rand" here),
 /// Canonical Random, 1D, 2D.
-pub const GX_STRATEGIES: [Strategy; 4] =
-    [Strategy::OneD, Strategy::TwoD, Strategy::Random, Strategy::AsymmetricRandom];
+pub const GX_STRATEGIES: [Strategy; 4] = [
+    Strategy::OneD,
+    Strategy::TwoD,
+    Strategy::Random,
+    Strategy::AsymmetricRandom,
+];
 
 /// GraphX display label: the thesis calls GraphX's `Random`
 /// "Assym-Rand"/"Random" and PowerGraph-style canonical hashing
@@ -66,8 +70,7 @@ pub fn table7_1(scale: f64, seed: u64) -> Vec<Table> {
     let mut pipeline = Pipeline::new(scale, seed);
     let spec = ClusterSpec::local_10();
     let mut headers = vec!["Application"];
-    let dataset_names: Vec<String> =
-        Dataset::GRAPHX_SET.iter().map(|d| d.to_string()).collect();
+    let dataset_names: Vec<String> = Dataset::GRAPHX_SET.iter().map(|d| d.to_string()).collect();
     headers.extend(dataset_names.iter().map(String::as_str));
     let mut t = Table::new(
         "Table 7.1 — Computation time-based rankings for GraphX",
@@ -79,8 +82,7 @@ pub fn table7_1(scale: f64, seed: u64) -> Vec<Table> {
             let mut timed: Vec<(Strategy, f64)> = GX_STRATEGIES
                 .iter()
                 .map(|&s| {
-                    let job =
-                        pipeline.run(dataset, s, &spec, EngineKind::graphx_default(), app);
+                    let job = pipeline.run(dataset, s, &spec, EngineKind::graphx_default(), app);
                     (s, job.compute_seconds)
                 })
                 .collect();

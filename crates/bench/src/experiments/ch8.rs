@@ -1,8 +1,8 @@
 //! Chapter 8 experiments — PowerLyra with all strategies (plus 1D-Target).
 
 use crate::experiments::gb;
-use crate::pipeline::{App, EngineKind, Pipeline};
 use crate::linear_fit;
+use crate::pipeline::{App, EngineKind, Pipeline};
 use gp_cluster::{ClusterSpec, Table};
 use gp_gen::Dataset;
 use gp_partition::Strategy;
@@ -68,13 +68,22 @@ pub fn fig8_3(scale: f64, seed: u64) -> Vec<Table> {
     strategies.push(Strategy::OneDTarget);
     let mut t = Table::new(
         "Fig 8.3 — Incoming network IO vs Replication Factor (Local-9, PowerLyra, Twitter)",
-        &["App", "Strategy", "RF", "Inbound Net I/O (GB/machine)", "vs trend"],
+        &[
+            "App",
+            "Strategy",
+            "RF",
+            "Inbound Net I/O (GB/machine)",
+            "vs trend",
+        ],
     );
     for app in App::paper_set() {
         let jobs: Vec<(Strategy, crate::pipeline::JobResult)> = strategies
             .iter()
             .map(|&s| {
-                (s, pipeline.run(Dataset::Twitter, s, &spec, EngineKind::PowerLyra, app))
+                (
+                    s,
+                    pipeline.run(Dataset::Twitter, s, &spec, EngineKind::PowerLyra, app),
+                )
             })
             .collect();
         // Interpolate over ALL points (linear curve-fit), as the paper does
@@ -110,13 +119,27 @@ pub fn fig8_4(scale: f64, seed: u64) -> Vec<Table> {
     let mut pipeline = Pipeline::new(scale, seed);
     let spec = ClusterSpec::local_9();
     let mut tables = Vec::new();
-    for app in [App::PageRankConv, App::KCore { k_min: 10, k_max: 20 }] {
+    for app in [
+        App::PageRankConv,
+        App::KCore {
+            k_min: 10,
+            k_max: 20,
+        },
+    ] {
         let mut t = Table::new(
             format!(
                 "Fig 8.4 — CPU utilization vs Compute time, {} (Local-9, UK-Web, PowerLyra-All)",
                 app.label()
             ),
-            &["Strategy", "Compute time (s)", "CPU min", "q25", "median", "q75", "max"],
+            &[
+                "Strategy",
+                "Compute time (s)",
+                "CPU min",
+                "q25",
+                "median",
+                "q75",
+                "max",
+            ],
         );
         for strategy in Strategy::POWERLYRA_ALL {
             let job = pipeline.run(Dataset::UkWeb, strategy, &spec, EngineKind::PowerLyra, app);

@@ -47,7 +47,10 @@ fn per_iteration(scale: f64, seed: u64, dataset: Dataset, fig: &str) -> Vec<Tabl
                 let cell = if idx == 0 || job.cumulative_seconds.is_empty() {
                     "-".to_string()
                 } else {
-                    format!("{:.1}", job.ingress_seconds + job.cumulative_seconds[idx - 1])
+                    format!(
+                        "{:.1}",
+                        job.ingress_seconds + job.cumulative_seconds[idx - 1]
+                    )
                 };
                 row.push(cell);
             }
@@ -96,8 +99,7 @@ pub fn fig9_4(scale: f64, seed: u64) -> Vec<Table> {
     // actual footprint to hit all three placement cases.
     let partitions = EngineKind::graphx_default().partitions(&spec);
     let footprint = {
-        let outcome =
-            pipeline.partition(Dataset::RoadNetCa, Strategy::Random, partitions, 9);
+        let outcome = pipeline.partition(Dataset::RoadNetCa, Strategy::Random, partitions, 9);
         let images: u64 = outcome.assignment.replica_counts().iter().sum();
         let edges: u64 = outcome.assignment.edge_counts().iter().sum();
         edges * 32 + images * 96
@@ -131,9 +133,7 @@ pub fn fig9_4(scale: f64, seed: u64) -> Vec<Table> {
                 gp_engine::PlacementCase::FitsCluster { retries } => {
                     format!("case 2: fits cluster after {retries} co-location retries")
                 }
-                gp_engine::PlacementCase::FitsFew => {
-                    "case 3: fits a few executors".to_string()
-                }
+                gp_engine::PlacementCase::FitsFew => "case 3: fits a few executors".to_string(),
             }
         };
         t.row(vec![

@@ -9,6 +9,7 @@
 //! [`Table`]: gp_cluster::Table
 
 pub mod ablations;
+pub mod ch10;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
@@ -31,42 +32,196 @@ pub struct Experiment {
 /// The complete experiment registry, in paper order.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1-1", title: "Systems and their partitioning strategies", run: ch4::table1_1 },
-        Experiment { id: "table4-1", title: "Cluster specifications", run: ch4::table4_1 },
-        Experiment { id: "table4-2", title: "Graph datasets (paper vs generated analogues)", run: ch4::table4_2 },
-        Experiment { id: "fig5-3", title: "Net I/O vs replication factor (PowerGraph, EC2-25, UK-web)", run: ch5::fig5_3 },
-        Experiment { id: "fig5-4", title: "Computation time vs replication factor (PowerGraph, EC2-25, UK-web)", run: ch5::fig5_4 },
-        Experiment { id: "fig5-5", title: "Peak memory vs replication factor (PowerGraph, EC2-25, UK-web)", run: ch5::fig5_5 },
-        Experiment { id: "fig5-6", title: "Replication factors in PowerGraph", run: ch5::fig5_6 },
-        Experiment { id: "fig5-7", title: "Ingress times in PowerGraph", run: ch5::fig5_7 },
-        Experiment { id: "fig5-8", title: "In-degree distributions of the power-law graphs", run: ch5::fig5_8 },
-        Experiment { id: "table5-1", title: "HDRF vs Grid: ingress/compute/total (UK-web, EC2-25)", run: ch5::table5_1 },
-        Experiment { id: "fig5-9", title: "PowerGraph decision tree", run: ch5::fig5_9 },
-        Experiment { id: "fig6-1", title: "Net I/O vs RF with Hybrid below trend (PowerLyra, EC2-25, UK-web)", run: ch6::fig6_1 },
-        Experiment { id: "fig6-2", title: "Peak memory vs RF with Hybrid above trend (PowerLyra, EC2-25, UK-web)", run: ch6::fig6_2 },
-        Experiment { id: "fig6-3", title: "Memory timeline with ingress-end markers (PowerLyra, UK-web, PageRank)", run: ch6::fig6_3 },
-        Experiment { id: "fig6-4", title: "Ingress times in PowerLyra", run: ch6::fig6_4 },
-        Experiment { id: "fig6-5", title: "Replication factors in PowerLyra", run: ch6::fig6_5 },
-        Experiment { id: "fig6-6", title: "PowerLyra decision tree", run: ch6::fig6_6 },
-        Experiment { id: "fig7-1", title: "GraphX PageRank computation times", run: ch7::fig7_1 },
-        Experiment { id: "table7-1", title: "GraphX computation-time rankings", run: ch7::table7_1 },
-        Experiment { id: "fig8-1", title: "Replication factors, PowerLyra all strategies", run: ch8::fig8_1 },
-        Experiment { id: "fig8-2", title: "Ingress times, PowerLyra all strategies", run: ch8::fig8_2 },
-        Experiment { id: "fig8-3", title: "Net I/O vs RF incl. 1D-Target (PowerLyra-all, Local-9, Twitter)", run: ch8::fig8_3 },
-        Experiment { id: "fig8-4", title: "CPU utilization vs compute time (PowerLyra-all, Local-9, UK-web)", run: ch8::fig8_4 },
-        Experiment { id: "fig9-1", title: "Cumulative per-iteration times (GraphX-all, road-net-CA)", run: ch9::fig9_1 },
-        Experiment { id: "fig9-2", title: "Cumulative per-iteration times (GraphX-all, LiveJournal)", run: ch9::fig9_2 },
-        Experiment { id: "fig9-3", title: "GraphX-all decision tree", run: ch9::fig9_3 },
-        Experiment { id: "fig9-4", title: "Executor memory vs execution time (GraphX-all, road-net-CA)", run: ch9::fig9_4 },
-        Experiment { id: "ablation-hdrf-lambda", title: "HDRF lambda sweep (beyond the paper)", run: ablations::ablation_hdrf_lambda },
-        Experiment { id: "ablation-hybrid-threshold", title: "Hybrid degree-threshold sweep (beyond the paper)", run: ablations::ablation_hybrid_threshold },
-        Experiment { id: "ablation-loaders", title: "Greedy heuristics vs loader count (beyond the paper)", run: ablations::ablation_loaders },
-        Experiment { id: "ablation-engines", title: "Engine effect per strategy (beyond the paper)", run: ablations::ablation_engines },
-        Experiment { id: "ablation-reuse", title: "Partition reuse economics (Section 5.4.3)", run: ablations::ablation_reuse },
-        Experiment { id: "ablation-bipartite", title: "Bipartite graphs: BiCut vs general strategies (beyond the paper)", run: ablations::ablation_bipartite },
-        Experiment { id: "ablation-chunking", title: "Gemini-style chunking vs the paper's strategies (beyond the paper)", run: ablations::ablation_chunking },
-        Experiment { id: "ablation-delta-caching", title: "PowerGraph gather caching on/off (beyond the paper)", run: ablations::ablation_delta_caching },
-        Experiment { id: "ablation-edgecut", title: "Edge-cut vs vertex-cut load balance (Section 3.2 background)", run: ablations::ablation_edge_vs_vertex_cut },
+        Experiment {
+            id: "table1-1",
+            title: "Systems and their partitioning strategies",
+            run: ch4::table1_1,
+        },
+        Experiment {
+            id: "table4-1",
+            title: "Cluster specifications",
+            run: ch4::table4_1,
+        },
+        Experiment {
+            id: "table4-2",
+            title: "Graph datasets (paper vs generated analogues)",
+            run: ch4::table4_2,
+        },
+        Experiment {
+            id: "fig5-3",
+            title: "Net I/O vs replication factor (PowerGraph, EC2-25, UK-web)",
+            run: ch5::fig5_3,
+        },
+        Experiment {
+            id: "fig5-4",
+            title: "Computation time vs replication factor (PowerGraph, EC2-25, UK-web)",
+            run: ch5::fig5_4,
+        },
+        Experiment {
+            id: "fig5-5",
+            title: "Peak memory vs replication factor (PowerGraph, EC2-25, UK-web)",
+            run: ch5::fig5_5,
+        },
+        Experiment {
+            id: "fig5-6",
+            title: "Replication factors in PowerGraph",
+            run: ch5::fig5_6,
+        },
+        Experiment {
+            id: "fig5-7",
+            title: "Ingress times in PowerGraph",
+            run: ch5::fig5_7,
+        },
+        Experiment {
+            id: "fig5-8",
+            title: "In-degree distributions of the power-law graphs",
+            run: ch5::fig5_8,
+        },
+        Experiment {
+            id: "table5-1",
+            title: "HDRF vs Grid: ingress/compute/total (UK-web, EC2-25)",
+            run: ch5::table5_1,
+        },
+        Experiment {
+            id: "fig5-9",
+            title: "PowerGraph decision tree",
+            run: ch5::fig5_9,
+        },
+        Experiment {
+            id: "fig6-1",
+            title: "Net I/O vs RF with Hybrid below trend (PowerLyra, EC2-25, UK-web)",
+            run: ch6::fig6_1,
+        },
+        Experiment {
+            id: "fig6-2",
+            title: "Peak memory vs RF with Hybrid above trend (PowerLyra, EC2-25, UK-web)",
+            run: ch6::fig6_2,
+        },
+        Experiment {
+            id: "fig6-3",
+            title: "Memory timeline with ingress-end markers (PowerLyra, UK-web, PageRank)",
+            run: ch6::fig6_3,
+        },
+        Experiment {
+            id: "fig6-4",
+            title: "Ingress times in PowerLyra",
+            run: ch6::fig6_4,
+        },
+        Experiment {
+            id: "fig6-5",
+            title: "Replication factors in PowerLyra",
+            run: ch6::fig6_5,
+        },
+        Experiment {
+            id: "fig6-6",
+            title: "PowerLyra decision tree",
+            run: ch6::fig6_6,
+        },
+        Experiment {
+            id: "fig7-1",
+            title: "GraphX PageRank computation times",
+            run: ch7::fig7_1,
+        },
+        Experiment {
+            id: "table7-1",
+            title: "GraphX computation-time rankings",
+            run: ch7::table7_1,
+        },
+        Experiment {
+            id: "fig8-1",
+            title: "Replication factors, PowerLyra all strategies",
+            run: ch8::fig8_1,
+        },
+        Experiment {
+            id: "fig8-2",
+            title: "Ingress times, PowerLyra all strategies",
+            run: ch8::fig8_2,
+        },
+        Experiment {
+            id: "fig8-3",
+            title: "Net I/O vs RF incl. 1D-Target (PowerLyra-all, Local-9, Twitter)",
+            run: ch8::fig8_3,
+        },
+        Experiment {
+            id: "fig8-4",
+            title: "CPU utilization vs compute time (PowerLyra-all, Local-9, UK-web)",
+            run: ch8::fig8_4,
+        },
+        Experiment {
+            id: "fig9-1",
+            title: "Cumulative per-iteration times (GraphX-all, road-net-CA)",
+            run: ch9::fig9_1,
+        },
+        Experiment {
+            id: "fig9-2",
+            title: "Cumulative per-iteration times (GraphX-all, LiveJournal)",
+            run: ch9::fig9_2,
+        },
+        Experiment {
+            id: "fig9-3",
+            title: "GraphX-all decision tree",
+            run: ch9::fig9_3,
+        },
+        Experiment {
+            id: "fig9-4",
+            title: "Executor memory vs execution time (GraphX-all, road-net-CA)",
+            run: ch9::fig9_4,
+        },
+        Experiment {
+            id: "ch10-recovery",
+            title: "Single-crash recovery cost by strategy (beyond the paper)",
+            run: ch10::ch10_recovery,
+        },
+        Experiment {
+            id: "ch10-interval",
+            title: "Checkpoint interval sweep + Young's optimum (beyond the paper)",
+            run: ch10::ch10_interval,
+        },
+        Experiment {
+            id: "ablation-hdrf-lambda",
+            title: "HDRF lambda sweep (beyond the paper)",
+            run: ablations::ablation_hdrf_lambda,
+        },
+        Experiment {
+            id: "ablation-hybrid-threshold",
+            title: "Hybrid degree-threshold sweep (beyond the paper)",
+            run: ablations::ablation_hybrid_threshold,
+        },
+        Experiment {
+            id: "ablation-loaders",
+            title: "Greedy heuristics vs loader count (beyond the paper)",
+            run: ablations::ablation_loaders,
+        },
+        Experiment {
+            id: "ablation-engines",
+            title: "Engine effect per strategy (beyond the paper)",
+            run: ablations::ablation_engines,
+        },
+        Experiment {
+            id: "ablation-reuse",
+            title: "Partition reuse economics (Section 5.4.3)",
+            run: ablations::ablation_reuse,
+        },
+        Experiment {
+            id: "ablation-bipartite",
+            title: "Bipartite graphs: BiCut vs general strategies (beyond the paper)",
+            run: ablations::ablation_bipartite,
+        },
+        Experiment {
+            id: "ablation-chunking",
+            title: "Gemini-style chunking vs the paper's strategies (beyond the paper)",
+            run: ablations::ablation_chunking,
+        },
+        Experiment {
+            id: "ablation-delta-caching",
+            title: "PowerGraph gather caching on/off (beyond the paper)",
+            run: ablations::ablation_delta_caching,
+        },
+        Experiment {
+            id: "ablation-edgecut",
+            title: "Edge-cut vs vertex-cut load balance (Section 3.2 background)",
+            run: ablations::ablation_edge_vs_vertex_cut,
+        },
     ]
 }
 
@@ -103,7 +258,7 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         // 3 front-matter tables + 8 ch5 + 6 ch6 + 2 ch7 + 4 ch8 + 4 ch9
-        // + 9 ablations.
-        assert_eq!(registry().len(), 36);
+        // + 2 ch10 + 9 ablations.
+        assert_eq!(registry().len(), 38);
     }
 }

@@ -8,6 +8,7 @@ use gp_engine::{
     base_memory_per_machine, AsyncGas, ComputeReport, EngineConfig, HybridGas, Pregel,
     PregelConfig, SyncGas,
 };
+use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_gen::Dataset;
 use gp_partition::{IngressReport, PartitionContext, PartitionOutcome, Strategy};
 use std::collections::HashMap;
@@ -32,15 +33,19 @@ impl EngineKind {
     /// GraphX with the paper's defaults: 16 partitions/machine, 8 GiB
     /// executors.
     pub fn graphx_default() -> Self {
-        EngineKind::GraphX { partitions_per_machine: 16, executor_memory_bytes: 8 << 30 }
+        EngineKind::GraphX {
+            partitions_per_machine: 16,
+            executor_memory_bytes: 8 << 30,
+        }
     }
 
     /// Partition count for a cluster under this engine.
     pub fn partitions(&self, spec: &ClusterSpec) -> u32 {
         match self {
-            EngineKind::GraphX { partitions_per_machine, .. } => {
-                spec.machines * partitions_per_machine
-            }
+            EngineKind::GraphX {
+                partitions_per_machine,
+                ..
+            } => spec.machines * partitions_per_machine,
             _ => spec.machines,
         }
     }
@@ -76,7 +81,10 @@ impl App {
     /// The six-application set of the PowerGraph/PowerLyra figures.
     pub fn paper_set() -> [App; 6] {
         [
-            App::KCore { k_min: 10, k_max: 20 },
+            App::KCore {
+                k_min: 10,
+                k_max: 20,
+            },
             App::Coloring,
             App::PageRankFixed(10),
             App::Wcc,
@@ -130,6 +138,12 @@ pub struct JobResult {
     pub cpu_percents: Vec<f64>,
     /// Cumulative wall time at the end of each superstep (Figs 9.1/9.2).
     pub cumulative_seconds: Vec<f64>,
+    /// Bytes written by checkpointing across the job (ch10).
+    pub checkpoint_bytes: f64,
+    /// Time spent re-fetching lost partitions after crashes (ch10).
+    pub recovery_seconds: f64,
+    /// Supersteps re-executed after rollbacks (ch10).
+    pub supersteps_replayed: u32,
     /// True if the job failed (GraphX OOM, §7.3/§9.2.4).
     pub failed: bool,
 }
@@ -156,14 +170,21 @@ pub struct Pipeline {
 impl Pipeline {
     /// New pipeline at the given dataset scale.
     pub fn new(scale: f64, seed: u64) -> Self {
-        Pipeline { scale, seed, graphs: HashMap::new(), partitions: HashMap::new() }
+        Pipeline {
+            scale,
+            seed,
+            graphs: HashMap::new(),
+            partitions: HashMap::new(),
+        }
     }
 
     /// The generated analogue for a dataset (cached).
     pub fn graph(&mut self, dataset: Dataset) -> &EdgeList {
         let scale = self.scale;
         let seed = self.seed;
-        self.graphs.entry(dataset).or_insert_with(|| dataset.generate(scale, seed))
+        self.graphs
+            .entry(dataset)
+            .or_insert_with(|| dataset.generate(scale, seed))
     }
 
     /// Partition a dataset with a strategy into `partitions` parts, with
@@ -179,8 +200,10 @@ impl Pipeline {
         let scale = self.scale;
         let key = (dataset, strategy, partitions, loaders);
         if !self.partitions.contains_key(&key) {
-            let graph =
-                self.graphs.entry(dataset).or_insert_with(|| dataset.generate(scale, seed));
+            let graph = self
+                .graphs
+                .entry(dataset)
+                .or_insert_with(|| dataset.generate(scale, seed));
             let ctx = PartitionContext::new(partitions)
                 .with_seed(seed)
                 .with_loaders(loaders);
@@ -206,7 +229,7 @@ impl Pipeline {
         (report, seconds)
     }
 
-    /// Run the full pipeline for one job.
+    /// Run the full pipeline for one job (fault-free, no checkpointing).
     pub fn run(
         &mut self,
         dataset: Dataset,
@@ -215,13 +238,39 @@ impl Pipeline {
         engine: EngineKind,
         app: App,
     ) -> JobResult {
+        self.run_with_faults(
+            dataset,
+            strategy,
+            spec,
+            engine,
+            app,
+            FaultPlan::none(),
+            CheckpointPolicy::disabled(),
+        )
+    }
+
+    /// Run one job under a fault plan and checkpoint policy (ch10). With an
+    /// empty plan and checkpointing disabled this is exactly [`Pipeline::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_faults(
+        &mut self,
+        dataset: Dataset,
+        strategy: Strategy,
+        spec: &ClusterSpec,
+        engine: EngineKind,
+        app: App,
+        fault_plan: FaultPlan,
+        checkpoint: CheckpointPolicy,
+    ) -> JobResult {
         let (ingress_report, ingress_seconds) = self.ingress(dataset, strategy, spec, engine);
         let partitions = engine.partitions(spec);
         let outcome = &self.partitions[&(dataset, strategy, partitions, spec.machines)];
         let assignment = &outcome.assignment;
         let state_bytes = outcome.state_bytes;
         let graph = &self.graphs[&dataset];
-        let config = EngineConfig::new(spec.clone());
+        let config = EngineConfig::new(spec.clone())
+            .with_fault_plan(fault_plan)
+            .with_checkpoint(checkpoint);
 
         let reports: Vec<ComputeReport> = match (engine, app) {
             (EngineKind::PowerGraph, App::Coloring) | (EngineKind::PowerLyra, App::Coloring) => {
@@ -236,9 +285,15 @@ impl Pipeline {
                 let e = HybridGas::new(config.clone());
                 run_app_hybrid(&e, graph, assignment, app)
             }
-            (EngineKind::GraphX { executor_memory_bytes, .. }, _) => {
-                let pcfg = PregelConfig::new(config.clone())
-                    .with_executor_memory(executor_memory_bytes);
+            (
+                EngineKind::GraphX {
+                    executor_memory_bytes,
+                    ..
+                },
+                _,
+            ) => {
+                let pcfg =
+                    PregelConfig::new(config.clone()).with_executor_memory(executor_memory_bytes);
                 let e = Pregel::new(pcfg);
                 match run_app_pregel(&e, graph, assignment, app) {
                     Ok(reports) => reports,
@@ -254,6 +309,9 @@ impl Pipeline {
                             supersteps: 0,
                             cpu_percents: Vec::new(),
                             cumulative_seconds: Vec::new(),
+                            checkpoint_bytes: 0.0,
+                            recovery_seconds: 0.0,
+                            supersteps_replayed: 0,
                             failed: true,
                         }
                     }
@@ -261,7 +319,9 @@ impl Pipeline {
             }
         };
 
-        let compute_seconds: f64 = reports.iter().map(|r| r.compute_seconds()).sum();
+        // Wall clock per report: superstep walls plus any recovery transfer
+        // time — identical to `compute_seconds()` in fault-free runs.
+        let compute_seconds: f64 = reports.iter().map(|r| r.wall_clock_seconds()).sum();
         let mean_net: f64 = reports.iter().map(|r| r.mean_machine_in_bytes()).sum();
         let supersteps: u32 = reports.iter().map(|r| r.supersteps()).sum();
         let mut cumulative = Vec::new();
@@ -278,7 +338,7 @@ impl Pipeline {
         let machines = spec.machines as usize;
         let mut cpu = vec![0.0f64; machines];
         for r in &reports {
-            let w = r.compute_seconds() / compute_seconds.max(1e-12);
+            let w = r.wall_clock_seconds() / compute_seconds.max(1e-12);
             for (m, &p) in r.machine_cpu_percent(&config).iter().enumerate() {
                 cpu[m] += w * p;
             }
@@ -291,8 +351,7 @@ impl Pipeline {
             .flat_map(|r| r.steps.iter())
             .map(|s| s.machine_in_bytes.iter().copied().fold(0.0, f64::max))
             .fold(0.0, f64::max);
-        let peak_memory =
-            base.iter().copied().fold(0.0, f64::max) + peak_buffer;
+        let peak_memory = base.iter().copied().fold(0.0, f64::max) + peak_buffer;
 
         JobResult {
             strategy,
@@ -305,6 +364,9 @@ impl Pipeline {
             supersteps,
             cpu_percents: cpu,
             cumulative_seconds: cumulative,
+            checkpoint_bytes: reports.iter().map(|r| r.checkpoint_bytes).sum(),
+            recovery_seconds: reports.iter().map(|r| r.recovery_seconds).sum(),
+            supersteps_replayed: reports.iter().map(|r| r.supersteps_replayed).sum(),
             failed: false,
         }
     }
@@ -324,9 +386,7 @@ fn run_app_sync(
             let prog = sssp_prog(g, undirected);
             vec![e.run(g, a, &prog).1]
         }
-        App::KCore { k_min, k_max } => {
-            gp_apps::kcore::decompose(e, g, a, k_min, k_max).reports
-        }
+        App::KCore { k_min, k_max } => gp_apps::kcore::decompose(e, g, a, k_min, k_max).reports,
         App::Coloring => unreachable!("coloring runs on the async engine"),
     }
 }
@@ -407,8 +467,18 @@ mod tests {
         let e2 = p.graph(Dataset::RoadNetCa).num_edges();
         assert_eq!(e1, e2);
         let spec = ClusterSpec::local_9();
-        let (r1, _) = p.ingress(Dataset::RoadNetCa, Strategy::Random, &spec, EngineKind::PowerGraph);
-        let (r2, _) = p.ingress(Dataset::RoadNetCa, Strategy::Random, &spec, EngineKind::PowerGraph);
+        let (r1, _) = p.ingress(
+            Dataset::RoadNetCa,
+            Strategy::Random,
+            &spec,
+            EngineKind::PowerGraph,
+        );
+        let (r2, _) = p.ingress(
+            Dataset::RoadNetCa,
+            Strategy::Random,
+            &spec,
+            EngineKind::PowerGraph,
+        );
         assert_eq!(r1.replication_factor, r2.replication_factor);
     }
 
@@ -476,7 +546,10 @@ mod tests {
             },
             App::PageRankFixed(3),
         );
-        assert!(r.failed, "tiny executors must OOM like Twitter on GraphX (§7.3)");
+        assert!(
+            r.failed,
+            "tiny executors must OOM like Twitter on GraphX (§7.3)"
+        );
     }
 
     #[test]
@@ -484,6 +557,65 @@ mod tests {
         let spec = ClusterSpec::local_10();
         assert_eq!(EngineKind::PowerGraph.partitions(&spec), 10);
         assert_eq!(EngineKind::graphx_default().partitions(&spec), 160);
+    }
+
+    #[test]
+    fn fault_free_run_with_faults_matches_run() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let args = (
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(5),
+        );
+        let clean = p.run(args.0, args.1, &spec, args.2, args.3);
+        let faultless = p.run_with_faults(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::none(),
+            CheckpointPolicy::disabled(),
+        );
+        assert_eq!(clean.compute_seconds, faultless.compute_seconds);
+        assert_eq!(clean.mean_net_in_bytes, faultless.mean_net_in_bytes);
+        assert_eq!(faultless.checkpoint_bytes, 0.0);
+        assert_eq!(faultless.recovery_seconds, 0.0);
+        assert_eq!(faultless.supersteps_replayed, 0);
+    }
+
+    #[test]
+    fn crashed_job_pays_recovery_and_replay() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let args = (
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(5),
+        );
+        let clean = p.run(args.0, args.1, &spec, args.2, args.3);
+        let crashed = p.run_with_faults(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::crash_at(3, 2),
+            CheckpointPolicy::every(2),
+        );
+        assert!(crashed.supersteps_replayed > 0, "a crash must force replay");
+        assert!(
+            crashed.recovery_seconds > 0.0,
+            "re-fetching partitions takes time"
+        );
+        assert!(crashed.checkpoint_bytes > 0.0, "checkpoints were written");
+        assert!(
+            crashed.compute_seconds > clean.compute_seconds,
+            "faults can only slow the job down"
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!     --compute-ingress 2.0 [--natural]
 //! distgraph run <graph.txt> --app pagerank --strategy grid --parts 9 \
 //!     [--system powergraph] [--partition-file parts.txt]
+//! distgraph fault <dataset> --strategies random,hybrid --cluster ec2-16 \
+//!     --crash-at 10 --machine 0 --interval 4 [--async]
 //! ```
 //!
 //! Commands parse into [`Command`], execute against a writer, and return an
@@ -22,6 +24,7 @@ use gp_cluster::{ClusterSpec, CostRates, Table};
 use gp_core::io::read_edge_list;
 use gp_core::{EdgeList, GraphStats};
 use gp_engine::{EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
+use gp_fault::{recovery_cost, CheckpointPolicy, FaultPlan};
 use gp_gen::{classify, Dataset, DegreeAnalysis};
 use gp_partition::{IngressReport, PartitionContext, Strategy};
 use std::io::Write;
@@ -34,7 +37,12 @@ pub enum Command {
     /// Print just the degree class.
     Classify { path: String },
     /// Generate a dataset analogue.
-    Generate { dataset: Dataset, scale: f64, seed: u64, out: Option<String> },
+    Generate {
+        dataset: Dataset,
+        scale: f64,
+        seed: u64,
+        out: Option<String>,
+    },
     /// Partition a graph and report quality; optionally save the assignment.
     Partition {
         path: String,
@@ -61,8 +69,61 @@ pub enum Command {
         system: SystemChoice,
         partition_file: Option<String>,
     },
+    /// Crash a machine mid-job and compare recovery cost across strategies.
+    Fault {
+        dataset: Dataset,
+        scale: f64,
+        seed: u64,
+        cluster: ClusterChoice,
+        crash_at: u32,
+        machine: u32,
+        interval: u32,
+        asynchronous: bool,
+        steps: u32,
+        strategies: Vec<Strategy>,
+    },
     /// Print usage.
     Help,
+}
+
+/// Which simulated cluster the `fault` command runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterChoice {
+    /// Local-9 (9 machines).
+    Local9,
+    /// Local-10 (10 machines).
+    Local10,
+    /// EC2-16 (16 machines).
+    Ec2x16,
+    /// EC2-25 (25 machines).
+    Ec2x25,
+}
+
+impl ClusterChoice {
+    /// The full cluster specification.
+    pub fn spec(self) -> ClusterSpec {
+        match self {
+            ClusterChoice::Local9 => ClusterSpec::local_9(),
+            ClusterChoice::Local10 => ClusterSpec::local_10(),
+            ClusterChoice::Ec2x16 => ClusterSpec::ec2_16(),
+            ClusterChoice::Ec2x25 => ClusterSpec::ec2_25(),
+        }
+    }
+}
+
+impl std::str::FromStr for ClusterChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "local-9" | "local9" => Ok(ClusterChoice::Local9),
+            "local-10" | "local10" => Ok(ClusterChoice::Local10),
+            "ec2-16" | "ec216" => Ok(ClusterChoice::Ec2x16),
+            "ec2-25" | "ec225" => Ok(ClusterChoice::Ec2x25),
+            other => Err(format!(
+                "unknown cluster {other:?} (local-9|local-10|ec2-16|ec2-25)"
+            )),
+        }
+    }
 }
 
 /// Which system's tree/engine to use.
@@ -83,7 +144,9 @@ impl std::str::FromStr for SystemChoice {
             "powergraph" | "pg" => Ok(SystemChoice::PowerGraph),
             "powerlyra" | "pl" => Ok(SystemChoice::PowerLyra),
             "graphx" | "gx" => Ok(SystemChoice::GraphX),
-            other => Err(format!("unknown system {other:?} (powergraph|powerlyra|graphx)")),
+            other => Err(format!(
+                "unknown system {other:?} (powergraph|powerlyra|graphx)"
+            )),
         }
     }
 }
@@ -135,7 +198,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "natural" | "help");
+            let takes_value = !matches!(name, "natural" | "help" | "async");
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -165,11 +228,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
     }
     let flag = |name: &str| -> Option<&String> {
-        flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_ref())
+        flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_ref())
     };
     let has = |name: &str| flags.iter().any(|(n, _)| n == name);
     let need_path = || -> Result<String, String> {
-        positional.first().cloned().ok_or_else(|| "missing <graph> path".to_string())
+        positional
+            .first()
+            .cloned()
+            .ok_or_else(|| "missing <graph> path".to_string())
     };
     let parse_flag = |name: &str, default: f64| -> Result<f64, String> {
         flag(name)
@@ -224,11 +293,41 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }),
         "recommend" => Ok(Command::Recommend {
             path: need_path()?,
-            system: flag("system").map(|s| s.parse()).unwrap_or(Ok(SystemChoice::PowerGraph))?,
+            system: flag("system")
+                .map(|s| s.parse())
+                .unwrap_or(Ok(SystemChoice::PowerGraph))?,
             machines: parse_count("machines", 9)?,
             compute_ingress: parse_flag("compute-ingress", 1.0)?,
             natural: has("natural"),
         }),
+        "fault" => {
+            let dataset = parse_dataset(&need_path()?)?;
+            let strategies = flag("strategies")
+                .map(|s| s.as_str())
+                .unwrap_or("random,hybrid")
+                .split(',')
+                .map(|s| s.trim().parse::<Strategy>())
+                .collect::<Result<Vec<_>, _>>()?;
+            if strategies.is_empty() {
+                return Err("--strategies needs at least one strategy".to_string());
+            }
+            Ok(Command::Fault {
+                dataset,
+                scale: parse_scale()?,
+                seed: parse_u("seed", 42)?,
+                cluster: flag("cluster")
+                    .map(|s| s.parse())
+                    .unwrap_or(Ok(ClusterChoice::Ec2x16))?,
+                crash_at: parse_count("crash-at", 10)?,
+                machine: u32::try_from(parse_u("machine", 0)?)
+                    .map_err(|_| "--machine out of range".to_string())?,
+                interval: u32::try_from(parse_u("interval", 4)?)
+                    .map_err(|_| "--interval out of range".to_string())?,
+                asynchronous: has("async"),
+                steps: parse_count("steps", 20)?,
+                strategies,
+            })
+        }
         "run" => Ok(Command::Run {
             path: need_path()?,
             app: flag("app").ok_or("missing --app")?.parse()?,
@@ -237,7 +336,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .parse::<Strategy>()?,
             parts: parse_count("parts", 9)?,
             seed: parse_u("seed", 42)?,
-            system: flag("system").map(|s| s.parse()).unwrap_or(Ok(SystemChoice::PowerGraph))?,
+            system: flag("system")
+                .map(|s| s.parse())
+                .unwrap_or(Ok(SystemChoice::PowerGraph))?,
             partition_file: flag("partition-file").cloned(),
         }),
         other => Err(format!("unknown command {other:?} (try `distgraph help`)")),
@@ -257,11 +358,19 @@ USAGE:
                       [--machines N] [--compute-ingress R] [--natural]
   distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
                 [--parts N] [--system ...] [--partition-file parts.txt]
+  distgraph fault <dataset> [--strategies random,hybrid] [--cluster ec2-16]
+                  [--crash-at 10] [--machine 0] [--interval 4] [--async]
+                  [--steps 20] [--scale S] [--seed N]
 
 Graphs are plain-text edge lists (one `src dst` pair per line, # comments).
 Strategies: Random, Assym-Rand, Grid, PDS, Oblivious, HDRF, 1D, 1D-Target,
 2D, Hybrid, H-Ginger.
 Datasets: road-net-CA, road-net-USA, LiveJournal, Enwiki-2013, Twitter, UK-web.
+Clusters: local-9, local-10, ec2-16, ec2-25.
+
+`fault` crashes one machine mid-PageRank, rolls back to the last checkpoint,
+and compares recovery cost (refetch traffic, replayed supersteps, wall-clock
+overhead) across partitioning strategies.
 "
 }
 
@@ -299,7 +408,12 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             writeln!(out, "{}", classify(&loaded.graph))?;
             Ok(0)
         }
-        Command::Generate { dataset, scale, seed, out: dest } => {
+        Command::Generate {
+            dataset,
+            scale,
+            seed,
+            out: dest,
+        } => {
             let g = dataset.generate(*scale, *seed);
             writeln!(
                 out,
@@ -310,16 +424,20 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             )?;
             if let Some(dest) = dest {
                 let file = std::fs::File::create(dest)?;
-                if let Err(e) =
-                    gp_core::io::write_edge_list(&g, std::io::BufWriter::new(file))
-                {
+                if let Err(e) = gp_core::io::write_edge_list(&g, std::io::BufWriter::new(file)) {
                     return fail(out, &format!("cannot write {dest}: {e}"));
                 }
                 writeln!(out, "wrote {dest}")?;
             }
             Ok(0)
         }
-        Command::Partition { path, strategy, parts, seed, out: dest } => {
+        Command::Partition {
+            path,
+            strategy,
+            parts,
+            seed,
+            out: dest,
+        } => {
             let loaded = match read_edge_list(path) {
                 Ok(l) => l,
                 Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
@@ -332,15 +450,23 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             }
             let ctx = PartitionContext::new(*parts).with_seed(*seed);
             let outcome = strategy.build().partition(&loaded.graph, &ctx);
-            let report =
-                IngressReport::from_outcome(strategy.label(), &outcome, *parts);
+            let report = IngressReport::from_outcome(strategy.label(), &outcome, *parts);
             let mut t = Table::new(
                 format!("{} over {parts} partitions", strategy.label()),
                 &["metric", "value"],
             );
-            t.row(vec!["replication factor".into(), format!("{:.3}", report.replication_factor)]);
-            t.row(vec!["edge imbalance (max/mean)".into(), format!("{:.3}", report.edge_imbalance)]);
-            t.row(vec!["mirrors created".into(), report.volumes.mirrors_created.to_string()]);
+            t.row(vec![
+                "replication factor".into(),
+                format!("{:.3}", report.replication_factor),
+            ]);
+            t.row(vec![
+                "edge imbalance (max/mean)".into(),
+                format!("{:.3}", report.edge_imbalance),
+            ]);
+            t.row(vec![
+                "mirrors created".into(),
+                report.volumes.mirrors_created.to_string(),
+            ]);
             t.row(vec!["ingress passes".into(), report.passes.to_string()]);
             writeln!(out, "{t}")?;
             if let Some(dest) = dest {
@@ -351,7 +477,13 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             }
             Ok(0)
         }
-        Command::Recommend { path, system, machines, compute_ingress, natural } => {
+        Command::Recommend {
+            path,
+            system,
+            machines,
+            compute_ingress,
+            natural,
+        } => {
             let loaded = match read_edge_list(path) {
                 Ok(l) => l,
                 Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
@@ -372,12 +504,24 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             writeln!(
                 out,
                 "recommended: {}",
-                rec.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join(" or ")
+                rec.strategies
+                    .iter()
+                    .map(|s| s.label())
+                    .collect::<Vec<_>>()
+                    .join(" or ")
             )?;
             writeln!(out, "decision path: {}", rec.path.join(" -> "))?;
             Ok(0)
         }
-        Command::Run { path, app, strategy, parts, seed, system, partition_file } => {
+        Command::Run {
+            path,
+            app,
+            strategy,
+            parts,
+            seed,
+            system,
+            partition_file,
+        } => {
             let loaded = match read_edge_list(path) {
                 Ok(l) => l,
                 Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
@@ -410,7 +554,104 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                 report.compute_seconds(),
                 gp_cluster::table::fmt_bytes(report.total_in_bytes())
             )?;
-            let _ = CostRates::default();
+            Ok(0)
+        }
+        Command::Fault {
+            dataset,
+            scale,
+            seed,
+            cluster,
+            crash_at,
+            machine,
+            interval,
+            asynchronous,
+            steps,
+            strategies,
+        } => {
+            let spec = cluster.spec();
+            if *machine >= spec.machines {
+                return fail(
+                    out,
+                    &format!(
+                        "--machine {machine} out of range: {} has {} machines",
+                        spec.name, spec.machines
+                    ),
+                );
+            }
+            let policy = match (*interval, *asynchronous) {
+                (0, _) => CheckpointPolicy::disabled(),
+                (k, false) => CheckpointPolicy::every(k),
+                (k, true) => CheckpointPolicy::every(k).asynchronous(),
+            };
+            let graph = dataset.generate(*scale, *seed);
+            writeln!(
+                out,
+                "{dataset} analogue (scale {scale}, seed {seed}): {} vertices, {} edges",
+                graph.num_vertices(),
+                graph.num_edges()
+            )?;
+            let rates = CostRates::default();
+            let ckpt_label = match (*interval, *asynchronous) {
+                (0, _) => "off".to_string(),
+                (k, false) => format!("every {k} (sync)"),
+                (k, true) => format!("every {k} (async)"),
+            };
+            let mut t = Table::new(
+                format!(
+                    "Machine {machine} crashes at superstep {crash_at} on {} \
+                     (PageRank({steps}), checkpoint {ckpt_label})",
+                    spec.name
+                ),
+                &[
+                    "Strategy",
+                    "RF",
+                    "Refetch",
+                    "Recovery (s)",
+                    "Replayed",
+                    "Clean (s)",
+                    "Faulted (s)",
+                    "Overhead",
+                ],
+            );
+            for strategy in strategies {
+                if !strategy.supports_partition_count(spec.machines) {
+                    return fail(
+                        out,
+                        &format!(
+                            "{} cannot run on {} partitions",
+                            strategy.label(),
+                            spec.machines
+                        ),
+                    );
+                }
+                let ctx = PartitionContext::new(spec.machines).with_seed(*seed);
+                let assignment = strategy.build().partition(&graph, &ctx).assignment;
+                let rc = recovery_cost(&assignment, *machine, &spec, &rates);
+                let program = PageRank::fixed(*steps);
+                let (_, clean) = SyncGas::new(EngineConfig::new(spec.clone())).run(
+                    &graph,
+                    &assignment,
+                    &program,
+                );
+                let faulted_config = EngineConfig::new(spec.clone())
+                    .with_fault_plan(FaultPlan::crash_at(*crash_at, *machine))
+                    .with_checkpoint(policy);
+                let (_, faulted) = SyncGas::new(faulted_config).run(&graph, &assignment, &program);
+                t.row(vec![
+                    strategy.label().to_string(),
+                    format!("{:.2}", assignment.replication_factor()),
+                    gp_cluster::table::fmt_bytes(rc.refetch_bytes),
+                    format!("{:.2}", faulted.recovery_seconds),
+                    faulted.supersteps_replayed.to_string(),
+                    format!("{:.1}", clean.wall_clock_seconds()),
+                    format!("{:.1}", faulted.wall_clock_seconds()),
+                    format!(
+                        "{:.2}x",
+                        faulted.wall_clock_seconds() / clean.wall_clock_seconds().max(1e-12)
+                    ),
+                ]);
+            }
+            writeln!(out, "{t}")?;
             Ok(0)
         }
     }
@@ -427,12 +668,16 @@ fn run_app(
     macro_rules! dispatch {
         ($prog:expr) => {
             match system {
-                SystemChoice::PowerGraph => {
-                    Some(SyncGas::new(config.clone()).run(graph, assignment, &$prog).1)
-                }
-                SystemChoice::PowerLyra => {
-                    Some(HybridGas::new(config.clone()).run(graph, assignment, &$prog).1)
-                }
+                SystemChoice::PowerGraph => Some(
+                    SyncGas::new(config.clone())
+                        .run(graph, assignment, &$prog)
+                        .1,
+                ),
+                SystemChoice::PowerLyra => Some(
+                    HybridGas::new(config.clone())
+                        .run(graph, assignment, &$prog)
+                        .1,
+                ),
                 SystemChoice::GraphX => Pregel::new(PregelConfig::new(config.clone()))
                     .run(graph, assignment, &$prog)
                     .ok()
@@ -481,17 +726,32 @@ mod tests {
 
     #[test]
     fn parse_stats_and_classify() {
-        assert_eq!(parse_ok(&["stats", "g.txt"]), Command::Stats { path: "g.txt".into() });
+        assert_eq!(
+            parse_ok(&["stats", "g.txt"]),
+            Command::Stats {
+                path: "g.txt".into()
+            }
+        );
         assert_eq!(
             parse_ok(&["classify", "g.txt"]),
-            Command::Classify { path: "g.txt".into() }
+            Command::Classify {
+                path: "g.txt".into()
+            }
         );
     }
 
     #[test]
     fn parse_partition_with_flags() {
         let cmd = parse_ok(&[
-            "partition", "g.txt", "--strategy", "hdrf", "--parts", "16", "--seed", "7", "-o",
+            "partition",
+            "g.txt",
+            "--strategy",
+            "hdrf",
+            "--parts",
+            "16",
+            "--seed",
+            "7",
+            "-o",
             "p.txt",
         ]);
         assert_eq!(
@@ -509,8 +769,15 @@ mod tests {
     #[test]
     fn parse_recommend_flags() {
         let cmd = parse_ok(&[
-            "recommend", "g.txt", "--system", "powerlyra", "--machines", "25",
-            "--compute-ingress", "2.5", "--natural",
+            "recommend",
+            "g.txt",
+            "--system",
+            "powerlyra",
+            "--machines",
+            "25",
+            "--compute-ingress",
+            "2.5",
+            "--natural",
         ]);
         assert_eq!(
             cmd,
@@ -527,8 +794,10 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_command_and_strategy() {
         assert!(parse(&["frobnicate".to_string()]).is_err());
-        let args: Vec<String> =
-            ["partition", "g.txt", "--strategy", "nope"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["partition", "g.txt", "--strategy", "nope"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(parse(&args).is_err());
     }
 
@@ -540,11 +809,15 @@ mod tests {
         };
         // A count that would wrap u32 or allocate absurd per-partition state.
         assert!(parse_strs(&[
-            "partition", "g.txt", "--strategy", "grid", "--parts", "5000000000",
+            "partition",
+            "g.txt",
+            "--strategy",
+            "grid",
+            "--parts",
+            "5000000000",
         ])
         .is_err());
-        assert!(parse_strs(&["partition", "g.txt", "--strategy", "grid", "--parts", "0"])
-            .is_err());
+        assert!(parse_strs(&["partition", "g.txt", "--strategy", "grid", "--parts", "0"]).is_err());
         assert!(parse_strs(&["generate", "LiveJournal", "--scale", "0"]).is_err());
         assert!(parse_strs(&["generate", "LiveJournal", "--scale", "-2"]).is_err());
         assert!(parse_strs(&["recommend", "g.txt", "--machines", "0"]).is_err());
@@ -603,8 +876,11 @@ mod tests {
     #[test]
     fn run_works_on_all_three_systems() {
         let path = temp_graph_named("run");
-        for system in [SystemChoice::PowerGraph, SystemChoice::PowerLyra, SystemChoice::GraphX]
-        {
+        for system in [
+            SystemChoice::PowerGraph,
+            SystemChoice::PowerLyra,
+            SystemChoice::GraphX,
+        ] {
             let (code, text) = run_to_string(&Command::Run {
                 path: path.clone(),
                 app: AppChoice::PageRank,
@@ -621,11 +897,9 @@ mod tests {
 
     #[test]
     fn generate_writes_a_loadable_file() {
-        let dest = std::env::temp_dir()
-            .join("distgraph-cli-test")
-            .join("gen.txt")
-            .to_string_lossy()
-            .to_string();
+        let dir = std::env::temp_dir().join("distgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dest = dir.join("gen.txt").to_string_lossy().to_string();
         let (code, text) = run_to_string(&Command::Generate {
             dataset: Dataset::RoadNetCa,
             scale: 0.05,
@@ -653,9 +927,119 @@ mod tests {
     }
 
     #[test]
+    fn parse_fault_defaults_and_flags() {
+        let cmd = parse_ok(&["fault", "LiveJournal"]);
+        assert_eq!(
+            cmd,
+            Command::Fault {
+                dataset: Dataset::LiveJournal,
+                scale: 1.0,
+                seed: 42,
+                cluster: ClusterChoice::Ec2x16,
+                crash_at: 10,
+                machine: 0,
+                interval: 4,
+                asynchronous: false,
+                steps: 20,
+                strategies: vec![Strategy::Random, Strategy::Hybrid],
+            }
+        );
+        let cmd = parse_ok(&[
+            "fault",
+            "Twitter",
+            "--strategies",
+            "grid,hdrf,oblivious",
+            "--cluster",
+            "local-9",
+            "--crash-at",
+            "5",
+            "--machine",
+            "3",
+            "--interval",
+            "2",
+            "--async",
+            "--steps",
+            "8",
+            "--scale",
+            "0.2",
+            "--seed",
+            "7",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Fault {
+                dataset: Dataset::Twitter,
+                scale: 0.2,
+                seed: 7,
+                cluster: ClusterChoice::Local9,
+                crash_at: 5,
+                machine: 3,
+                interval: 2,
+                asynchronous: true,
+                steps: 8,
+                strategies: vec![Strategy::Grid, Strategy::Hdrf, Strategy::Oblivious],
+            }
+        );
+        let bad: Vec<String> = ["fault", "Twitter", "--cluster", "ec2-99"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn fault_command_orders_recovery_by_replication_factor() {
+        let (code, text) = run_to_string(&Command::Fault {
+            dataset: Dataset::LiveJournal,
+            scale: 0.02,
+            seed: 11,
+            cluster: ClusterChoice::Local9,
+            crash_at: 3,
+            machine: 2,
+            interval: 2,
+            asynchronous: false,
+            steps: 8,
+            strategies: vec![Strategy::Random, Strategy::Hybrid],
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("crashes at superstep 3"), "{text}");
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("Random") || l.contains("Hybrid"))
+            .collect();
+        assert_eq!(rows.len(), 2, "{text}");
+        // Random replicates more than Hybrid, so it must pay more to recover.
+        // Tokens: strategy, RF, refetch value, refetch unit, recovery seconds.
+        let recovery =
+            |row: &str| -> f64 { row.split_whitespace().nth(4).unwrap().parse().unwrap() };
+        let random = rows.iter().find(|r| r.contains("Random")).unwrap();
+        let hybrid = rows.iter().find(|r| r.contains("Hybrid")).unwrap();
+        assert!(recovery(random) > recovery(hybrid), "{text}");
+    }
+
+    #[test]
+    fn fault_command_rejects_machine_out_of_range() {
+        let (code, text) = run_to_string(&Command::Fault {
+            dataset: Dataset::LiveJournal,
+            scale: 0.02,
+            seed: 1,
+            cluster: ClusterChoice::Local9,
+            crash_at: 1,
+            machine: 9,
+            interval: 0,
+            asynchronous: false,
+            steps: 2,
+            strategies: vec![Strategy::Random],
+        });
+        assert_eq!(code, 2);
+        assert!(text.contains("out of range"), "{text}");
+    }
+
+    #[test]
     fn errors_use_exit_code_two() {
-        let (code, text) =
-            run_to_string(&Command::Classify { path: "/nonexistent/graph.txt".into() });
+        let (code, text) = run_to_string(&Command::Classify {
+            path: "/nonexistent/graph.txt".into(),
+        });
         assert_eq!(code, 2);
         assert!(text.contains("error:"));
     }

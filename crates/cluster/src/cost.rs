@@ -77,9 +77,7 @@ impl MemoryModel {
     /// Bytes a machine needs to host `edges` edges and `images` vertex
     /// images, plus `state_bytes` of strategy-private ingress state.
     pub fn machine_bytes(&self, edges: u64, images: u64, state_bytes: u64) -> u64 {
-        edges * self.rates.edge_store_bytes
-            + images * self.rates.vertex_image_bytes
-            + state_bytes
+        edges * self.rates.edge_store_bytes + images * self.rates.vertex_image_bytes + state_bytes
     }
 
     /// Peak per-machine bytes across the cluster for a partitioned graph,
@@ -96,7 +94,11 @@ impl MemoryModel {
         for (p, (&e, &i)) in edge_counts.iter().zip(image_counts).enumerate() {
             per_machine[p % machines as usize] += self.machine_bytes(e, i, 0);
         }
-        per_machine.iter().map(|&b| b + state_bytes).max().unwrap_or(state_bytes)
+        per_machine
+            .iter()
+            .map(|&b| b + state_bytes)
+            .max()
+            .unwrap_or(state_bytes)
     }
 }
 
@@ -142,9 +144,7 @@ mod tests {
         fast.bandwidth_bytes_per_s *= 2.0;
         let slow = ClusterSpec::local_9();
         let bytes = 1e9;
-        assert!(
-            rates.network_seconds(bytes, &fast) < rates.network_seconds(bytes, &slow)
-        );
+        assert!(rates.network_seconds(bytes, &fast) < rates.network_seconds(bytes, &slow));
     }
 
     #[test]

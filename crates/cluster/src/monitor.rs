@@ -46,8 +46,16 @@ impl Timeline {
     /// The paper's peak-memory metric: max − min over the run, which
     /// subtracts whatever background was resident before the job (§4.3).
     pub fn peak_memory_bytes(&self) -> f64 {
-        let max = self.samples.iter().map(|s| s.memory_bytes).fold(f64::MIN, f64::max);
-        let min = self.samples.iter().map(|s| s.memory_bytes).fold(f64::MAX, f64::min);
+        let max = self
+            .samples
+            .iter()
+            .map(|s| s.memory_bytes)
+            .fold(f64::MIN, f64::max);
+        let min = self
+            .samples
+            .iter()
+            .map(|s| s.memory_bytes)
+            .fold(f64::MAX, f64::min);
         if self.samples.is_empty() {
             0.0
         } else {
@@ -144,7 +152,12 @@ mod tests {
     use super::*;
 
     fn s(t: f64, mem: f64, net: f64, cpu: f64) -> MachineSample {
-        MachineSample { time_s: t, memory_bytes: mem, net_in_bytes: net, cpu_percent: cpu }
+        MachineSample {
+            time_s: t,
+            memory_bytes: mem,
+            net_in_bytes: net,
+            cpu_percent: cpu,
+        }
     }
 
     #[test]
@@ -162,6 +175,67 @@ mod tests {
         assert_eq!(t.peak_memory_bytes(), 0.0);
         assert_eq!(t.mean_cpu_percent(), 0.0);
         assert_eq!(t.cpu_box_stats(), (0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn single_sample_timeline() {
+        let mut t = Timeline::default();
+        t.push(s(2.0, 6.0e9, 120.0, 35.0));
+        // One sample: no delta to take, so peak memory is zero; means and
+        // box stats collapse onto the sample itself.
+        assert_eq!(t.peak_memory_bytes(), 0.0);
+        assert_eq!(t.total_net_in_bytes(), 120.0);
+        assert_eq!(t.mean_cpu_percent(), 35.0);
+        assert_eq!(t.cpu_box_stats(), (35.0, 35.0, 35.0, 35.0, 35.0));
+    }
+
+    #[test]
+    fn box_stats_under_five_samples() {
+        // Two samples: quartiles snap to the nearest sorted sample.
+        let mut t = Timeline::default();
+        t.push(s(0.0, 0.0, 0.0, 40.0));
+        t.push(s(1.0, 0.0, 0.0, 10.0));
+        let (min, q1, med, q3, max) = t.cpu_box_stats();
+        assert_eq!((min, max), (10.0, 40.0));
+        assert!(min <= q1 && q1 <= med && med <= q3 && q3 <= max);
+
+        // Three samples: the median is the middle sample.
+        let mut t = Timeline::default();
+        for (i, cpu) in [80.0, 20.0, 50.0].into_iter().enumerate() {
+            t.push(s(i as f64, 0.0, 0.0, cpu));
+        }
+        let (min, q1, med, q3, max) = t.cpu_box_stats();
+        assert_eq!((min, med, max), (20.0, 50.0, 80.0));
+        assert!(q1 <= med && med <= q3);
+
+        // Four samples: everything stays ordered and within range.
+        let mut t = Timeline::default();
+        for (i, cpu) in [5.0, 25.0, 15.0, 35.0].into_iter().enumerate() {
+            t.push(s(i as f64, 0.0, 0.0, cpu));
+        }
+        let (min, q1, med, q3, max) = t.cpu_box_stats();
+        assert_eq!((min, max), (5.0, 35.0));
+        assert!(min <= q1 && q1 <= med && med <= q3 && q3 <= max);
+    }
+
+    #[test]
+    fn equal_times_are_accepted() {
+        // Two phases can hand off at the same instant; ties are legal.
+        let mut t = Timeline::default();
+        t.push(s(1.0, 1.0e9, 0.0, 10.0));
+        t.push(s(1.0, 2.0e9, 0.0, 20.0));
+        assert_eq!(t.samples().len(), 2);
+        assert_eq!(t.peak_memory_bytes(), 1.0e9);
+    }
+
+    #[test]
+    fn zero_machine_monitor_is_empty() {
+        let m = ResourceMonitor::new(0);
+        assert!(m.timelines().is_empty());
+        assert_eq!(m.mean_peak_memory_bytes(), 0.0);
+        assert_eq!(m.mean_net_in_bytes(), 0.0);
+        // record_uniform on an empty cluster is a no-op, not a panic.
+        m.record_uniform(s(0.0, 1.0, 1.0, 1.0));
     }
 
     #[test]

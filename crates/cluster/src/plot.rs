@@ -20,7 +20,10 @@ pub struct Series {
 impl Series {
     /// New series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -102,8 +105,11 @@ impl Chart {
         let pw = W - ML - MR;
         let ph = H - MT - MB;
 
-        let all: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         let (mut x0, mut x1) = min_max(all.iter().map(|p| p.0));
         let (y0_raw, y1_raw) = min_max(all.iter().map(|p| p.1));
         // Y axis from zero (the paper's bar/scatter style), padded top.
@@ -141,7 +147,11 @@ impl Chart {
             ML + pw,
             MT + ph
         );
-        let _ = write!(svg, r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#, MT + ph);
+        let _ = write!(
+            svg,
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            MT + ph
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
@@ -218,8 +228,10 @@ impl Chart {
                 ChartKind::Line => {
                     let mut pts = s.points.clone();
                     pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                    let path: Vec<String> =
-                        pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+                    let path: Vec<String> = pts
+                        .iter()
+                        .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                        .collect();
                     let _ = write!(
                         svg,
                         r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
@@ -308,8 +320,8 @@ fn least_squares(points: &[(f64, f64)]) -> (f64, f64) {
 
 fn palette(i: usize) -> &'static str {
     const COLORS: [&str; 10] = [
-        "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2",
-        "#7f7f7f", "#bcbd22", "#17becf",
+        "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+        "#bcbd22", "#17becf",
     ];
     COLORS[i % COLORS.len()]
 }
@@ -331,7 +343,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

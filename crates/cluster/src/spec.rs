@@ -40,7 +40,11 @@ impl ClusterSpec {
 
     /// The local 10-machine cluster used for GraphX (§7.3).
     pub fn local_10() -> Self {
-        ClusterSpec { name: "Local-10", machines: 10, ..Self::local_9() }
+        ClusterSpec {
+            name: "Local-10",
+            machines: 10,
+            ..Self::local_9()
+        }
     }
 
     /// EC2 cluster of 16 m4.2xlarge: 32 GB RAM, 8 vCPUs (E5-2676 v3).
@@ -58,7 +62,11 @@ impl ClusterSpec {
 
     /// EC2 cluster of 25 m4.2xlarge — the paper's largest setting.
     pub fn ec2_25() -> Self {
-        ClusterSpec { name: "EC2-25", machines: 25, ..Self::ec2_16() }
+        ClusterSpec {
+            name: "EC2-25",
+            machines: 25,
+            ..Self::ec2_16()
+        }
     }
 
     /// The three clusters used for PowerGraph/PowerLyra (§4.1).

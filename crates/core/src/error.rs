@@ -56,7 +56,10 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_cause() {
-        let e = CoreError::Parse { line: 3, content: "a b c".into() };
+        let e = CoreError::Parse {
+            line: 3,
+            content: "a b c".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = CoreError::InvalidGraph("edge out of range".into());
         assert!(e.to_string().contains("edge out of range"));

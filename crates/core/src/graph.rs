@@ -22,7 +22,10 @@ impl Edge {
     /// Construct an edge.
     #[inline]
     pub fn new(src: impl Into<VertexId>, dst: impl Into<VertexId>) -> Self {
-        Edge { src: src.into(), dst: dst.into() }
+        Edge {
+            src: src.into(),
+            dst: dst.into(),
+        }
     }
 
     /// The edge with endpoints ordered `(min, max)` — the canonical
@@ -32,14 +35,20 @@ impl Edge {
         if self.src.0 <= self.dst.0 {
             self
         } else {
-            Edge { src: self.dst, dst: self.src }
+            Edge {
+                src: self.dst,
+                dst: self.src,
+            }
         }
     }
 
     /// The reversed edge `dst -> src`.
     #[inline]
     pub fn reversed(self) -> Self {
-        Edge { src: self.dst, dst: self.src }
+        Edge {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 
     /// True if both endpoints are the same vertex.
@@ -67,7 +76,10 @@ impl EdgeList {
             .map(|e| e.src.0.max(e.dst.0) + 1)
             .max()
             .unwrap_or(0);
-        EdgeList { edges, num_vertices }
+        EdgeList {
+            edges,
+            num_vertices,
+        }
     }
 
     /// Build from `(src, dst)` integer pairs.
@@ -78,14 +90,19 @@ impl EdgeList {
     /// Build from edges with an explicit vertex count (allows isolated
     /// trailing vertices). Fails if an edge references a vertex `>= n`.
     pub fn with_vertex_count(edges: Vec<Edge>, num_vertices: u64) -> Result<Self> {
-        if let Some(e) = edges.iter().find(|e| e.src.0 >= num_vertices || e.dst.0 >= num_vertices)
+        if let Some(e) = edges
+            .iter()
+            .find(|e| e.src.0 >= num_vertices || e.dst.0 >= num_vertices)
         {
             return Err(CoreError::InvalidGraph(format!(
                 "edge {}->{} references a vertex >= declared count {num_vertices}",
                 e.src, e.dst
             )));
         }
-        Ok(EdgeList { edges, num_vertices })
+        Ok(EdgeList {
+            edges,
+            num_vertices,
+        })
     }
 
     /// Number of edges.

@@ -50,7 +50,11 @@ pub fn hash_directed_edge(src: crate::VertexId, dst: crate::VertexId, seed: u64)
 /// `CanonicalRandomVertexCut` (§7.2.1).
 #[inline]
 pub fn hash_canonical_edge(src: crate::VertexId, dst: crate::VertexId, seed: u64) -> u64 {
-    let (lo, hi) = if src.0 <= dst.0 { (src.0, dst.0) } else { (dst.0, src.0) };
+    let (lo, hi) = if src.0 <= dst.0 {
+        (src.0, dst.0)
+    } else {
+        (dst.0, src.0)
+    };
     let a = hash_u64(lo, seed);
     let b = hash_u64(hi, seed ^ 0xA5A5_A5A5_A5A5_A5A5);
     splitmix64(a.wrapping_mul(3).wrapping_add(b))
@@ -147,7 +151,10 @@ mod tests {
         }
         let expect = (n / buckets) as f64;
         for c in counts {
-            assert!((c as f64 - expect).abs() / expect < 0.10, "bucket count {c} vs {expect}");
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.10,
+                "bucket count {c} vs {expect}"
+            );
         }
     }
 

@@ -46,16 +46,25 @@ pub fn parse_edge_list<R: Read>(reader: R) -> Result<LoadedGraph> {
         }
         let mut fields = trimmed.split_ascii_whitespace();
         let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
-            return Err(CoreError::Parse { line: lineno + 1, content: truncate(trimmed) });
+            return Err(CoreError::Parse {
+                line: lineno + 1,
+                content: truncate(trimmed),
+            });
         };
         let (Ok(src), Ok(dst)) = (a.parse::<u64>(), b.parse::<u64>()) else {
-            return Err(CoreError::Parse { line: lineno + 1, content: truncate(trimmed) });
+            return Err(CoreError::Parse {
+                line: lineno + 1,
+                content: truncate(trimmed),
+            });
         };
         edges.push(Edge::new(intern(src), intern(dst)));
     }
 
     let n = original_ids.len() as u64;
-    Ok(LoadedGraph { graph: EdgeList::with_vertex_count(edges, n)?, original_ids })
+    Ok(LoadedGraph {
+        graph: EdgeList::with_vertex_count(edges, n)?,
+        original_ids,
+    })
 }
 
 /// Read an edge list from a file path.
@@ -79,7 +88,10 @@ pub fn write_edge_list<W: Write>(graph: &EdgeList, mut writer: W) -> Result<()> 
 
 /// Map a dense-id edge back to original external ids.
 pub fn to_original(edge: Edge, original_ids: &[u64]) -> (u64, u64) {
-    (original_ids[edge.src.index()], original_ids[edge.dst.index()])
+    (
+        original_ids[edge.src.index()],
+        original_ids[edge.dst.index()],
+    )
 }
 
 fn truncate(s: &str) -> String {

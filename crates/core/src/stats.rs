@@ -49,7 +49,11 @@ impl GraphStats {
             num_edges: m,
             max_in_degree: max_in,
             max_out_degree: max_out,
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             low_degree_fraction: if n == 0 { 0.0 } else { low as f64 / n as f64 },
             self_loops,
         }

@@ -34,13 +34,17 @@ pub fn dedup(graph: &EdgeList) -> EdgeList {
     let mut edges: Vec<Edge> = graph.edges().to_vec();
     edges.sort_unstable();
     edges.dedup();
-    EdgeList::with_vertex_count(edges, graph.num_vertices())
-        .expect("dedup preserves the id space")
+    EdgeList::with_vertex_count(edges, graph.num_vertices()).expect("dedup preserves the id space")
 }
 
 /// Remove self-loops.
 pub fn drop_self_loops(graph: &EdgeList) -> EdgeList {
-    let edges = graph.edges().iter().copied().filter(|e| !e.is_self_loop()).collect();
+    let edges = graph
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| !e.is_self_loop())
+        .collect();
     EdgeList::with_vertex_count(edges, graph.num_vertices())
         .expect("filtering preserves the id space")
 }
@@ -48,7 +52,11 @@ pub fn drop_self_loops(graph: &EdgeList) -> EdgeList {
 /// Induce the subgraph on `keep[v] == true` vertices, remapping ids densely.
 /// Returns the subgraph and the mapping `new id -> old id`.
 pub fn induce(graph: &EdgeList, keep: &[bool]) -> (EdgeList, Vec<u64>) {
-    assert_eq!(keep.len(), graph.num_vertices() as usize, "one flag per vertex");
+    assert_eq!(
+        keep.len(),
+        graph.num_vertices() as usize,
+        "one flag per vertex"
+    );
     let mut remap: Vec<Option<u64>> = vec![None; keep.len()];
     let mut back: Vec<u64> = Vec::new();
     for (v, &k) in keep.iter().enumerate() {
@@ -60,15 +68,13 @@ pub fn induce(graph: &EdgeList, keep: &[bool]) -> (EdgeList, Vec<u64>) {
     let edges: Vec<Edge> = graph
         .edges()
         .iter()
-        .filter_map(|e| {
-            match (remap[e.src.index()], remap[e.dst.index()]) {
-                (Some(s), Some(d)) => Some(Edge::new(s, d)),
-                _ => None,
-            }
+        .filter_map(|e| match (remap[e.src.index()], remap[e.dst.index()]) {
+            (Some(s), Some(d)) => Some(Edge::new(s, d)),
+            _ => None,
         })
         .collect();
-    let sub = EdgeList::with_vertex_count(edges, back.len() as u64)
-        .expect("remapped ids are dense");
+    let sub =
+        EdgeList::with_vertex_count(edges, back.len() as u64).expect("remapped ids are dense");
     (sub, back)
 }
 
@@ -106,7 +112,10 @@ pub fn largest_component_mask(graph: &EdgeList) -> Vec<bool> {
         root
     }
     for e in graph.edges() {
-        let (a, b) = (find(&mut parent, e.src.0 as u32), find(&mut parent, e.dst.0 as u32));
+        let (a, b) = (
+            find(&mut parent, e.src.0 as u32),
+            find(&mut parent, e.dst.0 as u32),
+        );
         if a != b {
             parent[a as usize] = b;
         }

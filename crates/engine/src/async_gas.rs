@@ -36,7 +36,12 @@ pub struct AsyncGas {
 impl AsyncGas {
     /// New async engine with default contention parameters.
     pub fn new(config: EngineConfig) -> Self {
-        AsyncGas { config, efficiency: 0.55, lock_overhead_s: 2.0e-6, schedule_seed: 0xA57C }
+        AsyncGas {
+            config,
+            efficiency: 0.55,
+            lock_overhead_s: 2.0e-6,
+            schedule_seed: 0xA57C,
+        }
     }
 
     /// Run `program` asynchronously. Rounds are reported as supersteps for
@@ -59,8 +64,9 @@ impl AsyncGas {
         let mut states: Vec<P::State> = (0..n)
             .map(|v| program.init(VertexId(v as u64), info(VertexId(v as u64))))
             .collect();
-        let mut active: Vec<bool> =
-            (0..n).map(|v| program.initially_active(VertexId(v as u64))).collect();
+        let mut active: Vec<bool> = (0..n)
+            .map(|v| program.initially_active(VertexId(v as u64)))
+            .collect();
         let gdir = program.gather_direction();
         let sdir = program.scatter_direction();
         let cap = program.max_supersteps().min(self.config.max_supersteps);
@@ -198,10 +204,9 @@ impl AsyncGas {
         if !converged {
             converged = (0..n).all(|v| !active[v]);
         }
-        (
-            states,
-            ComputeReport { program: program.name(), engine: "async-gas", steps, converged },
-        )
+        let mut report = ComputeReport::new(program.name(), "async-gas", steps, converged);
+        crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        (states, report)
     }
 }
 
@@ -259,7 +264,10 @@ mod tests {
     #[test]
     fn coloring_converges_to_proper_coloring() {
         let g = gp_gen::erdos_renyi(300, 1_500, 7);
-        let a = Strategy::Random.build().partition(&g, &PartitionContext::new(9)).assignment;
+        let a = Strategy::Random
+            .build()
+            .partition(&g, &PartitionContext::new(9))
+            .assignment;
         let (colors, report) = engine().run(&g, &a, &Coloring);
         assert!(report.converged, "async coloring should converge");
         for e in g.edges() {
@@ -276,9 +284,15 @@ mod tests {
     #[test]
     fn coloring_uses_few_colors_on_a_path() {
         let g = gp_core::EdgeList::from_pairs((0..100).map(|i| (i, i + 1)).collect());
-        let a = Strategy::Random.build().partition(&g, &PartitionContext::new(4)).assignment;
+        let a = Strategy::Random
+            .build()
+            .partition(&g, &PartitionContext::new(4))
+            .assignment;
         let (colors, _) = engine().run(&g, &a, &Coloring);
-        assert!(colors.iter().all(|&c| c <= 2), "path needs at most 3 greedy colors");
+        assert!(
+            colors.iter().all(|&c| c <= 2),
+            "path needs at most 3 greedy colors"
+        );
     }
 
     #[test]
@@ -289,8 +303,7 @@ mod tests {
         let ctx = PartitionContext::new(9);
         let grid = Strategy::Grid.build().partition(&g, &ctx);
         let rand = Strategy::AsymmetricRandom.build().partition(&g, &ctx);
-        let rf_ratio = rand.assignment.replication_factor()
-            / grid.assignment.replication_factor();
+        let rf_ratio = rand.assignment.replication_factor() / grid.assignment.replication_factor();
         let e = engine();
         let (_, rep_g) = e.run(&g, &grid.assignment, &Coloring);
         let (_, rep_r) = e.run(&g, &rand.assignment, &Coloring);
@@ -306,7 +319,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = gp_gen::erdos_renyi(200, 1_000, 3);
-        let a = Strategy::Random.build().partition(&g, &PartitionContext::new(4)).assignment;
+        let a = Strategy::Random
+            .build()
+            .partition(&g, &PartitionContext::new(4))
+            .assignment;
         let (c1, r1) = engine().run(&g, &a, &Coloring);
         let (c2, r2) = engine().run(&g, &a, &Coloring);
         assert_eq!(c1, c2);

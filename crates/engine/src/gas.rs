@@ -78,7 +78,16 @@ impl SyncGas {
     ) -> (Vec<P::State>, ComputeReport) {
         let csr = CsrGraph::from_edge_list(graph);
         let table = ReplicaTable::build(graph, assignment);
-        run_gas_loop(&self.config, &csr, &table, program, GatherPolicy::AllMirrors, "sync-gas")
+        let (states, mut report) = run_gas_loop(
+            &self.config,
+            &csr,
+            &table,
+            program,
+            GatherPolicy::AllMirrors,
+            "sync-gas",
+        );
+        crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        (states, report)
     }
 }
 
@@ -113,23 +122,31 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
         out_degree: csr.out_degree(v),
         in_degree: csr.in_degree(v),
     };
-    let mut states: Vec<P::State> =
-        (0..n).map(|v| program.init(VertexId(v as u64), info(VertexId(v as u64)))).collect();
-    let mut active: Vec<bool> =
-        (0..n).map(|v| program.initially_active(VertexId(v as u64))).collect();
+    let mut states: Vec<P::State> = (0..n)
+        .map(|v| program.init(VertexId(v as u64), info(VertexId(v as u64))))
+        .collect();
+    let mut active: Vec<bool> = (0..n)
+        .map(|v| program.initially_active(VertexId(v as u64)))
+        .collect();
     let gdir = program.gather_direction();
     let sdir = program.scatter_direction();
     let cap = program.max_supersteps().min(config.max_supersteps);
-    let compute_rate =
-        config.spec.compute_threads() as f64 * config.spec.work_units_per_s;
+    let compute_rate = config.spec.compute_threads() as f64 * config.spec.work_units_per_s;
     let barrier = 3.0 * config.spec.latency_s * (machines as f64).log2().ceil().max(1.0);
 
     // Gather (delta) caching: `gather_cache[v]` holds v's last computed
     // accumulator; it stays valid until a gather-direction neighbor of v
     // changes (`cache_dirty[v]`). Only allocated when enabled.
-    let mut gather_cache: Vec<Option<Option<P::Accum>>> =
-        if config.delta_caching { vec![None; n] } else { Vec::new() };
-    let mut cache_dirty: Vec<bool> = if config.delta_caching { vec![true; n] } else { Vec::new() };
+    let mut gather_cache: Vec<Option<Option<P::Accum>>> = if config.delta_caching {
+        vec![None; n]
+    } else {
+        Vec::new()
+    };
+    let mut cache_dirty: Vec<bool> = if config.delta_caching {
+        vec![true; n]
+    } else {
+        Vec::new()
+    };
 
     let mut steps: Vec<SuperstepStats> = Vec::new();
     let mut converged = false;
@@ -148,8 +165,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
 
         for &vi in &actives {
             let v = VertexId(vi as u64);
-            let cache_hit =
-                config.delta_caching && !cache_dirty[vi] && gather_cache[vi].is_some();
+            let cache_hit = config.delta_caching && !cache_dirty[vi] && gather_cache[vi].is_some();
             // --- Gather (semantic): merge over gather-direction neighbors,
             // or reuse the cached accumulator.
             let acc: Option<P::Accum> = if cache_hit {
@@ -295,8 +311,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
         }
 
         let wall = work.iter().copied().fold(0.0, f64::max) / compute_rate
-            + in_bytes.iter().copied().fold(0.0, f64::max)
-                / config.spec.bandwidth_bytes_per_s
+            + in_bytes.iter().copied().fold(0.0, f64::max) / config.spec.bandwidth_bytes_per_s
             + barrier;
         steps.push(SuperstepStats {
             superstep,
@@ -325,7 +340,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
     }
     (
         states,
-        ComputeReport { program: program.name(), engine: engine_name, steps, converged },
+        ComputeReport::new(program.name(), engine_name, steps, converged),
     )
 }
 
@@ -399,7 +414,11 @@ mod tests {
         let (states, report) = engine().run(&g, &a, &MinLabel);
         assert!(states.iter().all(|&s| s == 0));
         // Label 0 travels one hop per superstep.
-        assert!(report.supersteps() >= 50, "supersteps {}", report.supersteps());
+        assert!(
+            report.supersteps() >= 50,
+            "supersteps {}",
+            report.supersteps()
+        );
     }
 
     #[test]
@@ -433,11 +452,19 @@ mod tests {
     fn results_independent_of_partitioning() {
         let g = gp_gen::erdos_renyi(500, 3_000, 9);
         let mut last: Option<Vec<u64>> = None;
-        for s in [Strategy::Random, Strategy::Grid, Strategy::Hybrid, Strategy::Hdrf] {
+        for s in [
+            Strategy::Random,
+            Strategy::Grid,
+            Strategy::Hybrid,
+            Strategy::Hdrf,
+        ] {
             let a = partitioned(&g, s, 9);
             let (states, _) = engine().run(&g, &a, &MinLabel);
             if let Some(prev) = &last {
-                assert_eq!(prev, &states, "partitioning must not change results ({s:?})");
+                assert_eq!(
+                    prev, &states,
+                    "partitioning must not change results ({s:?})"
+                );
             }
             last = Some(states);
         }
@@ -536,7 +563,10 @@ mod delta_caching_tests {
 
     fn run_with(delta: bool) -> (Vec<u64>, ComputeReport) {
         let g = gp_gen::barabasi_albert(3_000, 6, 11);
-        let a = Strategy::Random.build().partition(&g, &PartitionContext::new(9)).assignment;
+        let a = Strategy::Random
+            .build()
+            .partition(&g, &PartitionContext::new(9))
+            .assignment;
         let config = EngineConfig::new(ClusterSpec::local_9()).with_delta_caching(delta);
         SyncGas::new(config).run(&g, &a, &Converging)
     }

@@ -34,7 +34,10 @@ pub struct HybridGas {
 impl HybridGas {
     /// New hybrid engine with the paper's default threshold.
     pub fn new(config: EngineConfig) -> Self {
-        HybridGas { config, threshold: gp_partition::strategies::hybrid::DEFAULT_THRESHOLD }
+        HybridGas {
+            config,
+            threshold: gp_partition::strategies::hybrid::DEFAULT_THRESHOLD,
+        }
     }
 
     /// Override the low/high-degree threshold.
@@ -52,14 +55,18 @@ impl HybridGas {
     ) -> (Vec<P::State>, ComputeReport) {
         let csr = CsrGraph::from_edge_list(graph);
         let table = ReplicaTable::build(graph, assignment);
-        run_gas_loop(
+        let (states, mut report) = run_gas_loop(
             &self.config,
             &csr,
             &table,
             program,
-            GatherPolicy::LocalAware { threshold: self.threshold },
+            GatherPolicy::LocalAware {
+                threshold: self.threshold,
+            },
             "hybrid-gas",
-        )
+        );
+        crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        (states, report)
     }
 }
 
@@ -116,7 +123,10 @@ mod tests {
     #[test]
     fn results_match_sync_gas_exactly() {
         let g = gp_gen::barabasi_albert(2_000, 5, 1);
-        let a = Strategy::Hybrid.build().partition(&g, &PartitionContext::new(9)).assignment;
+        let a = Strategy::Hybrid
+            .build()
+            .partition(&g, &PartitionContext::new(9))
+            .assignment;
         let (s1, _) = SyncGas::new(cfg()).run(&g, &a, &NaturalSum);
         let (s2, _) = HybridGas::new(cfg()).run(&g, &a, &NaturalSum);
         assert_eq!(s1, s2, "engines must agree on semantics");
@@ -127,7 +137,10 @@ mod tests {
         // The Fig 6.1 effect: under the hybrid engine, Hybrid partitioning
         // sends far fewer gather messages than under PowerGraph's engine.
         let g = gp_gen::barabasi_albert(5_000, 8, 2);
-        let a = Strategy::Hybrid.build().partition(&g, &PartitionContext::new(9)).assignment;
+        let a = Strategy::Hybrid
+            .build()
+            .partition(&g, &PartitionContext::new(9))
+            .assignment;
         let (_, sync_rep) = SyncGas::new(cfg()).run(&g, &a, &NaturalSum);
         let (_, hyb_rep) = HybridGas::new(cfg()).run(&g, &a, &NaturalSum);
         let sync_gather: u64 = sync_rep.steps.iter().map(|s| s.gather_messages).sum();
@@ -188,7 +201,10 @@ mod tests {
             }
         }
         let g = gp_gen::barabasi_albert(5_000, 8, 4);
-        let a = Strategy::Hybrid.build().partition(&g, &PartitionContext::new(9)).assignment;
+        let a = Strategy::Hybrid
+            .build()
+            .partition(&g, &PartitionContext::new(9))
+            .assignment;
         let (_, sync_rep) = SyncGas::new(cfg()).run(&g, &a, &BothSum);
         let (_, hyb_rep) = HybridGas::new(cfg()).run(&g, &a, &BothSum);
         let sync_gather: u64 = sync_rep.steps.iter().map(|s| s.gather_messages).sum();
@@ -201,7 +217,10 @@ mod tests {
     #[test]
     fn threshold_zero_degenerates_to_local_aware_everywhere() {
         let g = gp_gen::barabasi_albert(2_000, 5, 5);
-        let a = Strategy::OneDTarget.build().partition(&g, &PartitionContext::new(9)).assignment;
+        let a = Strategy::OneDTarget
+            .build()
+            .partition(&g, &PartitionContext::new(9))
+            .assignment;
         let all_local = HybridGas::new(cfg()).with_threshold(u32::MAX);
         let (_, rep) = all_local.run(&g, &a, &NaturalSum);
         // 1D-Target co-locates ALL in-edges, so with the local-aware policy

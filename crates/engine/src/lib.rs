@@ -29,6 +29,7 @@
 //! described by the [`gp_partition::Assignment`].
 
 pub mod async_gas;
+pub mod fault_hook;
 pub mod gas;
 pub mod hybrid;
 pub mod pregel;
@@ -37,6 +38,7 @@ pub mod replicas;
 pub mod report;
 
 pub use async_gas::AsyncGas;
+pub use fault_hook::apply_fault_model;
 pub use gas::SyncGas;
 pub use hybrid::HybridGas;
 pub use pregel::{ExecutorMemoryModel, PlacementCase, Pregel, PregelConfig};

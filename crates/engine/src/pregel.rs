@@ -213,15 +213,15 @@ impl Pregel {
         let mut states: Vec<P::State> = (0..n)
             .map(|v| program.init(VertexId(v as u64), info(VertexId(v as u64))))
             .collect();
-        let mut active: Vec<bool> =
-            (0..n).map(|v| program.initially_active(VertexId(v as u64))).collect();
+        let mut active: Vec<bool> = (0..n)
+            .map(|v| program.initially_active(VertexId(v as u64)))
+            .collect();
         let gdir = program.gather_direction();
         let sdir = program.scatter_direction();
         let cap = program.max_supersteps().min(cfg.max_supersteps);
         let compute_rate = cfg.spec.compute_threads() as f64 * cfg.spec.work_units_per_s;
         let per_iter_overhead = self.config.iteration_overhead_s
-            + self.config.task_overhead_s * partitions as f64
-                / cfg.spec.machines as f64;
+            + self.config.task_overhead_s * partitions as f64 / cfg.spec.machines as f64;
 
         let mut steps = Vec::new();
         let mut converged = false;
@@ -265,8 +265,7 @@ impl Pregel {
                 for r in reps {
                     let local_gather = (if gdir.includes_in() { r.local_in } else { 0 })
                         + (if gdir.includes_out() { r.local_out } else { 0 });
-                    work[cfg.machine_of(r.partition.0)] +=
-                        cfg.gather_work * local_gather as f64;
+                    work[cfg.machine_of(r.partition.0)] += cfg.gather_work * local_gather as f64;
                     // GraphX's aggregateMessages: edge partitions with
                     // gather-direction edges emit one pre-aggregated message
                     // per destination vertex.
@@ -304,19 +303,18 @@ impl Pregel {
                     }
                 }
                 // Superstep-0 initial messages, as in Pregel.
-                if (changed || superstep == 0)
-                    && program.activates_on_change() {
-                        if sdir.includes_out() {
-                            for u in csr.out_neighbors(v) {
-                                next_active[u.index()] = true;
-                            }
-                        }
-                        if sdir.includes_in() {
-                            for u in csr.in_neighbors(v) {
-                                next_active[u.index()] = true;
-                            }
+                if (changed || superstep == 0) && program.activates_on_change() {
+                    if sdir.includes_out() {
+                        for u in csr.out_neighbors(v) {
+                            next_active[u.index()] = true;
                         }
                     }
+                    if sdir.includes_in() {
+                        for u in csr.in_neighbors(v) {
+                            next_active[u.index()] = true;
+                        }
+                    }
+                }
                 if program.self_reactivates(&new) {
                     next_active[vi] = true;
                 }
@@ -336,8 +334,7 @@ impl Pregel {
                 *w += join / machines as f64;
             }
             let wall = (work.iter().copied().fold(0.0, f64::max) / compute_rate) * gc
-                + in_bytes.iter().copied().fold(0.0, f64::max)
-                    / cfg.spec.bandwidth_bytes_per_s
+                + in_bytes.iter().copied().fold(0.0, f64::max) / cfg.spec.bandwidth_bytes_per_s
                 + per_iter_overhead;
             steps.push(SuperstepStats {
                 superstep,
@@ -348,7 +345,11 @@ impl Pregel {
                 machine_in_bytes: in_bytes,
                 wall_seconds: wall,
             });
-            active = if program.always_active() { vec![true; n] } else { next_active };
+            active = if program.always_active() {
+                vec![true; n]
+            } else {
+                next_active
+            };
             if !any_changed && superstep > 0 && !program.always_active() {
                 converged = true;
                 break;
@@ -361,10 +362,9 @@ impl Pregel {
         if let Some(first) = steps.first_mut() {
             first.wall_seconds += placement_penalty_s;
         }
-        Ok((
-            states,
-            ComputeReport { program: program.name(), engine: "pregel", steps, converged },
-        ))
+        let mut report = ComputeReport::new(program.name(), "pregel", steps, converged);
+        crate::fault_hook::apply_fault_model(&mut report, cfg, assignment);
+        Ok((states, report))
     }
 }
 
@@ -411,7 +411,10 @@ mod tests {
     }
 
     fn assignment(g: &gp_core::EdgeList, parts: u32) -> Assignment {
-        Strategy::Random.build().partition(g, &PartitionContext::new(parts)).assignment
+        Strategy::Random
+            .build()
+            .partition(g, &PartitionContext::new(parts))
+            .assignment
     }
 
     #[test]
@@ -448,7 +451,10 @@ mod tests {
         // Case 3: half fits in one executor's usable memory.
         assert_eq!(m.placement(1 << 30), PlacementCase::FitsFew);
         // Case 2: in between.
-        assert!(matches!(m.placement(4 << 30), PlacementCase::FitsCluster { .. }));
+        assert!(matches!(
+            m.placement(4 << 30),
+            PlacementCase::FitsCluster { .. }
+        ));
     }
 
     #[test]
@@ -484,8 +490,16 @@ mod tests {
         // grows (less GC).
         let g = gp_gen::barabasi_albert(5_000, 8, 4);
         let a = assignment(&g, 40);
-        let t_small = pregel(1).run(&g, &a, &MinLabel).unwrap().1.compute_seconds();
-        let t_large = pregel(16).run(&g, &a, &MinLabel).unwrap().1.compute_seconds();
+        let t_small = pregel(1)
+            .run(&g, &a, &MinLabel)
+            .unwrap()
+            .1
+            .compute_seconds();
+        let t_large = pregel(16)
+            .run(&g, &a, &MinLabel)
+            .unwrap()
+            .1
+            .compute_seconds();
         assert!(t_large <= t_small, "16 GiB {t_large} vs 1 GiB {t_small}");
     }
 

@@ -190,13 +190,25 @@ mod tests {
 
     #[test]
     fn naturalness_matches_the_papers_definition() {
-        let natural = Dummy { g: Direction::In, s: Direction::Out };
+        let natural = Dummy {
+            g: Direction::In,
+            s: Direction::Out,
+        };
         assert!(natural.is_natural());
-        let natural2 = Dummy { g: Direction::Out, s: Direction::In };
+        let natural2 = Dummy {
+            g: Direction::Out,
+            s: Direction::In,
+        };
         assert!(natural2.is_natural());
-        let undirected = Dummy { g: Direction::Both, s: Direction::Both };
+        let undirected = Dummy {
+            g: Direction::Both,
+            s: Direction::Both,
+        };
         assert!(!undirected.is_natural());
-        let same_dir = Dummy { g: Direction::In, s: Direction::In };
+        let same_dir = Dummy {
+            g: Direction::In,
+            s: Direction::In,
+        };
         assert!(!same_dir.is_natural());
     }
 

@@ -65,8 +65,14 @@ impl ReplicaTable {
             }
             offsets.push(entries.len() as u64);
         }
-        let masters = (0..n).map(|v| assignment.master_of(VertexId(v as u64))).collect();
-        ReplicaTable { offsets, entries, masters }
+        let masters = (0..n)
+            .map(|v| assignment.master_of(VertexId(v as u64)))
+            .collect();
+        ReplicaTable {
+            offsets,
+            entries,
+            masters,
+        }
     }
 
     /// Replica entries of `v`.
@@ -103,7 +109,9 @@ mod tests {
     #[test]
     fn local_degrees_sum_to_global_degrees() {
         let g = gp_gen::erdos_renyi(500, 4_000, 1);
-        let out = Strategy::Random.build().partition(&g, &PartitionContext::new(6));
+        let out = Strategy::Random
+            .build()
+            .partition(&g, &PartitionContext::new(6));
         let table = ReplicaTable::build(&g, &out.assignment);
         let deg = g.degrees();
         for v in 0..g.num_vertices() {
@@ -120,7 +128,9 @@ mod tests {
     #[test]
     fn replica_counts_match_assignment() {
         let g = gp_gen::barabasi_albert(2_000, 5, 2);
-        let out = Strategy::Grid.build().partition(&g, &PartitionContext::new(9));
+        let out = Strategy::Grid
+            .build()
+            .partition(&g, &PartitionContext::new(9));
         let table = ReplicaTable::build(&g, &out.assignment);
         for v in 0..g.num_vertices() {
             let v = VertexId(v);
@@ -133,7 +143,9 @@ mod tests {
     fn every_entry_has_at_least_one_local_edge() {
         // A replica only exists because some edge touched the vertex there.
         let g = gp_gen::erdos_renyi(300, 2_000, 3);
-        let out = Strategy::Hdrf.build().partition(&g, &PartitionContext::new(4));
+        let out = Strategy::Hdrf
+            .build()
+            .partition(&g, &PartitionContext::new(4));
         let table = ReplicaTable::build(&g, &out.assignment);
         for v in 0..g.num_vertices() {
             for r in table.replicas(VertexId(v)) {
@@ -146,7 +158,9 @@ mod tests {
     fn hybrid_low_degree_in_edges_all_at_master() {
         // The property HybridGas exploits (§6.1).
         let g = gp_gen::barabasi_albert(3_000, 5, 7);
-        let out = Strategy::Hybrid.build().partition(&g, &PartitionContext::new(8));
+        let out = Strategy::Hybrid
+            .build()
+            .partition(&g, &PartitionContext::new(8));
         let table = ReplicaTable::build(&g, &out.assignment);
         let deg = g.degrees();
         for v in 0..g.num_vertices() {
@@ -155,10 +169,7 @@ mod tests {
                 let master = table.master_of(v);
                 for r in table.replicas(v) {
                     if r.partition != master {
-                        assert_eq!(
-                            r.local_in, 0,
-                            "low-degree v{v} has in-edges off-master"
-                        );
+                        assert_eq!(r.local_in, 0, "low-degree v{v} has in-edges off-master");
                     }
                 }
             }

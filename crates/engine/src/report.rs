@@ -1,6 +1,7 @@
 //! Engine configuration and compute-phase reporting.
 
 use gp_cluster::{ClusterSpec, CostRates, MachineSample, MemoryModel, ResourceMonitor, Timeline};
+use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_partition::Assignment;
 
 /// Configuration shared by all engines: the cluster being simulated, wire
@@ -26,6 +27,14 @@ pub struct EngineConfig {
     /// Results are unchanged; only cost is. Off by default, as in the
     /// paper's experiments.
     pub delta_caching: bool,
+    /// Scheduled machine faults applied to this run (crashes, degraded
+    /// links, stragglers). Empty by default — no faults ever fire.
+    pub fault_plan: FaultPlan,
+    /// Periodic checkpointing of vertex state. Disabled by default; when
+    /// enabled, snapshot writes are charged as real network load and
+    /// barrier stalls, and crashes roll back to the last checkpoint
+    /// instead of superstep 0.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl EngineConfig {
@@ -39,6 +48,8 @@ impl EngineConfig {
             scatter_work: 0.6,
             max_supersteps: 10_000,
             delta_caching: false,
+            fault_plan: FaultPlan::none(),
+            checkpoint: CheckpointPolicy::disabled(),
         }
     }
 
@@ -46,6 +57,24 @@ impl EngineConfig {
     pub fn with_delta_caching(mut self, on: bool) -> Self {
         self.delta_caching = on;
         self
+    }
+
+    /// Builder: schedule faults for this run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Builder: checkpoint periodically.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// True when this configuration can alter a report after the compute
+    /// loop (faults scheduled or checkpoints enabled).
+    pub fn fault_model_active(&self) -> bool {
+        !self.fault_plan.is_empty() || self.checkpoint.is_enabled()
     }
 
     /// Machine hosting partition `p` (round-robin fold, exact identity when
@@ -94,13 +123,51 @@ pub struct ComputeReport {
     /// True if the run reached a fixed point (no active vertices) rather
     /// than hitting the superstep cap.
     pub converged: bool,
+    /// Total bytes written by checkpoints (0 when checkpointing is off).
+    pub checkpoint_bytes: f64,
+    /// Wall-clock seconds spent re-fetching lost partitions after crashes
+    /// (0 on a healthy run). Replayed supersteps' own wall time is inside
+    /// `steps` instead.
+    pub recovery_seconds: f64,
+    /// Supersteps re-executed after crashes (their stats appear again in
+    /// `steps`, in execution order).
+    pub supersteps_replayed: u32,
 }
 
 impl ComputeReport {
+    /// A healthy report over `steps`; the fault/checkpoint counters start
+    /// at zero.
+    pub fn new(
+        program: &'static str,
+        engine: &'static str,
+        steps: Vec<SuperstepStats>,
+        converged: bool,
+    ) -> Self {
+        ComputeReport {
+            program,
+            engine,
+            steps,
+            converged,
+            checkpoint_bytes: 0.0,
+            recovery_seconds: 0.0,
+            supersteps_replayed: 0,
+        }
+    }
+
     /// Total simulated compute time — the paper's "computation time" metric,
     /// which "always excludes the ingress/partitioning time" (§4.3).
+    /// Includes checkpoint stalls and replayed supersteps, but not the
+    /// recovery transfer itself — see [`ComputeReport::wall_clock_seconds`].
     pub fn compute_seconds(&self) -> f64 {
         self.steps.iter().map(|s| s.wall_seconds).sum()
+    }
+
+    /// End-to-end compute-phase duration: every executed superstep
+    /// (including checkpoint stalls and crash replays) plus the recovery
+    /// transfers. Equals [`ComputeReport::compute_seconds`] on a healthy
+    /// run.
+    pub fn wall_clock_seconds(&self) -> f64 {
+        self.compute_seconds() + self.recovery_seconds
     }
 
     /// Supersteps executed.
@@ -115,7 +182,11 @@ impl ComputeReport {
 
     /// Mean per-machine inbound bytes (the y-axis of Figs 5.3/6.1/8.3).
     pub fn mean_machine_in_bytes(&self) -> f64 {
-        let machines = self.steps.first().map(|s| s.machine_in_bytes.len()).unwrap_or(0);
+        let machines = self
+            .steps
+            .first()
+            .map(|s| s.machine_in_bytes.len())
+            .unwrap_or(0);
         if machines == 0 {
             0.0
         } else {
@@ -140,8 +211,7 @@ impl ComputeReport {
     pub fn machine_cpu_percent(&self, config: &EngineConfig) -> Vec<f64> {
         let machines = config.spec.machines as usize;
         let mut busy = vec![0.0f64; machines];
-        let rate =
-            config.spec.compute_threads() as f64 * config.spec.work_units_per_s;
+        let rate = config.spec.compute_threads() as f64 * config.spec.work_units_per_s;
         for s in &self.steps {
             for (m, &w) in s.machine_work.iter().enumerate() {
                 busy[m] += w / rate;
@@ -168,8 +238,7 @@ impl ComputeReport {
             for (m, &base) in base_memory_bytes.iter().enumerate() {
                 let buffers = s.machine_in_bytes.get(m).copied().unwrap_or(0.0);
                 let cpu = if s.wall_seconds > 0.0 {
-                    (s.machine_work.get(m).copied().unwrap_or(0.0) / rate / s.wall_seconds
-                        * 100.0)
+                    (s.machine_work.get(m).copied().unwrap_or(0.0) / rate / s.wall_seconds * 100.0)
                         .min(100.0)
                 } else {
                     0.0
@@ -242,15 +311,15 @@ mod tests {
     }
 
     fn report() -> ComputeReport {
-        ComputeReport {
-            program: "test",
-            engine: "sync-gas",
-            steps: vec![
+        ComputeReport::new(
+            "test",
+            "sync-gas",
+            vec![
                 step(0, 1.0, vec![10.0, 20.0], vec![100.0, 200.0]),
                 step(1, 2.0, vec![30.0, 10.0], vec![50.0, 50.0]),
             ],
-            converged: true,
-        }
+            true,
+        )
     }
 
     #[test]
@@ -260,6 +329,18 @@ mod tests {
         assert_eq!(r.supersteps(), 2);
         assert!((r.total_in_bytes() - 400.0).abs() < 1e-12);
         assert!((r.mean_machine_in_bytes() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_clock_includes_recovery() {
+        let mut r = report();
+        assert_eq!(r.wall_clock_seconds(), r.compute_seconds());
+        r.recovery_seconds = 1.5;
+        assert!((r.wall_clock_seconds() - 4.5).abs() < 1e-12);
+        assert!(
+            (r.compute_seconds() - 3.0).abs() < 1e-12,
+            "recovery stays out of compute"
+        );
     }
 
     #[test]

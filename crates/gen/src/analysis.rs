@@ -79,7 +79,11 @@ impl DegreeAnalysis {
         let predicted: f64 = (1..=2u32)
             .map(|d| (intercept + slope * (d as f64).ln()).exp())
             .sum();
-        let low_degree_residual = if predicted > 0.0 { observed / predicted } else { 0.0 };
+        let low_degree_residual = if predicted > 0.0 {
+            observed / predicted
+        } else {
+            0.0
+        };
         let n = graph.num_vertices();
         DegreeAnalysis {
             histogram,
@@ -87,7 +91,11 @@ impl DegreeAnalysis {
             intercept,
             low_degree_residual,
             max_in_degree: max_in,
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * graph.num_edges() as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * graph.num_edges() as f64 / n as f64
+            },
         }
     }
 
@@ -155,7 +163,11 @@ mod tests {
     #[test]
     fn road_network_classifies_low_degree() {
         let g = road_network(
-            &RoadNetworkParams { width: 60, height: 60, ..Default::default() },
+            &RoadNetworkParams {
+                width: 60,
+                height: 60,
+                ..Default::default()
+            },
             1,
         );
         assert_eq!(classify(&g), GraphClass::LowDegree);
@@ -165,14 +177,24 @@ mod tests {
     fn barabasi_albert_classifies_heavy_tailed() {
         let g = barabasi_albert(30_000, 10, 2);
         let a = DegreeAnalysis::of(&g);
-        assert_eq!(classify_analysis(&a), GraphClass::HeavyTailed, "residual {}", a.low_degree_residual);
+        assert_eq!(
+            classify_analysis(&a),
+            GraphClass::HeavyTailed,
+            "residual {}",
+            a.low_degree_residual
+        );
     }
 
     #[test]
     fn rmat_classifies_power_law() {
         let g = rmat(&RmatParams::web_graph(15, 400_000), 3);
         let a = DegreeAnalysis::of(&g);
-        assert_eq!(classify_analysis(&a), GraphClass::PowerLaw, "residual {}", a.low_degree_residual);
+        assert_eq!(
+            classify_analysis(&a),
+            GraphClass::PowerLaw,
+            "residual {}",
+            a.low_degree_residual
+        );
     }
 
     #[test]

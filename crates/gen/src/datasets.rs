@@ -159,22 +159,19 @@ impl Dataset {
                 seed ^ 0x05a0,
             ),
             // ~55k vertices, ~750k edges; friendships are mostly mutual.
-            Dataset::LiveJournal => {
-                barabasi_albert_reciprocal(s(55_000), 8, 0.70, seed ^ 0x11fe)
-            }
+            Dataset::LiveJournal => barabasi_albert_reciprocal(s(55_000), 8, 0.70, seed ^ 0x11fe),
             // ~42k vertices, ~1.0M edges; wiki links are rarely reciprocal.
-            Dataset::Enwiki2013 => {
-                barabasi_albert_reciprocal(s(42_000), 23, 0.06, seed ^ 0xe419)
-            }
+            Dataset::Enwiki2013 => barabasi_albert_reciprocal(s(42_000), 23, 0.06, seed ^ 0xe419),
             // ~80k vertices, ~1.5M edges; ~22% of follows are mutual
             // (Kwak et al., WWW'10).
-            Dataset::Twitter => {
-                barabasi_albert_reciprocal(s(80_000), 15, 0.22, seed ^ 0x7717)
-            }
+            Dataset::Twitter => barabasi_albert_reciprocal(s(80_000), 15, 0.22, seed ^ 0x7717),
             // ~120k vertices, ~1.2M edges; full power-law head plus the
             // host-locality real crawls have (see `web_graph`).
             Dataset::UkWeb => web_graph(
-                &WebGraphParams { domains: s(3_000), ..Default::default() },
+                &WebGraphParams {
+                    domains: s(3_000),
+                    ..Default::default()
+                },
                 seed ^ 0x0b0b,
             ),
         }
@@ -222,7 +219,10 @@ mod tests {
     fn scale_controls_size_monotonically() {
         let small = Dataset::LiveJournal.generate(0.1, 3).num_edges();
         let large = Dataset::LiveJournal.generate(0.5, 3).num_edges();
-        assert!(large > 3 * small, "scale 0.5 ({large}) should dwarf scale 0.1 ({small})");
+        assert!(
+            large > 3 * small,
+            "scale 0.5 ({large}) should dwarf scale 0.1 ({small})"
+        );
     }
 
     #[test]

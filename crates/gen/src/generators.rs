@@ -53,7 +53,10 @@ impl Default for RoadNetworkParams {
 /// assert!(stats.max_in_degree <= 8);
 /// ```
 pub fn road_network(params: &RoadNetworkParams, seed: u64) -> EdgeList {
-    assert!(params.width >= 2 && params.height >= 2, "grid must be at least 2x2");
+    assert!(
+        params.width >= 2 && params.height >= 2,
+        "grid must be at least 2x2"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let (w, h) = (params.width as u64, params.height as u64);
     let id = |x: u64, y: u64| -> u64 { y * w + x };
@@ -106,15 +109,13 @@ pub fn barabasi_albert(n: u64, m_attach: u32, seed: u64) -> EdgeList {
 /// mutual; most LiveJournal friendships are), and reciprocity is what
 /// separates canonical Random from Asymmetric Random (§8.2.2): without any
 /// reciprocal pairs the two strategies are statistically identical.
-pub fn barabasi_albert_reciprocal(
-    n: u64,
-    m_attach: u32,
-    reciprocity: f64,
-    seed: u64,
-) -> EdgeList {
+pub fn barabasi_albert_reciprocal(n: u64, m_attach: u32, reciprocity: f64, seed: u64) -> EdgeList {
     assert!(m_attach >= 1, "attachment degree must be >= 1");
     assert!((0.0..=1.0).contains(&reciprocity), "reciprocity in [0,1]");
-    assert!(n > m_attach as u64, "need more vertices than the attachment degree");
+    assert!(
+        n > m_attach as u64,
+        "need more vertices than the attachment degree"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let m = m_attach as usize;
     // `targets[i]` appears once per degree unit — classic BA urn.
@@ -210,7 +211,14 @@ pub struct RmatParams {
 impl RmatParams {
     /// The classic web-graph parameterization (Graph500 uses the same).
     pub fn web_graph(scale: u32, edges: usize) -> Self {
-        RmatParams { scale, edges, a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatParams {
+            scale,
+            edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 }
 
@@ -220,7 +228,10 @@ impl RmatParams {
 /// against Twitter/LiveJournal in Fig 5.8.
 pub fn rmat(params: &RmatParams, seed: u64) -> EdgeList {
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-6, "quadrant probabilities must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1, got {sum}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = 1u64 << params.scale;
     let mut edges = Vec::with_capacity(params.edges);
@@ -302,8 +313,9 @@ pub fn web_graph(params: &WebGraphParams, seed: u64) -> EdgeList {
         (min / u.powf(1.0 / alpha)).min(cap)
     };
     // Domain sizes: Pareto(1.7) with the requested mean.
-    let raw: Vec<f64> =
-        (0..params.domains).map(|_| pareto(&mut rng, 1.0, 1.7, 400.0)).collect();
+    let raw: Vec<f64> = (0..params.domains)
+        .map(|_| pareto(&mut rng, 1.0, 1.7, 400.0))
+        .collect();
     let raw_mean = raw.iter().sum::<f64>() / raw.len() as f64;
     let sizes: Vec<u64> = raw
         .iter()
@@ -324,8 +336,7 @@ pub fn web_graph(params: &WebGraphParams, seed: u64) -> EdgeList {
     let mut edges: Vec<Edge> = Vec::new();
     for (&start, &size) in starts.iter().zip(&sizes) {
         for page in start..start + size {
-            let out_deg =
-                pareto(&mut rng, params.mean_out_degree / 2.2, 2.0, 250.0).round() as u64;
+            let out_deg = pareto(&mut rng, params.mean_out_degree / 2.2, 2.0, 250.0).round() as u64;
             for _ in 0..out_deg {
                 let intra = size > 1 && rng.random::<f64>() < params.intra_link_probability;
                 let target = if intra {
@@ -386,12 +397,16 @@ impl Default for BipartiteParams {
 /// `0..users`, items `users..users+items`; all edges point user → item, with
 /// Zipf-skewed item popularity.
 pub fn bipartite(params: &BipartiteParams, seed: u64) -> EdgeList {
-    assert!(params.users >= 1 && params.items >= 1, "both sides must be non-empty");
+    assert!(
+        params.users >= 1 && params.items >= 1,
+        "both sides must be non-empty"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n = params.users + params.items;
     // Zipf sampler over items via inverse-CDF on precomputed weights.
-    let weights: Vec<f64> =
-        (1..=params.items).map(|r| 1.0 / (r as f64).powf(params.popularity_skew)).collect();
+    let weights: Vec<f64> = (1..=params.items)
+        .map(|r| 1.0 / (r as f64).powf(params.popularity_skew))
+        .collect();
     let total: f64 = weights.iter().sum();
     let cumulative: Vec<f64> = weights
         .iter()
@@ -451,7 +466,11 @@ mod tests {
         let g = road_network(&RoadNetworkParams::default(), 7);
         let stats = GraphStats::compute(&g);
         // Lattice degree <= 4 each direction, plus rare shortcuts.
-        assert!(stats.max_in_degree <= 10, "max in-degree {}", stats.max_in_degree);
+        assert!(
+            stats.max_in_degree <= 10,
+            "max in-degree {}",
+            stats.max_in_degree
+        );
         assert!(stats.mean_degree < 10.0);
         assert!(g.num_edges() > 100_000); // 200x200 grid, ~2 links each, doubled
     }
@@ -459,7 +478,11 @@ mod tests {
     #[test]
     fn road_network_is_symmetric_when_bidirectional() {
         let g = road_network(
-            &RoadNetworkParams { width: 12, height: 12, ..Default::default() },
+            &RoadNetworkParams {
+                width: 12,
+                height: 12,
+                ..Default::default()
+            },
             3,
         );
         let set: std::collections::HashSet<_> = g.edges().iter().copied().collect();
@@ -470,9 +493,20 @@ mod tests {
 
     #[test]
     fn road_network_unidirectional_halves_edges() {
-        let p = RoadNetworkParams { width: 30, height: 30, bidirectional: false, ..Default::default() };
+        let p = RoadNetworkParams {
+            width: 30,
+            height: 30,
+            bidirectional: false,
+            ..Default::default()
+        };
         let uni = road_network(&p, 5);
-        let bi = road_network(&RoadNetworkParams { bidirectional: true, ..p }, 5);
+        let bi = road_network(
+            &RoadNetworkParams {
+                bidirectional: true,
+                ..p
+            },
+            5,
+        );
         // Not exactly 2.0: the shortcut budget scales with lattice edge
         // count, which is itself doubled in bidirectional mode.
         assert!((bi.num_edges() as f64 / uni.num_edges() as f64 - 2.0).abs() < 0.05);
@@ -499,7 +533,10 @@ mod tests {
         let g = barabasi_albert(n, m, 2);
         let expected = (n - m as u64 - 1) * m as u64;
         let got = g.num_edges() as u64;
-        assert!(got >= expected - n / 10 && got <= expected + m as u64 + 1, "got {got}, expected ~{expected}");
+        assert!(
+            got >= expected - n / 10 && got <= expected + m as u64 + 1,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]
@@ -511,7 +548,11 @@ mod tests {
             "R-MAT should have a large low-degree head, got {}",
             stats.low_degree_fraction
         );
-        assert!(stats.max_in_degree > 500, "R-MAT should have hubs, got {}", stats.max_in_degree);
+        assert!(
+            stats.max_in_degree > 500,
+            "R-MAT should have hubs, got {}",
+            stats.max_in_degree
+        );
     }
 
     #[test]
@@ -542,11 +583,15 @@ mod tests {
         }
         let g = chung_lu(&weights, 21);
         let deg = g.degrees();
-        let heavy_avg: f64 =
-            (0..10).map(|i| deg.degree(VertexId(i)) as f64).sum::<f64>() / 10.0;
-        let light_avg: f64 =
-            (10..1000).map(|i| deg.degree(VertexId(i)) as f64).sum::<f64>() / 990.0;
-        assert!(heavy_avg > 20.0 * light_avg, "heavy {heavy_avg} vs light {light_avg}");
+        let heavy_avg: f64 = (0..10).map(|i| deg.degree(VertexId(i)) as f64).sum::<f64>() / 10.0;
+        let light_avg: f64 = (10..1000)
+            .map(|i| deg.degree(VertexId(i)) as f64)
+            .sum::<f64>()
+            / 990.0;
+        assert!(
+            heavy_avg > 20.0 * light_avg,
+            "heavy {heavy_avg} vs light {light_avg}"
+        );
     }
 
     #[test]
@@ -564,7 +609,14 @@ mod tests {
         for g in [
             barabasi_albert(5_000, 5, 3),
             rmat(&RmatParams::web_graph(12, 20_000), 3),
-            road_network(&RoadNetworkParams { width: 30, height: 30, ..Default::default() }, 3),
+            road_network(
+                &RoadNetworkParams {
+                    width: 30,
+                    height: 30,
+                    ..Default::default()
+                },
+                3,
+            ),
         ] {
             assert!(
                 g.edges().windows(2).all(|w| w[0] <= w[1]),
@@ -580,7 +632,11 @@ mod bipartite_tests {
 
     #[test]
     fn bipartite_edges_only_cross_sides() {
-        let p = BipartiteParams { users: 500, items: 50, ..Default::default() };
+        let p = BipartiteParams {
+            users: 500,
+            items: 50,
+            ..Default::default()
+        };
         let g = bipartite(&p, 3);
         for e in g.edges() {
             assert!(e.src.0 < 500, "source must be a user");
@@ -591,7 +647,12 @@ mod bipartite_tests {
 
     #[test]
     fn popular_items_dominate() {
-        let p = BipartiteParams { users: 5_000, items: 100, popularity_skew: 1.0, ..Default::default() };
+        let p = BipartiteParams {
+            users: 5_000,
+            items: 100,
+            popularity_skew: 1.0,
+            ..Default::default()
+        };
         let g = bipartite(&p, 7);
         let deg = g.degrees();
         let top = deg.in_degree(VertexId(5_000));
@@ -607,7 +668,11 @@ mod bipartite_tests {
 
     #[test]
     fn every_user_has_at_least_one_edge() {
-        let p = BipartiteParams { users: 300, items: 30, ..Default::default() };
+        let p = BipartiteParams {
+            users: 300,
+            items: 30,
+            ..Default::default()
+        };
         let g = bipartite(&p, 9);
         let deg = g.degrees();
         for u in 0..300 {

@@ -35,7 +35,11 @@ impl Assignment {
         num_partitions: u32,
         seed: u64,
     ) -> Self {
-        assert_eq!(edge_partition.len(), graph.num_edges(), "one partition per edge");
+        assert_eq!(
+            edge_partition.len(),
+            graph.num_edges(),
+            "one partition per edge"
+        );
         let n = graph.num_vertices() as usize;
         let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut edge_counts = vec![0u64; num_partitions as usize];
@@ -219,7 +223,12 @@ impl BalanceReport {
             counts.iter().sum::<u64>() as f64 / counts.len() as f64
         };
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
-        BalanceReport { max, min, mean, imbalance }
+        BalanceReport {
+            max,
+            min,
+            mean,
+            imbalance,
+        }
     }
 }
 
@@ -256,7 +265,10 @@ mod tests {
         let a = assign_round_robin(&g, 2);
         for v in 0..g.num_vertices() {
             let r = a.replicas(VertexId(v));
-            assert!(r.windows(2).all(|w| w[0] < w[1]), "replicas not sorted/unique: {r:?}");
+            assert!(
+                r.windows(2).all(|w| w[0] < w[1]),
+                "replicas not sorted/unique: {r:?}"
+            );
         }
     }
 
@@ -323,12 +335,7 @@ mod tests {
     #[should_panic(expected = "not a replica")]
     fn set_masters_rejects_non_replica() {
         let g = EdgeList::from_pairs(vec![(0, 1)]);
-        let mut a = Assignment::from_edge_partitions(
-            &g,
-            vec![PartitionId(0)],
-            2,
-            1,
-        );
+        let mut a = Assignment::from_edge_partitions(&g, vec![PartitionId(0)], 2, 1);
         a.set_masters(vec![PartitionId(1), PartitionId(0)]);
     }
 

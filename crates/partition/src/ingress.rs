@@ -105,7 +105,10 @@ mod tests {
             "every vertex of this dense graph has edges"
         );
         // 3/4 of edges ship off-loader.
-        assert_eq!(v.edges_shipped, (g.num_edges() as f64 * 0.75).round() as u64);
+        assert_eq!(
+            v.edges_shipped,
+            (g.num_edges() as f64 * 0.75).round() as u64
+        );
     }
 
     #[test]
@@ -125,8 +128,7 @@ mod tests {
         let g = gp_gen::barabasi_albert(10_000, 8, 3);
         let ctx = PartitionContext::new(9);
         let hash = IngressReport::from_outcome("Random", &Random.partition(&g, &ctx), 9);
-        let greedy =
-            IngressReport::from_outcome("Oblivious", &Oblivious.partition(&g, &ctx), 9);
+        let greedy = IngressReport::from_outcome("Oblivious", &Oblivious.partition(&g, &ctx), 9);
         assert!(greedy.max_loader_work() > 1.2 * hash.max_loader_work());
     }
 

@@ -81,24 +81,31 @@ pub fn read_assignment<R: Read>(graph: &EdgeList, reader: R) -> Result<Assignmen
         match fields.next() {
             Some("partitions") => {
                 partitions = Some(
-                    fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad(trimmed))?,
+                    fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad(trimmed))?,
                 )
             }
             Some("edges") => {
                 edges_expected = Some(
-                    fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad(trimmed))?,
+                    fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad(trimmed))?,
                 )
             }
             Some("vertices") => {
                 vertices_expected = Some(
-                    fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad(trimmed))?,
+                    fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad(trimmed))?,
                 )
             }
             Some("e") => {
                 for f in fields {
-                    edge_parts.push(PartitionId(
-                        f.parse().map_err(|_| bad(f))?,
-                    ));
+                    edge_parts.push(PartitionId(f.parse().map_err(|_| bad(f))?));
                 }
             }
             Some("m") => {
@@ -111,8 +118,7 @@ pub fn read_assignment<R: Read>(graph: &EdgeList, reader: R) -> Result<Assignmen
     }
     let partitions =
         partitions.ok_or_else(|| CoreError::InvalidGraph("missing partitions header".into()))?;
-    if edges_expected != Some(graph.num_edges())
-        || vertices_expected != Some(graph.num_vertices())
+    if edges_expected != Some(graph.num_edges()) || vertices_expected != Some(graph.num_vertices())
     {
         return Err(CoreError::InvalidGraph(format!(
             "partition file was computed for a different graph: file says \
@@ -133,8 +139,7 @@ pub fn read_assignment<R: Read>(graph: &EdgeList, reader: R) -> Result<Assignmen
             "edge partition {bad} out of range (< {partitions})"
         )));
     }
-    let mut assignment =
-        Assignment::from_edge_partitions(graph, edge_parts, partitions, 0);
+    let mut assignment = Assignment::from_edge_partitions(graph, edge_parts, partitions, 0);
     if !masters.is_empty() {
         if masters.len() != graph.num_vertices() as usize {
             return Err(CoreError::InvalidGraph(format!(
@@ -193,9 +198,7 @@ mod tests {
             assert_eq!(loaded.master_of(v), out.assignment.master_of(v));
             assert_eq!(loaded.replicas(v), out.assignment.replicas(v));
         }
-        assert!(
-            (loaded.replication_factor() - out.assignment.replication_factor()).abs() < 1e-12
-        );
+        assert!((loaded.replication_factor() - out.assignment.replication_factor()).abs() < 1e-12);
     }
 
     #[test]
@@ -240,9 +243,8 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_are_ignored() {
         let g = EdgeList::from_pairs(vec![(0, 1), (1, 0)]);
-        let text = format!(
-            "{MAGIC}\n# a comment\n\npartitions 2\nedges 2\nvertices 2\ne 0\ne 1\nm 0 1\n"
-        );
+        let text =
+            format!("{MAGIC}\n# a comment\n\npartitions 2\nedges 2\nvertices 2\ne 0\ne 1\nm 0 1\n");
         let a = read_assignment(&g, text.as_bytes()).unwrap();
         assert_eq!(a.edge_partition(0), PartitionId(0));
         assert_eq!(a.edge_partition(1), PartitionId(1));

@@ -36,7 +36,9 @@ pub struct BiCut {
 
 impl Default for BiCut {
     fn default() -> Self {
-        BiCut { favorite: FavoriteSide::Auto }
+        BiCut {
+            favorite: FavoriteSide::Auto,
+        }
     }
 }
 
@@ -99,12 +101,20 @@ impl Partitioner for BiCut {
             .collect();
         assignment.set_masters(masters);
         // Auto-detection adds a counting pass.
-        let passes = if self.favorite == FavoriteSide::Auto { 2 } else { 1 };
+        let passes = if self.favorite == FavoriteSide::Auto {
+            2
+        } else {
+            1
+        };
         PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes,
-            state_bytes: if passes == 2 { graph.num_vertices() / 4 } else { 0 },
+            state_bytes: if passes == 2 {
+                graph.num_vertices() / 4
+            } else {
+                0
+            },
         }
     }
 }
@@ -116,7 +126,14 @@ mod tests {
     use gp_gen::{bipartite, BipartiteParams};
 
     fn graph() -> EdgeList {
-        bipartite(&BipartiteParams { users: 8_000, items: 200, ..Default::default() }, 3)
+        bipartite(
+            &BipartiteParams {
+                users: 8_000,
+                items: 200,
+                ..Default::default()
+            },
+            3,
+        )
     }
 
     #[test]
@@ -126,7 +143,11 @@ mod tests {
         for u in 0..8_000 {
             assert_eq!(
                 out.assignment.replica_count(VertexId(u)),
-                if out.assignment.replicas(VertexId(u)).is_empty() { 0 } else { 1 },
+                if out.assignment.replicas(VertexId(u)).is_empty() {
+                    0
+                } else {
+                    1
+                },
                 "user {u} must have exactly one replica"
             );
         }
@@ -148,11 +169,23 @@ mod tests {
         // at exactly one replica regardless of item popularity.
         let g = bipartite(&BipartiteParams::default(), 3);
         let ctx = PartitionContext::new(9);
-        let bicut = BiCut::default().partition(&g, &ctx).assignment.replication_factor();
+        let bicut = BiCut::default()
+            .partition(&g, &ctx)
+            .assignment
+            .replication_factor();
         let random = Random.partition(&g, &ctx).assignment.replication_factor();
-        let grid = Grid::strict().partition(&g, &ctx).assignment.replication_factor();
-        let hybrid = Hybrid::default().partition(&g, &ctx).assignment.replication_factor();
-        assert!(bicut < random * 0.6, "BiCut {bicut:.2} vs Random {random:.2}");
+        let grid = Grid::strict()
+            .partition(&g, &ctx)
+            .assignment
+            .replication_factor();
+        let hybrid = Hybrid::default()
+            .partition(&g, &ctx)
+            .assignment
+            .replication_factor();
+        assert!(
+            bicut < random * 0.6,
+            "BiCut {bicut:.2} vs Random {random:.2}"
+        );
         assert!(bicut < grid * 0.8, "BiCut {bicut:.2} vs Grid {grid:.2}");
         assert!(bicut < hybrid, "BiCut {bicut:.2} vs Hybrid {hybrid:.2}");
     }
@@ -181,9 +214,6 @@ mod tests {
             by_dst.assignment.edge_partitions()
         );
         // Choosing the small side as favorite is much worse.
-        assert!(
-            by_src.assignment.replication_factor()
-                < by_dst.assignment.replication_factor()
-        );
+        assert!(by_src.assignment.replication_factor() < by_dst.assignment.replication_factor());
     }
 }

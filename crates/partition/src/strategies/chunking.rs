@@ -38,7 +38,12 @@ impl Partitioner for Chunking {
             .into_iter()
             .map(|c| c as f64 * (ctx.cost.parse_edge + ctx.cost.hash_assign * 0.5))
             .collect();
-        PartitionOutcome { assignment, loader_work, passes: 1, state_bytes: 0 }
+        PartitionOutcome {
+            assignment,
+            loader_work,
+            passes: 1,
+            state_bytes: 0,
+        }
     }
 }
 
@@ -57,7 +62,10 @@ mod tests {
         let g = gp_gen::barabasi_albert(5_000, 8, 1);
         let out = Chunking.partition(&g, &ctx(9));
         let b = out.assignment.balance();
-        assert!(b.max - b.min <= 1, "chunking balances by construction: {b:?}");
+        assert!(
+            b.max - b.min <= 1,
+            "chunking balances by construction: {b:?}"
+        );
     }
 
     #[test]
@@ -65,7 +73,10 @@ mod tests {
         // Sorted streams keep a vertex's out-edges contiguous, so a chunk
         // boundary can split them at most once.
         let g = gp_gen::web_graph(
-            &gp_gen::WebGraphParams { domains: 300, ..Default::default() },
+            &gp_gen::WebGraphParams {
+                domains: 300,
+                ..Default::default()
+            },
             2,
         );
         let out = Chunking.partition(&g, &ctx(8));
@@ -81,12 +92,25 @@ mod tests {
     #[test]
     fn chunking_excels_on_road_networks() {
         let g = gp_gen::road_network(
-            &gp_gen::RoadNetworkParams { width: 80, height: 80, ..Default::default() },
+            &gp_gen::RoadNetworkParams {
+                width: 80,
+                height: 80,
+                ..Default::default()
+            },
             3,
         );
-        let c = Chunking.partition(&g, &ctx(9)).assignment.replication_factor();
-        let r = Random.partition(&g, &ctx(9)).assignment.replication_factor();
-        let grid = Grid::strict().partition(&g, &ctx(9)).assignment.replication_factor();
+        let c = Chunking
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
+        let r = Random
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
+        let grid = Grid::strict()
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
         assert!(c < r * 0.6, "chunking {c:.2} vs random {r:.2}");
         assert!(c < grid, "chunking {c:.2} vs grid {grid:.2}");
     }
@@ -97,12 +121,22 @@ mod tests {
         // factor on a heavy-tailed graph is several times its road-network
         // value — the id order carries much less locality.
         let road = gp_gen::road_network(
-            &gp_gen::RoadNetworkParams { width: 80, height: 80, ..Default::default() },
+            &gp_gen::RoadNetworkParams {
+                width: 80,
+                height: 80,
+                ..Default::default()
+            },
             5,
         );
         let social = gp_gen::barabasi_albert(10_000, 8, 5);
-        let c_road = Chunking.partition(&road, &ctx(9)).assignment.replication_factor();
-        let c_social = Chunking.partition(&social, &ctx(9)).assignment.replication_factor();
+        let c_road = Chunking
+            .partition(&road, &ctx(9))
+            .assignment
+            .replication_factor();
+        let c_social = Chunking
+            .partition(&social, &ctx(9))
+            .assignment
+            .replication_factor();
         assert!(
             c_social > 2.0 * c_road,
             "social {c_social:.2} vs road {c_road:.2}"

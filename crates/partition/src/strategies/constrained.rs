@@ -82,11 +82,13 @@ impl Partitioner for Grid {
             let mv = hash_vertex(e.dst, ctx.seed) % virtual_n;
             let su = Grid::constraint_set(mu, side);
             let sv = Grid::constraint_set(mv, side);
-            let inter: Vec<u64> =
-                su.iter().copied().filter(|x| sv.binary_search(x).is_ok()).collect();
+            let inter: Vec<u64> = su
+                .iter()
+                .copied()
+                .filter(|x| sv.binary_search(x).is_ok())
+                .collect();
             debug_assert!(!inter.is_empty(), "grid constraint sets always intersect");
-            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x6161) as usize
-                % inter.len();
+            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x6161) as usize % inter.len();
             PartitionId((inter[pick] % p as u64) as u32)
         });
         PartitionOutcome {
@@ -208,11 +210,13 @@ impl Partitioner for Pds {
         let assignment = assign_stateless(graph, n, ctx.seed, |e| {
             let su = Pds::constraint_set(hash_vertex(e.src, ctx.seed), &ds, n);
             let sv = Pds::constraint_set(hash_vertex(e.dst, ctx.seed), &ds, n);
-            let inter: Vec<u64> =
-                su.iter().copied().filter(|x| sv.binary_search(x).is_ok()).collect();
+            let inter: Vec<u64> = su
+                .iter()
+                .copied()
+                .filter(|x| sv.binary_search(x).is_ok())
+                .collect();
             debug_assert!(!inter.is_empty(), "PDS lines always intersect");
-            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x9d5) as usize
-                % inter.len();
+            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x9d5) as usize % inter.len();
             PartitionId(inter[pick] as u32)
         });
         PartitionOutcome {
@@ -290,12 +294,18 @@ mod tests {
     fn grid_rf_beats_random_on_heavy_tailed() {
         // The core Fig 5.6 observation.
         let g = gp_gen::barabasi_albert(20_000, 10, 5);
-        let grid_rf = Grid::strict().partition(&g, &ctx(16)).assignment.replication_factor();
+        let grid_rf = Grid::strict()
+            .partition(&g, &ctx(16))
+            .assignment
+            .replication_factor();
         let rand_rf = crate::strategies::hash::Random
             .partition(&g, &ctx(16))
             .assignment
             .replication_factor();
-        assert!(grid_rf < rand_rf, "grid {grid_rf} should beat random {rand_rf}");
+        assert!(
+            grid_rf < rand_rf,
+            "grid {grid_rf} should beat random {rand_rf}"
+        );
     }
 
     #[test]
@@ -372,6 +382,9 @@ mod tests {
         let g = gp_gen::erdos_renyi(1_000, 5_000, 4);
         let a = Grid::strict().partition(&g, &ctx(9));
         let b = Grid::strict().partition(&g, &ctx(9));
-        assert_eq!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+        assert_eq!(
+            a.assignment.edge_partitions(),
+            b.assignment.edge_partitions()
+        );
     }
 }

@@ -190,9 +190,7 @@ mod tests {
         let out = AsymmetricRandom.partition(&g, &ctx(8));
         let split = (0..g.num_edges())
             .step_by(2)
-            .filter(|&i| {
-                out.assignment.edge_partition(i) != out.assignment.edge_partition(i + 1)
-            })
+            .filter(|&i| out.assignment.edge_partition(i) != out.assignment.edge_partition(i + 1))
             .count();
         assert!(split > 100, "expected many split pairs, got {split}");
     }
@@ -201,9 +199,14 @@ mod tests {
     fn asymmetric_rf_exceeds_canonical_rf_on_symmetric_graphs() {
         // §8.2.2: Asymmetric Random yields higher replication factors.
         let g = graph_with_reversals();
-        let rf_canon = Random.partition(&g, &ctx(9)).assignment.replication_factor();
-        let rf_asym =
-            AsymmetricRandom.partition(&g, &ctx(9)).assignment.replication_factor();
+        let rf_canon = Random
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
+        let rf_asym = AsymmetricRandom
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
         assert!(
             rf_asym > rf_canon,
             "asym {rf_asym} should exceed canonical {rf_canon}"
@@ -250,7 +253,10 @@ mod tests {
         // All partitions in range and all used.
         let counts = out.assignment.edge_counts();
         assert_eq!(counts.len(), 10);
-        assert!(counts.iter().all(|&c| c > 0), "unused partition: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "unused partition: {counts:?}"
+        );
     }
 
     #[test]
@@ -280,7 +286,10 @@ mod tests {
         let g = gp_gen::erdos_renyi(500, 2_000, 2);
         let a = Random.partition(&g, &PartitionContext::new(4).with_seed(1));
         let b = Random.partition(&g, &PartitionContext::new(4).with_seed(2));
-        assert_ne!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+        assert_ne!(
+            a.assignment.edge_partitions(),
+            b.assignment.edge_partitions()
+        );
     }
 
     #[test]

@@ -93,8 +93,16 @@ impl HdrfLoader {
             if loads[m as usize] >= capacity {
                 continue;
             }
-            let g_u = if au.binary_search(&m).is_ok() { 1.0 + (1.0 - theta_u) } else { 0.0 };
-            let g_v = if av.binary_search(&m).is_ok() { 1.0 + (1.0 - theta_v) } else { 0.0 };
+            let g_u = if au.binary_search(&m).is_ok() {
+                1.0 + (1.0 - theta_u)
+            } else {
+                0.0
+            };
+            let g_v = if av.binary_search(&m).is_ok() {
+                1.0 + (1.0 - theta_v)
+            } else {
+                0.0
+            };
             let c_rep = g_u + g_v;
             let c_bal = (max_load - loads[m as usize] as f64) / (EPS + max_load - min_load);
             let score = c_rep + self.lambda * c_bal;
@@ -155,7 +163,10 @@ impl Partitioner for Hdrf {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("loader thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loader thread"))
+                .collect()
         })
         .expect("loader scope");
         let mut parts = Vec::with_capacity(graph.num_edges());
@@ -206,7 +217,7 @@ mod tests {
         // joining them where u lives on p0 and w on p1: HDRF should prefer
         // keeping LOW-degree w intact (place on p1, replicating hub u).
         let mut l = HdrfLoader::new(2, 1, 0.0); // no balance term
-        // Build hub u = 0 on p0.
+                                                // Build hub u = 0 on p0.
         for i in 10..30u64 {
             let e = Edge::new(0u64, i);
             l.choose(e);
@@ -218,23 +229,39 @@ mod tests {
         l.greedy.commit(ew, PartitionId(1));
         // Now the contested edge.
         let p = l.choose(Edge::new(0u64, 99u64));
-        assert_eq!(p, PartitionId(1), "HDRF must replicate the high-degree endpoint");
+        assert_eq!(
+            p,
+            PartitionId(1),
+            "HDRF must replicate the high-degree endpoint"
+        );
     }
 
     #[test]
     fn hdrf_close_to_oblivious_at_lambda_one() {
         // Footnote §5.4.2: λ=1 makes HDRF and Oblivious perform similarly.
         let g = gp_gen::barabasi_albert(10_000, 8, 4);
-        let h = Hdrf::recommended().partition(&g, &centralized(9)).assignment.replication_factor();
-        let o = Oblivious.partition(&g, &centralized(9)).assignment.replication_factor();
+        let h = Hdrf::recommended()
+            .partition(&g, &centralized(9))
+            .assignment
+            .replication_factor();
+        let o = Oblivious
+            .partition(&g, &centralized(9))
+            .assignment
+            .replication_factor();
         assert!((h - o).abs() / o < 0.2, "HDRF {h} vs Oblivious {o}");
     }
 
     #[test]
     fn hdrf_beats_random_on_power_law() {
         let g = gp_gen::rmat(&gp_gen::RmatParams::web_graph(13, 60_000), 5);
-        let h = Hdrf::recommended().partition(&g, &centralized(9)).assignment.replication_factor();
-        let r = Random.partition(&g, &PartitionContext::new(9)).assignment.replication_factor();
+        let h = Hdrf::recommended()
+            .partition(&g, &centralized(9))
+            .assignment
+            .replication_factor();
+        let r = Random
+            .partition(&g, &PartitionContext::new(9))
+            .assignment
+            .replication_factor();
         assert!(h < r * 0.8, "HDRF {h} should clearly beat Random {r}");
     }
 
@@ -265,7 +292,10 @@ mod tests {
         let g = gp_gen::erdos_renyi(1_000, 8_000, 6);
         let a = Hdrf::recommended().partition(&g, &PartitionContext::new(4));
         let b = Hdrf::recommended().partition(&g, &PartitionContext::new(4));
-        assert_eq!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+        assert_eq!(
+            a.assignment.edge_partitions(),
+            b.assignment.edge_partitions()
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub struct Hybrid {
 
 impl Default for Hybrid {
     fn default() -> Self {
-        Hybrid { threshold: DEFAULT_THRESHOLD }
+        Hybrid {
+            threshold: DEFAULT_THRESHOLD,
+        }
     }
 }
 
@@ -144,7 +146,9 @@ pub struct HybridGinger {
 
 impl Default for HybridGinger {
     fn default() -> Self {
-        HybridGinger { threshold: DEFAULT_THRESHOLD }
+        HybridGinger {
+            threshold: DEFAULT_THRESHOLD,
+        }
     }
 }
 
@@ -189,8 +193,7 @@ impl Partitioner for HybridGinger {
             for u in csr.in_neighbors(vid) {
                 affinity[homes[u.index()].index()] += 1;
             }
-            ginger_work +=
-                ctx.cost.ginger_base + ctx.cost.ginger_per_neighbor * in_deg[v] as f64;
+            ginger_work += ctx.cost.ginger_base + ctx.cost.ginger_per_neighbor * in_deg[v] as f64;
             let current = homes[v].index();
             let mut best = current;
             let mut best_score = f64::NEG_INFINITY;
@@ -250,7 +253,12 @@ impl Partitioner for HybridGinger {
         let state_bytes = Hybrid::base_state_bytes(graph, ctx)
             + graph.num_edges() as u64 * 8 / ctx.num_loaders as u64
             + graph.num_vertices() * 8;
-        PartitionOutcome { assignment, loader_work, passes: 3, state_bytes }
+        PartitionOutcome {
+            assignment,
+            loader_work,
+            passes: 3,
+            state_bytes,
+        }
     }
 }
 
@@ -334,17 +342,31 @@ mod tests {
     fn ginger_rf_not_worse_than_hybrid() {
         // §6.4.4: slightly better replication factor than Hybrid.
         let g = gp_gen::barabasi_albert(10_000, 8, 3);
-        let h = Hybrid::default().partition(&g, &ctx(9)).assignment.replication_factor();
-        let hg =
-            HybridGinger::default().partition(&g, &ctx(9)).assignment.replication_factor();
-        assert!(hg <= h * 1.02, "Ginger {hg} should not be worse than Hybrid {h}");
+        let h = Hybrid::default()
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
+        let hg = HybridGinger::default()
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
+        assert!(
+            hg <= h * 1.02,
+            "Ginger {hg} should not be worse than Hybrid {h}"
+        );
     }
 
     #[test]
     fn hybrid_beats_random_on_heavy_tailed() {
         let g = gp_gen::barabasi_albert(10_000, 8, 6);
-        let h = Hybrid::default().partition(&g, &ctx(9)).assignment.replication_factor();
-        let r = Random.partition(&g, &ctx(9)).assignment.replication_factor();
+        let h = Hybrid::default()
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
+        let r = Random
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
         assert!(h < r, "Hybrid {h} vs Random {r}");
     }
 
@@ -352,14 +374,21 @@ mod tests {
     fn oblivious_beats_hybrid_on_low_degree_graphs() {
         // §6.4.4: "Oblivious is a better choice for low-degree graphs".
         let g = gp_gen::road_network(
-            &gp_gen::RoadNetworkParams { width: 60, height: 60, ..Default::default() },
+            &gp_gen::RoadNetworkParams {
+                width: 60,
+                height: 60,
+                ..Default::default()
+            },
             4,
         );
         let ob = Oblivious
             .partition(&g, &PartitionContext::new(9).with_loaders(1))
             .assignment
             .replication_factor();
-        let h = Hybrid::default().partition(&g, &ctx(9)).assignment.replication_factor();
+        let h = Hybrid::default()
+            .partition(&g, &ctx(9))
+            .assignment
+            .replication_factor();
         assert!(ob < h, "Oblivious {ob} vs Hybrid {h}");
     }
 
@@ -407,6 +436,9 @@ mod tests {
         let g = gp_gen::barabasi_albert(3_000, 5, 8);
         let a = HybridGinger::default().partition(&g, &ctx(4));
         let b = HybridGinger::default().partition(&g, &ctx(4));
-        assert_eq!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+        assert_eq!(
+            a.assignment.edge_partitions(),
+            b.assignment.edge_partitions()
+        );
     }
 }

@@ -93,17 +93,23 @@ impl GreedyState {
         } else {
             candidates
         };
-        let min = cands.iter().map(|&c| self.load[c as usize]).min().expect("non-empty");
-        let tied: Vec<u32> =
-            cands.iter().copied().filter(|&c| self.load[c as usize] == min).collect();
+        let min = cands
+            .iter()
+            .map(|&c| self.load[c as usize])
+            .min()
+            .expect("non-empty");
+        let tied: Vec<u32> = cands
+            .iter()
+            .copied()
+            .filter(|&c| self.load[c as usize] == min)
+            .collect();
         let pick = self.rng.next_below(tied.len() as u64) as usize;
         PartitionId(tied[pick])
     }
 
     /// Approximate bytes of loader state (for ingress memory accounting).
     pub fn state_bytes(&self) -> u64 {
-        let replica_bytes: u64 =
-            self.a.values().map(|l| 32 + 4 * l.len() as u64).sum();
+        let replica_bytes: u64 = self.a.values().map(|l| 32 + 4 * l.len() as u64).sum();
         replica_bytes + 8 * self.load.len() as u64
     }
 }
@@ -114,7 +120,11 @@ impl GreedyState {
 pub(crate) fn oblivious_choose(state: &mut GreedyState, e: Edge) -> PartitionId {
     let au = state.replicas(e.src).to_vec();
     let av = state.replicas(e.dst).to_vec();
-    let inter: Vec<u32> = au.iter().copied().filter(|x| av.binary_search(x).is_ok()).collect();
+    let inter: Vec<u32> = au
+        .iter()
+        .copied()
+        .filter(|x| av.binary_search(x).is_ok())
+        .collect();
     let choice = if !inter.is_empty() {
         // Case 1: replicas of both already co-located somewhere.
         state.least_loaded(&inter)
@@ -174,7 +184,10 @@ impl Partitioner for Oblivious {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("loader thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loader thread"))
+                .collect()
         })
         .expect("loader scope");
         let mut parts = Vec::with_capacity(graph.num_edges());
@@ -233,7 +246,11 @@ mod tests {
         let mut s = GreedyState::new(2, 1);
         s.load = vec![5, 0];
         let p = oblivious_choose(&mut s, Edge::new(10u64, 11u64));
-        assert_eq!(p, PartitionId(1), "fresh edge must go to the least-loaded machine");
+        assert_eq!(
+            p,
+            PartitionId(1),
+            "fresh edge must go to the least-loaded machine"
+        );
     }
 
     #[test]
@@ -250,27 +267,43 @@ mod tests {
     fn oblivious_rf_beats_random_on_low_degree_graphs() {
         // §5.4.2: heuristics shine on low-degree graphs.
         let g = gp_gen::road_network(
-            &gp_gen::RoadNetworkParams { width: 60, height: 60, ..Default::default() },
+            &gp_gen::RoadNetworkParams {
+                width: 60,
+                height: 60,
+                ..Default::default()
+            },
             3,
         );
-        let ob = Oblivious.partition(&g, &centralized(9)).assignment.replication_factor();
+        let ob = Oblivious
+            .partition(&g, &centralized(9))
+            .assignment
+            .replication_factor();
         let rnd = crate::strategies::hash::Random
             .partition(&g, &ctx(9))
             .assignment
             .replication_factor();
-        assert!(ob < rnd * 0.75, "oblivious {ob} should clearly beat random {rnd}");
+        assert!(
+            ob < rnd * 0.75,
+            "oblivious {ob} should clearly beat random {rnd}"
+        );
     }
 
     #[test]
     fn distributed_oblivious_is_worse_than_centralized() {
         // Per-loader state loses information — more loaders, higher RF.
         let g = gp_gen::barabasi_albert(8_000, 6, 2);
-        let central = Oblivious.partition(&g, &centralized(8)).assignment.replication_factor();
+        let central = Oblivious
+            .partition(&g, &centralized(8))
+            .assignment
+            .replication_factor();
         let dist = Oblivious
             .partition(&g, &PartitionContext::new(8).with_loaders(8))
             .assignment
             .replication_factor();
-        assert!(dist >= central, "distributed {dist} vs centralized {central}");
+        assert!(
+            dist >= central,
+            "distributed {dist} vs centralized {central}"
+        );
     }
 
     #[test]
@@ -286,16 +319,26 @@ mod tests {
         // road network's.
         let hub = gp_gen::barabasi_albert(4_000, 8, 1);
         let road = gp_gen::road_network(
-            &gp_gen::RoadNetworkParams { width: 65, height: 65, ..Default::default() },
+            &gp_gen::RoadNetworkParams {
+                width: 65,
+                height: 65,
+                ..Default::default()
+            },
             1,
         );
         let ctx9 = centralized(9);
-        let w_hub: f64 =
-            Oblivious.partition(&hub, &ctx9).loader_work.iter().sum::<f64>()
-                / hub.num_edges() as f64;
-        let w_road: f64 =
-            Oblivious.partition(&road, &ctx9).loader_work.iter().sum::<f64>()
-                / road.num_edges() as f64;
+        let w_hub: f64 = Oblivious
+            .partition(&hub, &ctx9)
+            .loader_work
+            .iter()
+            .sum::<f64>()
+            / hub.num_edges() as f64;
+        let w_road: f64 = Oblivious
+            .partition(&road, &ctx9)
+            .loader_work
+            .iter()
+            .sum::<f64>()
+            / road.num_edges() as f64;
         assert!(
             w_hub > w_road * 1.1,
             "per-edge work: hub {w_hub} should exceed road {w_road}"
@@ -307,9 +350,15 @@ mod tests {
         let g = gp_gen::erdos_renyi(1_000, 8_000, 5);
         let a = Oblivious.partition(&g, &ctx(4));
         let b = Oblivious.partition(&g, &ctx(4));
-        assert_eq!(a.assignment.edge_partitions(), b.assignment.edge_partitions());
+        assert_eq!(
+            a.assignment.edge_partitions(),
+            b.assignment.edge_partitions()
+        );
         let c = Oblivious.partition(&g, &PartitionContext::new(4).with_seed(99));
-        assert_ne!(a.assignment.edge_partitions(), c.assignment.edge_partitions());
+        assert_ne!(
+            a.assignment.edge_partitions(),
+            c.assignment.edge_partitions()
+        );
     }
 
     #[test]

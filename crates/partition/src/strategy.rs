@@ -167,9 +167,7 @@ impl Strategy {
     /// 1D-Target is native to none.
     pub fn native_systems(self) -> &'static [System] {
         match self {
-            Strategy::Random => {
-                &[System::PowerGraph, System::PowerLyra, System::GraphX]
-            }
+            Strategy::Random => &[System::PowerGraph, System::PowerLyra, System::GraphX],
             Strategy::AsymmetricRandom | Strategy::OneD | Strategy::TwoD => &[System::GraphX],
             Strategy::Grid | Strategy::Pds | Strategy::Oblivious => {
                 &[System::PowerGraph, System::PowerLyra]
@@ -267,8 +265,14 @@ mod tests {
     fn from_str_accepts_labels_and_aliases() {
         assert_eq!("HDRF".parse::<Strategy>().unwrap(), Strategy::Hdrf);
         assert_eq!("hdrf".parse::<Strategy>().unwrap(), Strategy::Hdrf);
-        assert_eq!("1D-Target".parse::<Strategy>().unwrap(), Strategy::OneDTarget);
-        assert_eq!("ginger".parse::<Strategy>().unwrap(), Strategy::HybridGinger);
+        assert_eq!(
+            "1D-Target".parse::<Strategy>().unwrap(),
+            Strategy::OneDTarget
+        );
+        assert_eq!(
+            "ginger".parse::<Strategy>().unwrap(),
+            Strategy::HybridGinger
+        );
         assert_eq!(
             "canonical-random".parse::<Strategy>().unwrap(),
             Strategy::Random

@@ -48,8 +48,13 @@ fn main() {
     };
 
     bench("BiCut", Box::new(BiCut::default()));
-    for s in [Strategy::Hybrid, Strategy::Hdrf, Strategy::Grid, Strategy::TwoD, Strategy::Random]
-    {
+    for s in [
+        Strategy::Hybrid,
+        Strategy::Hdrf,
+        Strategy::Grid,
+        Strategy::TwoD,
+        Strategy::Random,
+    ] {
         bench(s.label(), s.build());
     }
 

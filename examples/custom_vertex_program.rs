@@ -15,7 +15,7 @@ use distgraph::engine::{
     ApplyInfo, Direction, EngineConfig, HybridGas, InitInfo, Pregel, PregelConfig, SyncGas,
     VertexProgram,
 };
-use distgraph::gen::{barabasi_albert};
+use distgraph::gen::barabasi_albert;
 use distgraph::partition::{PartitionContext, Strategy};
 
 /// Propagate the maximum id along reversed edges.
@@ -79,7 +79,11 @@ fn main() {
         .partition(&graph, &PartitionContext::new(9).with_seed(11))
         .assignment;
     let program = MaxBackward;
-    println!("program '{}' is natural: {}", program.name(), program.is_natural());
+    println!(
+        "program '{}' is natural: {}",
+        program.name(),
+        program.is_natural()
+    );
 
     // PowerGraph-style synchronous GAS.
     let sync = SyncGas::new(EngineConfig::new(ClusterSpec::local_9()));
@@ -91,8 +95,12 @@ fn main() {
     let (s2, r2) = hybrid.run(&graph, &assignment, &program);
 
     // GraphX-style Pregel.
-    let pregel = Pregel::new(PregelConfig::new(EngineConfig::new(ClusterSpec::local_10())));
-    let (s3, r3) = pregel.run(&graph, &assignment, &program).expect("fits in memory");
+    let pregel = Pregel::new(PregelConfig::new(
+        EngineConfig::new(ClusterSpec::local_10()),
+    ));
+    let (s3, r3) = pregel
+        .run(&graph, &assignment, &program)
+        .expect("fits in memory");
 
     assert_eq!(s1, s2, "engines must agree on results");
     assert_eq!(s1, s3, "engines must agree on results");

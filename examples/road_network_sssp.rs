@@ -20,7 +20,11 @@ use distgraph::partition::{PartitionContext, Strategy};
 fn main() {
     // A 150x150 junction grid with a few missing streets and highways.
     let graph = road_network(
-        &RoadNetworkParams { width: 150, height: 150, ..Default::default() },
+        &RoadNetworkParams {
+            width: 150,
+            height: 150,
+            ..Default::default()
+        },
         2024,
     );
     println!(
@@ -31,7 +35,12 @@ fn main() {
 
     let ctx = PartitionContext::new(9).with_seed(2024);
     println!("\nreplication factors on 9 machines (lower is better):");
-    for strategy in [Strategy::Hdrf, Strategy::Oblivious, Strategy::Grid, Strategy::Random] {
+    for strategy in [
+        Strategy::Hdrf,
+        Strategy::Oblivious,
+        Strategy::Grid,
+        Strategy::Random,
+    ] {
         let rf = strategy
             .build()
             .partition(&graph, &ctx)
@@ -45,19 +54,31 @@ fn main() {
     let outcome = Strategy::Hdrf.build().partition(&graph, &ctx);
     let engine = SyncGas::new(EngineConfig::new(ClusterSpec::local_9()));
     let source = VertexId(0);
-    let (dist, report) =
-        engine.run(&graph, &outcome.assignment, &Sssp::undirected(source));
+    let (dist, report) = engine.run(&graph, &outcome.assignment, &Sssp::undirected(source));
 
     let reachable = dist.iter().filter(|&&d| d != INFINITY).count();
-    let eccentricity = dist.iter().filter(|&&d| d != INFINITY).max().copied().unwrap_or(0);
+    let eccentricity = dist
+        .iter()
+        .filter(|&&d| d != INFINITY)
+        .max()
+        .copied()
+        .unwrap_or(0);
     println!(
         "\nSSSP from {source}: {} supersteps (frontier advances one hop per step)",
         report.supersteps()
     );
-    println!("reachable junctions: {reachable} / {}", graph.num_vertices());
+    println!(
+        "reachable junctions: {reachable} / {}",
+        graph.num_vertices()
+    );
     println!("farthest reachable junction is {eccentricity} hops away");
     println!(
         "peak frontier size: {} junctions",
-        report.steps.iter().map(|s| s.active_vertices).max().unwrap_or(0)
+        report
+            .steps
+            .iter()
+            .map(|s| s.active_vertices)
+            .max()
+            .unwrap_or(0)
     );
 }

@@ -20,9 +20,27 @@ fn main() {
 
     // Walk three representative scenarios through the trees.
     let scenarios = [
-        ("30-iteration PageRank on a web crawl, 25 machines", Dataset::UkWeb, 25, 5.0, true),
-        ("one-shot WCC on a social network, 16 machines", Dataset::Twitter, 16, 0.4, false),
-        ("repeated SSSP on a road network, 10 machines", Dataset::RoadNetUsa, 10, 3.0, true),
+        (
+            "30-iteration PageRank on a web crawl, 25 machines",
+            Dataset::UkWeb,
+            25,
+            5.0,
+            true,
+        ),
+        (
+            "one-shot WCC on a social network, 16 machines",
+            Dataset::Twitter,
+            16,
+            0.4,
+            false,
+        ),
+        (
+            "repeated SSSP on a road network, 10 machines",
+            Dataset::RoadNetUsa,
+            10,
+            3.0,
+            true,
+        ),
     ];
 
     for (desc, dataset, machines, ratio, natural) in scenarios {
@@ -40,19 +58,31 @@ fn main() {
         let pg = powergraph(&w);
         println!(
             "  PowerGraph: {}   [{}]",
-            pg.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join("/"),
+            pg.strategies
+                .iter()
+                .map(|s| s.label())
+                .collect::<Vec<_>>()
+                .join("/"),
             pg.path.join(" → ")
         );
         let pl = powerlyra(&w);
         println!(
             "  PowerLyra : {}   [{}]",
-            pl.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join("/"),
+            pl.strategies
+                .iter()
+                .map(|s| s.label())
+                .collect::<Vec<_>>()
+                .join("/"),
             pl.path.join(" → ")
         );
         let gx = graphx_all(&w);
         println!(
             "  GraphX    : {}   [{}]",
-            gx.strategies.iter().map(|s| s.label()).collect::<Vec<_>>().join("/"),
+            gx.strategies
+                .iter()
+                .map(|s| s.label())
+                .collect::<Vec<_>>()
+                .join("/"),
             gx.path.join(" → ")
         );
         println!();

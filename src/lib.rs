@@ -11,6 +11,7 @@
 //! * [`gen`] (gp-gen) — synthetic dataset analogues + degree analysis.
 //! * [`partition`] (gp-partition) — the eleven partitioning strategies.
 //! * [`cluster`] (gp-cluster) — simulated cluster and resource models.
+//! * [`fault`] (gp-fault) — fault injection, checkpointing, recovery pricing.
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
 //! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
 //! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
@@ -20,6 +21,7 @@ pub use gp_apps as apps;
 pub use gp_cluster as cluster;
 pub use gp_core as core;
 pub use gp_engine as engine;
+pub use gp_fault as fault;
 pub use gp_gen as gen;
 pub use gp_partition as partition;
 

@@ -65,7 +65,12 @@ fn powergraph_tree_matches_measurement_on_heavy_tailed_graphs() {
         &spec,
         EngineKind::PowerGraph,
         app,
-        &[Strategy::Random, Strategy::Grid, Strategy::Oblivious, Strategy::Hdrf],
+        &[
+            Strategy::Random,
+            Strategy::Grid,
+            Strategy::Oblivious,
+            Strategy::Hdrf,
+        ],
     );
     let rec = advisor::powergraph(&Workload {
         graph_class: class,
@@ -88,7 +93,12 @@ fn powergraph_tree_matches_measurement_on_road_networks() {
         &spec,
         EngineKind::PowerGraph,
         app,
-        &[Strategy::Random, Strategy::Grid, Strategy::Oblivious, Strategy::Hdrf],
+        &[
+            Strategy::Random,
+            Strategy::Grid,
+            Strategy::Oblivious,
+            Strategy::Hdrf,
+        ],
     );
     let rec = advisor::powergraph(&Workload {
         graph_class: class,
@@ -105,16 +115,33 @@ fn powergraph_tree_job_duration_crossover_on_power_law() {
     let spec = ClusterSpec::ec2_25();
     let dataset = Dataset::UkWeb;
     let strategies = [Strategy::Grid, Strategy::Hdrf];
-    let short = measure(dataset, &spec, EngineKind::PowerGraph, App::PageRankConv, &strategies);
-    assert_eq!(short[0].0, Strategy::Grid, "short job should favor Grid: {short:?}");
+    let short = measure(
+        dataset,
+        &spec,
+        EngineKind::PowerGraph,
+        App::PageRankConv,
+        &strategies,
+    );
+    assert_eq!(
+        short[0].0,
+        Strategy::Grid,
+        "short job should favor Grid: {short:?}"
+    );
     let long = measure(
         dataset,
         &spec,
         EngineKind::PowerGraph,
-        App::KCore { k_min: 10, k_max: 20 },
+        App::KCore {
+            k_min: 10,
+            k_max: 20,
+        },
         &strategies,
     );
-    assert_eq!(long[0].0, Strategy::Hdrf, "long job should favor HDRF: {long:?}");
+    assert_eq!(
+        long[0].0,
+        Strategy::Hdrf,
+        "long job should favor HDRF: {long:?}"
+    );
 }
 
 #[test]
@@ -194,7 +221,12 @@ fn suboptimal_choice_costs_real_time() {
         &spec,
         EngineKind::PowerGraph,
         App::PageRankFixed(10),
-        &[Strategy::Random, Strategy::Grid, Strategy::Oblivious, Strategy::Hdrf],
+        &[
+            Strategy::Random,
+            Strategy::Grid,
+            Strategy::Oblivious,
+            Strategy::Hdrf,
+        ],
     );
     let best = timed.first().unwrap().1;
     let worst = timed.last().unwrap().1;

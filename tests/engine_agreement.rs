@@ -12,7 +12,9 @@ fn assignment(
     s: Strategy,
     p: u32,
 ) -> distgraph::partition::Assignment {
-    s.build().partition(g, &PartitionContext::new(p).with_seed(5)).assignment
+    s.build()
+        .partition(g, &PartitionContext::new(p).with_seed(5))
+        .assignment
 }
 
 #[test]
@@ -24,7 +26,12 @@ fn results_are_invariant_across_strategies_and_engines() {
     let pregel = Pregel::new(PregelConfig::new(EngineConfig::new(spec)));
 
     let mut reference: Option<Vec<u64>> = None;
-    for strategy in [Strategy::Random, Strategy::Grid, Strategy::Hdrf, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::Grid,
+        Strategy::Hdrf,
+        Strategy::Hybrid,
+    ] {
         let a = assignment(&g, strategy, 9);
         let (s1, _) = sync.run(&g, &a, &Wcc);
         let (s2, _) = hybrid.run(&g, &a, &Wcc);
@@ -44,8 +51,7 @@ fn pagerank_agrees_across_engines_to_numeric_precision() {
     let a = assignment(&g, Strategy::Hybrid, 9);
     let spec = ClusterSpec::local_9();
     let (r1, _) = SyncGas::new(EngineConfig::new(spec.clone())).run(&g, &a, &PageRank::fixed(10));
-    let (r2, _) =
-        HybridGas::new(EngineConfig::new(spec.clone())).run(&g, &a, &PageRank::fixed(10));
+    let (r2, _) = HybridGas::new(EngineConfig::new(spec.clone())).run(&g, &a, &PageRank::fixed(10));
     let (r3, _) = Pregel::new(PregelConfig::new(EngineConfig::new(spec)))
         .run(&g, &a, &PageRank::fixed(10))
         .expect("fits");
@@ -79,7 +85,12 @@ fn async_coloring_is_proper_for_every_strategy() {
     let g = Dataset::LiveJournal.generate(0.05, 7);
     let spec = ClusterSpec::local_9();
     let engine = AsyncGas::new(EngineConfig::new(spec));
-    for strategy in [Strategy::Random, Strategy::Grid, Strategy::Oblivious, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::Random,
+        Strategy::Grid,
+        Strategy::Oblivious,
+        Strategy::Hybrid,
+    ] {
         let a = assignment(&g, strategy, 9);
         let (colors, report) = engine.run(&g, &a, &Coloring);
         assert!(report.converged, "{strategy:?} did not converge");

@@ -8,8 +8,12 @@ use distgraph::gen::Dataset;
 use distgraph::partition::Strategy;
 use gp_bench::{pearson, App, EngineKind, Pipeline};
 
-const STRATEGIES: [Strategy; 4] =
-    [Strategy::Random, Strategy::Hdrf, Strategy::Oblivious, Strategy::Grid];
+const STRATEGIES: [Strategy; 4] = [
+    Strategy::Random,
+    Strategy::Hdrf,
+    Strategy::Oblivious,
+    Strategy::Grid,
+];
 
 fn jobs(app: App) -> Vec<gp_bench::JobResult> {
     let mut pipeline = Pipeline::new(0.25, 42);
@@ -22,8 +26,10 @@ fn jobs(app: App) -> Vec<gp_bench::JobResult> {
 
 fn check_linear(app: App, metric: impl Fn(&gp_bench::JobResult) -> f64, what: &str) {
     let jobs = jobs(app);
-    let points: Vec<(f64, f64)> =
-        jobs.iter().map(|j| (j.replication_factor, metric(j))).collect();
+    let points: Vec<(f64, f64)> = jobs
+        .iter()
+        .map(|j| (j.replication_factor, metric(j)))
+        .collect();
     let r = pearson(&points);
     assert!(
         r > 0.9,
@@ -37,7 +43,11 @@ fn check_linear(app: App, metric: impl Fn(&gp_bench::JobResult) -> f64, what: &s
 
 #[test]
 fn network_io_linear_in_replication_factor() {
-    for app in [App::PageRankFixed(10), App::Wcc, App::Sssp { undirected: true }] {
+    for app in [
+        App::PageRankFixed(10),
+        App::Wcc,
+        App::Sssp { undirected: true },
+    ] {
         check_linear(app, |j| j.mean_net_in_bytes, "network IO");
     }
 }

@@ -15,15 +15,17 @@ fn graph() -> distgraph::core::EdgeList {
 
 fn assignment(parts: u32) -> (distgraph::core::EdgeList, distgraph::partition::Assignment) {
     let g = graph();
-    let a = Strategy::Grid.build().partition(&g, &PartitionContext::new(parts).with_seed(11));
+    let a = Strategy::Grid
+        .build()
+        .partition(&g, &PartitionContext::new(parts).with_seed(11));
     (g, a.assignment)
 }
 
 #[test]
 fn per_step_bytes_sum_to_report_totals() {
     let (g, a) = assignment(9);
-    let (_, report) = SyncGas::new(EngineConfig::new(ClusterSpec::local_9()))
-        .run(&g, &a, &PageRank::fixed(5));
+    let (_, report) =
+        SyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(&g, &a, &PageRank::fixed(5));
     let manual: f64 = report
         .steps
         .iter()
@@ -39,8 +41,7 @@ fn per_step_bytes_sum_to_report_totals() {
 #[test]
 fn wall_time_equals_cumulative_tail() {
     let (g, a) = assignment(9);
-    let (_, report) =
-        SyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(&g, &a, &Wcc);
+    let (_, report) = SyncGas::new(EngineConfig::new(ClusterSpec::local_9())).run(&g, &a, &Wcc);
     let cumulative = report.cumulative_seconds();
     assert_eq!(cumulative.len() as u32, report.supersteps());
     assert!((cumulative.last().unwrap() - report.compute_seconds()).abs() < 1e-9);
@@ -130,7 +131,13 @@ fn ingress_seconds_scale_with_dataset_scale() {
     let spec = ClusterSpec::ec2_25();
     let ingress = |scale: f64| {
         let mut p = Pipeline::new(scale, 5);
-        p.ingress(Dataset::Twitter, Strategy::Grid, &spec, EngineKind::PowerGraph).1
+        p.ingress(
+            Dataset::Twitter,
+            Strategy::Grid,
+            &spec,
+            EngineKind::PowerGraph,
+        )
+        .1
     };
     let small = ingress(0.05);
     let large = ingress(0.25);

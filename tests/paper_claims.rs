@@ -24,7 +24,11 @@ fn asymmetric_random_is_worse_than_canonical_random() {
     for d in [Dataset::RoadNetCa, Dataset::Twitter, Dataset::UkWeb] {
         let g = d.generate(0.2, SEED);
         let ctx = PartitionContext::new(9).with_seed(SEED);
-        let canon = Strategy::Random.build().partition(&g, &ctx).assignment.replication_factor();
+        let canon = Strategy::Random
+            .build()
+            .partition(&g, &ctx)
+            .assignment
+            .replication_factor();
         let asym = Strategy::AsymmetricRandom
             .build()
             .partition(&g, &ctx)
@@ -39,21 +43,48 @@ fn grid_beats_heuristics_on_heavy_tailed_but_not_power_law() {
     // Fig 5.6's central contrast.
     let ctx = PartitionContext::new(25).with_seed(SEED);
     let heavy = Dataset::Twitter.generate(0.25, SEED);
-    let grid_h = Strategy::Grid.build().partition(&heavy, &ctx).assignment.replication_factor();
-    let hdrf_h = Strategy::Hdrf.build().partition(&heavy, &ctx).assignment.replication_factor();
-    assert!(grid_h < hdrf_h, "heavy-tailed: Grid {grid_h:.2} should beat HDRF {hdrf_h:.2}");
+    let grid_h = Strategy::Grid
+        .build()
+        .partition(&heavy, &ctx)
+        .assignment
+        .replication_factor();
+    let hdrf_h = Strategy::Hdrf
+        .build()
+        .partition(&heavy, &ctx)
+        .assignment
+        .replication_factor();
+    assert!(
+        grid_h < hdrf_h,
+        "heavy-tailed: Grid {grid_h:.2} should beat HDRF {hdrf_h:.2}"
+    );
 
     let web = Dataset::UkWeb.generate(0.25, SEED);
-    let grid_w = Strategy::Grid.build().partition(&web, &ctx).assignment.replication_factor();
-    let hdrf_w = Strategy::Hdrf.build().partition(&web, &ctx).assignment.replication_factor();
-    assert!(hdrf_w < grid_w, "power-law: HDRF {hdrf_w:.2} should beat Grid {grid_w:.2}");
+    let grid_w = Strategy::Grid
+        .build()
+        .partition(&web, &ctx)
+        .assignment
+        .replication_factor();
+    let hdrf_w = Strategy::Hdrf
+        .build()
+        .partition(&web, &ctx)
+        .assignment
+        .replication_factor();
+    assert!(
+        hdrf_w < grid_w,
+        "power-law: HDRF {hdrf_w:.2} should beat Grid {grid_w:.2}"
+    );
 }
 
 #[test]
 fn heuristics_have_lowest_rf_on_road_networks() {
     let g = Dataset::RoadNetUsa.generate(0.15, SEED);
     let ctx = PartitionContext::new(9).with_seed(SEED);
-    let rf = |s: Strategy| s.build().partition(&g, &ctx).assignment.replication_factor();
+    let rf = |s: Strategy| {
+        s.build()
+            .partition(&g, &ctx)
+            .assignment
+            .replication_factor()
+    };
     let hdrf = rf(Strategy::Hdrf);
     assert!(hdrf < rf(Strategy::Grid));
     assert!(hdrf < rf(Strategy::Random));
@@ -69,12 +100,24 @@ fn ginger_tradeoff_matches_section_6_4_4() {
     let ginger = Strategy::HybridGinger.build().partition(&g, &ctx);
     let hybrid_work: f64 = hybrid.loader_work.iter().sum();
     let ginger_work: f64 = ginger.loader_work.iter().sum();
-    assert!(ginger_work > 1.2 * hybrid_work, "Ginger ingress should be significantly slower");
-    assert!(ginger.state_bytes > hybrid.state_bytes, "Ginger should use more memory");
+    assert!(
+        ginger_work > 1.2 * hybrid_work,
+        "Ginger ingress should be significantly slower"
+    );
+    assert!(
+        ginger.state_bytes > hybrid.state_bytes,
+        "Ginger should use more memory"
+    );
     let rf_h = hybrid.assignment.replication_factor();
     let rf_g = ginger.assignment.replication_factor();
-    assert!(rf_g <= rf_h * 1.02, "Ginger RF {rf_g:.2} should not exceed Hybrid {rf_h:.2}");
-    assert!(rf_g >= rf_h * 0.75, "Ginger RF gain should be modest, got {rf_g:.2} vs {rf_h:.2}");
+    assert!(
+        rf_g <= rf_h * 1.02,
+        "Ginger RF {rf_g:.2} should not exceed Hybrid {rf_h:.2}"
+    );
+    assert!(
+        rf_g >= rf_h * 0.75,
+        "Ginger RF gain should be modest, got {rf_g:.2} vs {rf_h:.2}"
+    );
 }
 
 #[test]
@@ -110,7 +153,13 @@ fn one_d_target_beats_one_d_for_pagerank_under_powerlyra() {
     let mut pipeline = Pipeline::new(0.2, SEED);
     let spec = ClusterSpec::local_9();
     let run = |p: &mut Pipeline, s| {
-        p.run(Dataset::Twitter, s, &spec, EngineKind::PowerLyra, App::PageRankFixed(10))
+        p.run(
+            Dataset::Twitter,
+            s,
+            &spec,
+            EngineKind::PowerLyra,
+            App::PageRankFixed(10),
+        )
     };
     let oned = run(&mut pipeline, Strategy::OneD);
     let oned_t = run(&mut pipeline, Strategy::OneDTarget);
@@ -131,7 +180,10 @@ fn graphx_cannot_load_twitter_scale_graphs_in_small_executors() {
         Dataset::Twitter,
         Strategy::Random,
         &spec,
-        EngineKind::GraphX { partitions_per_machine: 16, executor_memory_bytes: 1 << 20 },
+        EngineKind::GraphX {
+            partitions_per_machine: 16,
+            executor_memory_bytes: 1 << 20,
+        },
         App::PageRankFixed(10),
     );
     assert!(job.failed);
@@ -152,17 +204,25 @@ fn graphx_partitioning_speeds_are_similar_for_native_strategies() {
     // hash-based, they all run at similar speeds".
     let mut pipeline = Pipeline::new(0.2, SEED);
     let spec = ClusterSpec::local_10();
-    let times: Vec<f64> = [Strategy::Random, Strategy::AsymmetricRandom, Strategy::OneD, Strategy::TwoD]
-        .iter()
-        .map(|&s| {
-            pipeline
-                .ingress(Dataset::LiveJournal, s, &spec, EngineKind::graphx_default())
-                .1
-        })
-        .collect();
+    let times: Vec<f64> = [
+        Strategy::Random,
+        Strategy::AsymmetricRandom,
+        Strategy::OneD,
+        Strategy::TwoD,
+    ]
+    .iter()
+    .map(|&s| {
+        pipeline
+            .ingress(Dataset::LiveJournal, s, &spec, EngineKind::graphx_default())
+            .1
+    })
+    .collect();
     let max = times.iter().copied().fold(f64::MIN, f64::max);
     let min = times.iter().copied().fold(f64::MAX, f64::min);
-    assert!(max / min < 1.25, "hash strategies should partition at similar speed: {times:?}");
+    assert!(
+        max / min < 1.25,
+        "hash strategies should partition at similar speed: {times:?}"
+    );
 }
 
 #[test]
@@ -181,13 +241,22 @@ fn peak_memory_doubles_across_pagerank_strategies_in_powerlyra() {
     .iter()
     .map(|&s| {
         pipeline
-            .run(Dataset::UkWeb, s, &spec, EngineKind::PowerLyra, App::PageRankFixed(10))
+            .run(
+                Dataset::UkWeb,
+                s,
+                &spec,
+                EngineKind::PowerLyra,
+                App::PageRankFixed(10),
+            )
             .peak_memory_bytes
     })
     .collect();
     let max = mems.iter().copied().fold(f64::MIN, f64::max);
     let min = mems.iter().copied().fold(f64::MAX, f64::min);
-    assert!(max / min > 1.5, "peak memory spread should be large: {mems:?}");
+    assert!(
+        max / min > 1.5,
+        "peak memory spread should be large: {mems:?}"
+    );
 }
 
 #[test]

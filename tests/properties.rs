@@ -13,15 +13,17 @@ use proptest::strategy::Strategy as _;
 
 /// Arbitrary small graph: up to 60 vertices, up to 240 edges.
 fn arb_graph() -> impl proptest::strategy::Strategy<Value = EdgeList> {
-    (2u64..60, proptest::collection::vec((0u64..60, 0u64..60), 1..240)).prop_map(
-        |(n, pairs)| {
+    (
+        2u64..60,
+        proptest::collection::vec((0u64..60, 0u64..60), 1..240),
+    )
+        .prop_map(|(n, pairs)| {
             let edges: Vec<Edge> = pairs
                 .into_iter()
                 .map(|(a, b)| Edge::new(a % n, b % n))
                 .collect();
             EdgeList::with_vertex_count(edges, n).expect("ids in range")
-        },
-    )
+        })
 }
 
 /// All strategies that run on an arbitrary partition count.

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` bench files compiling and
+//! runnable without the statistics machinery: each benchmark body is timed
+//! over a single `iter` pass and the wall time is printed. Good enough to
+//! smoke-test bench code paths and get order-of-magnitude numbers; not a
+//! replacement for real criterion runs.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level harness state. Only `sample_size` is accepted (and ignored
+/// beyond being stored), since we run one pass per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size setter, kept for API compatibility.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for following benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark with no external input.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        self.run_one(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            elapsed: std::time::Duration::ZERO,
+        };
+        f(&mut bencher);
+        let secs = bencher.elapsed.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / secs)
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!("  ({:.3e} B/s)", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        eprintln!("  {}/{}: {secs:.6} s{rate}", self.name, id.id);
+    }
+}
+
+/// Passed to each benchmark body; `iter` runs the routine once and records
+/// its wall time.
+pub struct Bencher {
+    elapsed: std::time::Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (single pass, not sampled).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let value = routine();
+        self.elapsed += start.elapsed();
+        black_box(value);
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a group function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sums");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function(BenchmarkId::new("iter", 1000), |b| {
+            b.iter(|| (0u64..1000).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_targets() {
+        benches();
+    }
+}

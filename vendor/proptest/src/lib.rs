@@ -1,0 +1,298 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's DSL this workspace uses — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`, integer-range
+//! and tuple strategies, [`collection::vec`], [`test_runner::ProptestConfig`]
+//! and the `prop_assert*` macros — with a fully deterministic case generator
+//! (the case RNG is derived from the test's module path and case index, so
+//! failures reproduce on every run). Shrinking is intentionally not
+//! implemented: a failing case panics with its inputs' `Debug` form instead.
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator for case inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one (test, case) pair — stable across runs and platforms.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test path, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — as in proptest.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The property-test entry macro. Supports an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// parameters use the `name in strategy` binding form.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assertion macros. Unlike upstream (which records a failure and shrinks),
+/// these panic immediately — deterministic generation makes the failing case
+/// reproducible without shrinking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Everything a property-test file usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in 0u32..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn prop_map_composes(pair in (0u64..4, 1u64..5).prop_map(|(a, b)| a * 10 + b) ) {
+            prop_assert!(pair >= 1 && pair < 35);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (0u64..1000, 0u64..1000);
+        let a: Vec<_> = (0..10)
+            .map(|c| strat.generate(&mut TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| strat.generate(&mut TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
