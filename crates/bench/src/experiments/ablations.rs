@@ -337,8 +337,8 @@ pub fn ablation_delta_caching(scale: f64, seed: u64) -> Vec<Table> {
             strategy.label().to_string(),
             gm(&off).to_string(),
             gm(&on).to_string(),
-            format!("{:.1}", off.compute_seconds()),
-            format!("{:.1}", on.compute_seconds()),
+            format!("{:.1}", off.wall_clock_seconds()),
+            format!("{:.1}", on.wall_clock_seconds()),
         ]);
     }
     vec![t]

@@ -218,10 +218,7 @@ pub fn table5_1(scale: f64, seed: u64) -> Vec<Table> {
             strategy,
             &spec,
             EngineKind::PowerGraph,
-            App::KCore {
-                k_min: 10,
-                k_max: 20,
-            },
+            App::kcore_paper(),
         );
         t.row(vec![
             strategy.label().to_string(),

@@ -119,13 +119,7 @@ pub fn fig8_4(scale: f64, seed: u64) -> Vec<Table> {
     let mut pipeline = Pipeline::new(scale, seed);
     let spec = ClusterSpec::local_9();
     let mut tables = Vec::new();
-    for app in [
-        App::PageRankConv,
-        App::KCore {
-            k_min: 10,
-            k_max: 20,
-        },
-    ] {
+    for app in [App::PageRankConv, App::kcore_paper()] {
         let mut t = Table::new(
             format!(
                 "Fig 8.4 — CPU utilization vs Compute time, {} (Local-9, UK-Web, PowerLyra-All)",

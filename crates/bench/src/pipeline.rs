@@ -11,6 +11,7 @@ use gp_engine::{
 use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_gen::Dataset;
 use gp_partition::{IngressReport, PartitionContext, PartitionOutcome, Strategy};
+use gp_telemetry::{machine_span, span, TelemetrySink};
 use std::collections::HashMap;
 
 /// Which system's engine executes the compute phase.
@@ -66,7 +67,7 @@ pub enum App {
         /// Traverse edges both ways?
         undirected: bool,
     },
-    /// k-core decomposition over `k_min..=k_max` (10..=20 in §5.3).
+    /// k-core decomposition over `k_min..=k_max` (see [`App::kcore_paper`]).
     KCore {
         /// Smallest core order.
         k_min: u32,
@@ -78,13 +79,28 @@ pub enum App {
 }
 
 impl App {
+    /// The paper's long-running k-core sweep, recentred for the analogues.
+    ///
+    /// §5.3 peels `k = 10..=20` on the real uk-web-2005 graph, whose mean
+    /// degree is ≈35 — the sweep cuts through the bulk of the mid-degree
+    /// band, where replication factors differ most between strategies. The
+    /// generated analogues are degree-scaled down (mean degree ≈10), so the
+    /// same absolute range would retain only extreme hubs; hubs are mirrored
+    /// on every machine under *every* strategy, which erases exactly the
+    /// replication-driven network differences the long-job experiments
+    /// measure. Keep the paper's eleven-run shape but start the sweep in the
+    /// analogue's mid-degree band instead.
+    pub fn kcore_paper() -> App {
+        App::KCore {
+            k_min: 5,
+            k_max: 15,
+        }
+    }
+
     /// The six-application set of the PowerGraph/PowerLyra figures.
     pub fn paper_set() -> [App; 6] {
         [
-            App::KCore {
-                k_min: 10,
-                k_max: 20,
-            },
+            App::kcore_paper(),
             App::Coloring,
             App::PageRankFixed(10),
             App::Wcc,
@@ -163,6 +179,7 @@ pub struct Pipeline {
     pub scale: f64,
     /// Master seed.
     pub seed: u64,
+    telemetry: TelemetrySink,
     graphs: HashMap<Dataset, EdgeList>,
     partitions: HashMap<(Dataset, Strategy, u32, u32), PartitionOutcome>,
 }
@@ -173,9 +190,28 @@ impl Pipeline {
         Pipeline {
             scale,
             seed,
+            telemetry: TelemetrySink::Disabled,
             graphs: HashMap::new(),
             partitions: HashMap::new(),
         }
+    }
+
+    /// Attach a telemetry sink. Strategies, engines and the pipeline itself
+    /// record into it; everything stays inert with the disabled default.
+    ///
+    /// A recording sink is meant to trace **one job**: each traced run
+    /// resets the simulated clock to zero, and the partition cache means
+    /// ingress metrics are only recorded the first time a
+    /// dataset×strategy×cluster triple is partitioned.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry sink (disabled unless
+    /// [`Pipeline::with_telemetry`] was used).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// The generated analogue for a dataset (cached).
@@ -206,7 +242,8 @@ impl Pipeline {
                 .or_insert_with(|| dataset.generate(scale, seed));
             let ctx = PartitionContext::new(partitions)
                 .with_seed(seed)
-                .with_loaders(loaders);
+                .with_loaders(loaders)
+                .with_telemetry(self.telemetry.clone());
             let outcome = strategy.build().partition(graph, &ctx);
             self.partitions.insert(key, outcome);
         }
@@ -268,9 +305,40 @@ impl Pipeline {
         let assignment = &outcome.assignment;
         let state_bytes = outcome.state_bytes;
         let graph = &self.graphs[&dataset];
+        let telemetry = &self.telemetry;
+        if telemetry.is_enabled() {
+            // The trace starts at ingress: one cluster-track span for the
+            // whole load, per-loader machine spans proportional to each
+            // loader's share of the critical-path work, then shift the
+            // clock so engine spans start where ingress ends.
+            telemetry.set_time_offset(0.0);
+            let label = strategy.label();
+            span!(
+                telemetry,
+                "ingress",
+                0.0,
+                ingress_seconds,
+                "ingress.{label}"
+            );
+            let max_work = ingress_report.max_loader_work();
+            if max_work > 0.0 {
+                for (m, &w) in ingress_report.loader_work.iter().enumerate() {
+                    machine_span!(
+                        telemetry,
+                        "ingress",
+                        m as u32,
+                        0.0,
+                        ingress_seconds * w / max_work,
+                        "load"
+                    );
+                }
+            }
+            telemetry.set_time_offset(ingress_seconds);
+        }
         let config = EngineConfig::new(spec.clone())
             .with_fault_plan(fault_plan)
-            .with_checkpoint(checkpoint);
+            .with_checkpoint(checkpoint)
+            .with_telemetry(telemetry.clone());
 
         let reports: Vec<ComputeReport> = match (engine, app) {
             (EngineKind::PowerGraph, App::Coloring) | (EngineKind::PowerLyra, App::Coloring) => {
@@ -616,6 +684,38 @@ mod tests {
             crashed.compute_seconds > clean.compute_seconds,
             "faults can only slow the job down"
         );
+    }
+
+    #[test]
+    fn traced_run_covers_ingress_and_supersteps() {
+        let sink = TelemetrySink::recording();
+        let mut p = Pipeline::new(0.05, 7).with_telemetry(sink.clone());
+        let spec = ClusterSpec::local_9();
+        let r = p.run(
+            Dataset::LiveJournal,
+            Strategy::Hdrf,
+            &spec,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(3),
+        );
+        let spans = sink.spans();
+        let ingress = spans
+            .iter()
+            .find(|s| s.cat == "ingress" && s.name == "ingress.HDRF")
+            .expect("ingress span");
+        assert_eq!(ingress.start_s, 0.0);
+        assert_eq!(ingress.dur_s, r.ingress_seconds);
+        let first_step = spans
+            .iter()
+            .find(|s| s.cat == "superstep")
+            .expect("superstep spans");
+        assert!(
+            (first_step.start_s - r.ingress_seconds).abs() < 1e-9,
+            "supersteps start where ingress ends"
+        );
+        assert_eq!(sink.counter("engine.supersteps"), u64::from(r.supersteps));
+        assert!(sink.counter("ingress.edges_placed") > 0);
+        assert!(sink.counter("ingress.replicas_created") > 0);
     }
 
     #[test]

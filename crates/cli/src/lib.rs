@@ -13,6 +13,8 @@
 //!     [--system powergraph] [--partition-file parts.txt]
 //! distgraph fault <dataset> --strategies random,hybrid --cluster ec2-16 \
 //!     --crash-at 10 --machine 0 --interval 4 [--async]
+//! distgraph trace <dataset> --strategy hdrf --app pagerank --cluster ec2-16 \
+//!     [--system powergraph] [--interval 4] [--crash-at 10 --machine 0] -o DIR
 //! ```
 //!
 //! Commands parse into [`Command`], execute against a writer, and return an
@@ -20,6 +22,7 @@
 
 use gp_advisor::Workload;
 use gp_apps::{PageRank, Sssp, Wcc};
+use gp_bench::{App, EngineKind, Pipeline};
 use gp_cluster::{ClusterSpec, CostRates, Table};
 use gp_core::io::read_edge_list;
 use gp_core::{EdgeList, GraphStats};
@@ -27,6 +30,7 @@ use gp_engine::{EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
 use gp_fault::{recovery_cost, CheckpointPolicy, FaultPlan};
 use gp_gen::{classify, Dataset, DegreeAnalysis};
 use gp_partition::{IngressReport, PartitionContext, Strategy};
+use gp_telemetry::TelemetrySink;
 use std::io::Write;
 
 /// A parsed CLI invocation.
@@ -81,6 +85,22 @@ pub enum Command {
         asynchronous: bool,
         steps: u32,
         strategies: Vec<Strategy>,
+    },
+    /// Run one (dataset, strategy, app, cluster) cell with telemetry
+    /// recording and write Chrome trace-event JSON plus metrics artifacts.
+    Trace {
+        dataset: Dataset,
+        scale: f64,
+        seed: u64,
+        strategy: Strategy,
+        app: App,
+        system: SystemChoice,
+        cluster: ClusterChoice,
+        /// `(superstep, machine)` of an injected crash, if any.
+        crash: Option<(u32, u32)>,
+        /// Checkpoint interval in supersteps (0 = off).
+        interval: u32,
+        out_dir: String,
     },
     /// Print usage.
     Help,
@@ -171,6 +191,20 @@ impl std::str::FromStr for AppChoice {
             "sssp" => Ok(AppChoice::Sssp),
             other => Err(format!("unknown app {other:?} (pagerank|wcc|sssp)")),
         }
+    }
+}
+
+fn parse_trace_app(s: &str) -> Result<App, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "pagerank" | "pr" => Ok(App::PageRankConv),
+        "pagerank10" | "pr10" => Ok(App::PageRankFixed(10)),
+        "wcc" => Ok(App::Wcc),
+        "sssp" => Ok(App::Sssp { undirected: true }),
+        "kcore" | "k-core" => Ok(App::kcore_paper()),
+        "coloring" => Ok(App::Coloring),
+        other => Err(format!(
+            "unknown app {other:?} (pagerank|pagerank10|wcc|sssp|kcore|coloring)"
+        )),
     }
 }
 
@@ -328,6 +362,37 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 strategies,
             })
         }
+        "trace" => {
+            let dataset = parse_dataset(&need_path()?)?;
+            let crash = if has("crash-at") {
+                Some((
+                    parse_count("crash-at", 10)?,
+                    u32::try_from(parse_u("machine", 0)?)
+                        .map_err(|_| "--machine out of range".to_string())?,
+                ))
+            } else {
+                None
+            };
+            Ok(Command::Trace {
+                dataset,
+                scale: parse_scale()?,
+                seed: parse_u("seed", 42)?,
+                strategy: flag("strategy")
+                    .map(|s| s.parse())
+                    .unwrap_or(Ok(Strategy::Hdrf))?,
+                app: parse_trace_app(flag("app").map(|s| s.as_str()).unwrap_or("pagerank"))?,
+                system: flag("system")
+                    .map(|s| s.parse())
+                    .unwrap_or(Ok(SystemChoice::PowerGraph))?,
+                cluster: flag("cluster")
+                    .map(|s| s.parse())
+                    .unwrap_or(Ok(ClusterChoice::Ec2x16))?,
+                crash,
+                interval: u32::try_from(parse_u("interval", 0)?)
+                    .map_err(|_| "--interval out of range".to_string())?,
+                out_dir: flag("out").cloned().unwrap_or_else(|| "trace-out".into()),
+            })
+        }
         "run" => Ok(Command::Run {
             path: need_path()?,
             app: flag("app").ok_or("missing --app")?.parse()?,
@@ -361,12 +426,20 @@ USAGE:
   distgraph fault <dataset> [--strategies random,hybrid] [--cluster ec2-16]
                   [--crash-at 10] [--machine 0] [--interval 4] [--async]
                   [--steps 20] [--scale S] [--seed N]
+  distgraph trace <dataset> [--strategy hdrf] [--app pagerank|pagerank10|wcc|
+                  sssp|kcore|coloring] [--system powergraph|powerlyra|graphx]
+                  [--cluster ec2-16] [--interval K] [--crash-at N --machine M]
+                  [--scale S] [--seed N] [-o DIR]
 
 Graphs are plain-text edge lists (one `src dst` pair per line, # comments).
 Strategies: Random, Assym-Rand, Grid, PDS, Oblivious, HDRF, 1D, 1D-Target,
 2D, Hybrid, H-Ginger.
 Datasets: road-net-CA, road-net-USA, LiveJournal, Enwiki-2013, Twitter, UK-web.
 Clusters: local-9, local-10, ec2-16, ec2-25.
+
+`trace` runs one job with telemetry recording and writes `trace.json`
+(Chrome trace-event format — load it in https://ui.perfetto.dev or
+chrome://tracing), `metrics.csv` and `summary.txt` into DIR.
 
 `fault` crashes one machine mid-PageRank, rolls back to the last checkpoint,
 and compares recovery cost (refetch traffic, replayed supersteps, wall-clock
@@ -551,8 +624,85 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                 report.engine,
                 spec.name,
                 report.supersteps(),
-                report.compute_seconds(),
+                report.wall_clock_seconds(),
                 gp_cluster::table::fmt_bytes(report.total_in_bytes())
+            )?;
+            Ok(0)
+        }
+        Command::Trace {
+            dataset,
+            scale,
+            seed,
+            strategy,
+            app,
+            system,
+            cluster,
+            crash,
+            interval,
+            out_dir,
+        } => {
+            let spec = cluster.spec();
+            let kind = match system {
+                SystemChoice::PowerGraph => EngineKind::PowerGraph,
+                SystemChoice::PowerLyra => EngineKind::PowerLyra,
+                SystemChoice::GraphX => EngineKind::graphx_default(),
+            };
+            let partitions = kind.partitions(&spec);
+            if !strategy.supports_partition_count(partitions) {
+                return fail(
+                    out,
+                    &format!("{} cannot run on {partitions} partitions", strategy.label()),
+                );
+            }
+            if let Some((_, machine)) = crash {
+                if *machine >= spec.machines {
+                    return fail(
+                        out,
+                        &format!(
+                            "--machine {machine} out of range: {} has {} machines",
+                            spec.name, spec.machines
+                        ),
+                    );
+                }
+            }
+            let plan = match crash {
+                Some((step, machine)) => FaultPlan::crash_at(*step, *machine),
+                None => FaultPlan::none(),
+            };
+            let policy = if *interval == 0 {
+                CheckpointPolicy::disabled()
+            } else {
+                CheckpointPolicy::every(*interval)
+            };
+            let sink = TelemetrySink::recording();
+            let mut pipeline = Pipeline::new(*scale, *seed).with_telemetry(sink.clone());
+            let result =
+                pipeline.run_with_faults(*dataset, *strategy, &spec, kind, *app, plan, policy);
+            if result.failed {
+                return fail(out, "job ran out of memory on the simulated cluster");
+            }
+            let dir = std::path::Path::new(out_dir);
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join("trace.json"), sink.chrome_trace_json())?;
+            std::fs::write(dir.join("metrics.csv"), sink.metrics_csv())?;
+            std::fs::write(dir.join("summary.txt"), sink.summary())?;
+            writeln!(
+                out,
+                "{} × {} on {} ({}): ingress {:.1}s + compute {:.1}s, {} supersteps",
+                strategy.label(),
+                result.app,
+                dataset,
+                spec.name,
+                result.ingress_seconds,
+                result.compute_seconds,
+                result.supersteps,
+            )?;
+            writeln!(
+                out,
+                "wrote {} spans to {}/trace.json (load in https://ui.perfetto.dev \
+                 or chrome://tracing), plus metrics.csv and summary.txt",
+                sink.spans().len(),
+                dir.display(),
             )?;
             Ok(0)
         }
@@ -1015,6 +1165,102 @@ mod tests {
         let random = rows.iter().find(|r| r.contains("Random")).unwrap();
         let hybrid = rows.iter().find(|r| r.contains("Hybrid")).unwrap();
         assert!(recovery(random) > recovery(hybrid), "{text}");
+    }
+
+    #[test]
+    fn parse_trace_defaults_and_flags() {
+        let cmd = parse_ok(&["trace", "LiveJournal"]);
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                dataset: Dataset::LiveJournal,
+                scale: 1.0,
+                seed: 42,
+                strategy: Strategy::Hdrf,
+                app: App::PageRankConv,
+                system: SystemChoice::PowerGraph,
+                cluster: ClusterChoice::Ec2x16,
+                crash: None,
+                interval: 0,
+                out_dir: "trace-out".into(),
+            }
+        );
+        let cmd = parse_ok(&[
+            "trace",
+            "road-net-CA",
+            "--strategy",
+            "grid",
+            "--app",
+            "kcore",
+            "--system",
+            "powerlyra",
+            "--cluster",
+            "local-9",
+            "--crash-at",
+            "5",
+            "--machine",
+            "2",
+            "--interval",
+            "3",
+            "--scale",
+            "0.1",
+            "--seed",
+            "7",
+            "-o",
+            "artifacts",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                dataset: Dataset::RoadNetCa,
+                scale: 0.1,
+                seed: 7,
+                strategy: Strategy::Grid,
+                app: App::kcore_paper(),
+                system: SystemChoice::PowerLyra,
+                cluster: ClusterChoice::Local9,
+                crash: Some((5, 2)),
+                interval: 3,
+                out_dir: "artifacts".into(),
+            }
+        );
+        let bad: Vec<String> = ["trace", "LiveJournal", "--app", "frobnicate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn trace_writes_loadable_artifacts() {
+        let dir = std::env::temp_dir()
+            .join("distgraph-cli-test")
+            .join("trace-artifacts");
+        let (code, text) = run_to_string(&Command::Trace {
+            dataset: Dataset::LiveJournal,
+            scale: 0.05,
+            seed: 7,
+            strategy: Strategy::Hdrf,
+            app: App::PageRankFixed(5),
+            system: SystemChoice::PowerGraph,
+            cluster: ClusterChoice::Local9,
+            crash: None,
+            interval: 2,
+            out_dir: dir.to_string_lossy().to_string(),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("supersteps"), "{text}");
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("ingress.HDRF"), "trace covers ingress");
+        assert!(trace.contains("superstep.0"), "trace covers supersteps");
+        assert!(trace.contains("checkpoint.0"), "trace covers checkpoints");
+        let csv = std::fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        assert!(csv.starts_with("kind,name,field,value"));
+        assert!(csv.contains("ingress.replicas_created"));
+        assert!(csv.contains("engine.supersteps"));
+        let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+        assert!(summary.contains("telemetry summary"));
     }
 
     #[test]

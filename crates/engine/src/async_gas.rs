@@ -206,6 +206,7 @@ impl AsyncGas {
         }
         let mut report = ComputeReport::new(program.name(), "async-gas", steps, converged);
         crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        crate::telemetry_hook::record_compute_telemetry(&self.config, &report);
         (states, report)
     }
 }

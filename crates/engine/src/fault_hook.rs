@@ -30,6 +30,7 @@
 use crate::report::{ComputeReport, EngineConfig, SuperstepStats};
 use gp_fault::{checkpoint_stall_seconds, recovery_cost, snapshot_bytes_per_machine};
 use gp_partition::Assignment;
+use gp_telemetry::span;
 
 /// Rewrite `report` under `config`'s fault plan and checkpoint policy.
 /// No-op when neither is active.
@@ -66,9 +67,16 @@ pub fn apply_fault_model(
     // is covered by a durable checkpoint — or is superstep 0's initial
     // state, which ingress already made durable).
     let mut replay_from: usize = 0;
+    // Simulated clock over the rebuilt timeline, for checkpoint/recovery
+    // telemetry events (the superstep spans themselves are emitted later
+    // from the final report, on this same clock).
+    let telemetry = &config.telemetry;
+    let mut elapsed = 0.0f64;
+    let mut checkpoints = 0u32;
 
     for (i, step) in original.iter().enumerate() {
         timeline.push(slowed(step, config, compute_rate, bandwidth));
+        elapsed += timeline.last().expect("just pushed").wall_seconds;
 
         // Crashes at this superstep (first execution only).
         while let Some(pos) = pending_crashes
@@ -79,6 +87,17 @@ pub fn apply_fault_model(
             let machine = machine.min(config.spec.machines - 1);
             let rc = recovery_cost(assignment, machine, &config.spec, &config.rates);
             report.recovery_seconds += rc.transfer_seconds;
+            // The re-fetch transfer streams in while replay begins, so its
+            // span overlaps the replayed supersteps that follow it.
+            span!(
+                telemetry,
+                "fault",
+                elapsed,
+                rc.transfer_seconds,
+                "recovery.m{machine}"
+            );
+            telemetry.counter_add("fault.crashes", 1);
+            telemetry.counter_add("fault.refetch_bytes", rc.refetch_bytes.round() as u64);
             // Replay everything since the last durable point, including the
             // step the crash interrupted.
             for (k, j) in (replay_from..=i).enumerate() {
@@ -89,6 +108,7 @@ pub fn apply_fault_model(
                     replayed.machine_in_bytes[machine as usize % machines] += rc.refetch_bytes;
                 }
                 report.supersteps_replayed += 1;
+                elapsed += replayed.wall_seconds;
                 timeline.push(replayed);
             }
         }
@@ -101,7 +121,19 @@ pub fn apply_fault_model(
             for (m, &bytes) in snapshot.iter().enumerate() {
                 last.machine_in_bytes[(m + 1) % machines] += bytes;
             }
-            last.wall_seconds += checkpoint_stall_seconds(&snapshot, policy, &config.spec);
+            let stall = checkpoint_stall_seconds(&snapshot, policy, &config.spec);
+            last.wall_seconds += stall;
+            span!(
+                telemetry,
+                "fault",
+                elapsed,
+                stall,
+                "checkpoint.{checkpoints}"
+            );
+            telemetry.counter_add("fault.checkpoints", 1);
+            telemetry.counter_add("fault.checkpoint_bytes", snapshot_total.round() as u64);
+            checkpoints += 1;
+            elapsed += stall;
             replay_from = i + 1;
         }
     }

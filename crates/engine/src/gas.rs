@@ -87,6 +87,7 @@ impl SyncGas {
             "sync-gas",
         );
         crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        crate::telemetry_hook::record_compute_telemetry(&self.config, &report);
         (states, report)
     }
 }

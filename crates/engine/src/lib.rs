@@ -36,6 +36,7 @@ pub mod pregel;
 pub mod program;
 pub mod replicas;
 pub mod report;
+pub mod telemetry_hook;
 
 pub use async_gas::AsyncGas;
 pub use fault_hook::apply_fault_model;
@@ -47,3 +48,4 @@ pub use replicas::ReplicaTable;
 pub use report::{
     base_memory_per_machine, monitor_run, ComputeReport, EngineConfig, SuperstepStats,
 };
+pub use telemetry_hook::record_compute_telemetry;

@@ -364,6 +364,7 @@ impl Pregel {
         }
         let mut report = ComputeReport::new(program.name(), "pregel", steps, converged);
         crate::fault_hook::apply_fault_model(&mut report, cfg, assignment);
+        crate::telemetry_hook::record_compute_telemetry(cfg, &report);
         Ok((states, report))
     }
 }

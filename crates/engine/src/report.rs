@@ -3,6 +3,7 @@
 use gp_cluster::{ClusterSpec, CostRates, MachineSample, MemoryModel, ResourceMonitor, Timeline};
 use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_partition::Assignment;
+use gp_telemetry::TelemetrySink;
 
 /// Configuration shared by all engines: the cluster being simulated, wire
 /// sizes, and per-operation work constants.
@@ -35,6 +36,11 @@ pub struct EngineConfig {
     /// barrier stalls, and crashes roll back to the last checkpoint
     /// instead of superstep 0.
     pub checkpoint: CheckpointPolicy,
+    /// Telemetry sink receiving superstep/phase spans and engine metrics.
+    /// Disabled by default, and guaranteed inert when disabled: the run's
+    /// [`ComputeReport`] is bit-identical with or without instrumentation
+    /// (the same contract as the inactive fault model).
+    pub telemetry: TelemetrySink,
 }
 
 impl EngineConfig {
@@ -50,6 +56,7 @@ impl EngineConfig {
             delta_caching: false,
             fault_plan: FaultPlan::none(),
             checkpoint: CheckpointPolicy::disabled(),
+            telemetry: TelemetrySink::Disabled,
         }
     }
 
@@ -68,6 +75,12 @@ impl EngineConfig {
     /// Builder: checkpoint periodically.
     pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = policy;
+        self
+    }
+
+    /// Builder: record spans and metrics into `sink`.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
         self
     }
 

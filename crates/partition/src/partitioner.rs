@@ -10,6 +10,7 @@
 
 use crate::assignment::Assignment;
 use gp_core::EdgeList;
+use gp_telemetry::TelemetrySink;
 
 /// Tunable simulated-work constants (arbitrary units; the cluster model
 /// converts them to seconds). Defaults are calibrated so the relative ingress
@@ -63,6 +64,9 @@ pub struct PartitionContext {
     pub seed: u64,
     /// Simulated-work constants.
     pub cost: CostModel,
+    /// Telemetry sink; [`TelemetrySink::Disabled`] by default, in which
+    /// case strategies record nothing and compute nothing extra.
+    pub telemetry: TelemetrySink,
 }
 
 impl PartitionContext {
@@ -75,6 +79,7 @@ impl PartitionContext {
             num_loaders: num_partitions,
             seed: 42,
             cost: CostModel::default(),
+            telemetry: TelemetrySink::Disabled,
         }
     }
 
@@ -89,6 +94,13 @@ impl PartitionContext {
     pub fn with_loaders(mut self, loaders: u32) -> Self {
         assert!(loaders > 0, "need at least one loader");
         self.num_loaders = loaders;
+        self
+    }
+
+    /// Attach a telemetry sink; strategies record ingress counters, gauges
+    /// and per-loader work histograms into it.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

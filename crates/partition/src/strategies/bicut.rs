@@ -106,7 +106,7 @@ impl Partitioner for BiCut {
         } else {
             1
         };
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes,
@@ -115,7 +115,9 @@ impl Partitioner for BiCut {
             } else {
                 0
             },
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 

@@ -38,12 +38,14 @@ impl Partitioner for Chunking {
             .into_iter()
             .map(|c| c as f64 * (ctx.cost.parse_edge + ctx.cost.hash_assign * 0.5))
             .collect();
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work,
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 

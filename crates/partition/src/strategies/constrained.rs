@@ -91,12 +91,14 @@ impl Partitioner for Grid {
             let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x6161) as usize % inter.len();
             PartitionId((inter[pick] % p as u64) as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 
@@ -219,12 +221,14 @@ impl Partitioner for Pds {
             let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x9d5) as usize % inter.len();
             PartitionId(inter[pick] as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 

@@ -27,12 +27,14 @@ impl Partitioner for Random {
         let assignment = assign_stateless(graph, p, ctx.seed, |e| {
             PartitionId((hash_canonical_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 
@@ -53,12 +55,14 @@ impl Partitioner for AsymmetricRandom {
         let assignment = assign_stateless(graph, p, ctx.seed, |e| {
             PartitionId((hash_directed_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 
@@ -77,12 +81,14 @@ impl Partitioner for OneD {
         let assignment = assign_stateless(graph, p, ctx.seed, |e| {
             PartitionId((hash_vertex(e.src, ctx.seed) % p as u64) as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 
@@ -103,12 +109,14 @@ impl Partitioner for OneDTarget {
         let assignment = assign_stateless(graph, p, ctx.seed, |e| {
             PartitionId((hash_vertex(e.dst, ctx.seed) % p as u64) as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 
@@ -140,12 +148,14 @@ impl Partitioner for TwoD {
             let row = hash_vertex(e.dst, ctx.seed ^ 0x2D2D) % side;
             PartitionId(((col * side + row) % p as u64) as u32)
         });
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
             passes: 1,
             state_bytes: 0,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 

@@ -177,7 +177,7 @@ impl Partitioner for Hdrf {
             loader_work.push(work);
             state_bytes = state_bytes.max(bytes);
         }
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment: Assignment::from_edge_partitions(
                 graph,
                 parts,
@@ -187,7 +187,9 @@ impl Partitioner for Hdrf {
             loader_work,
             passes: 1,
             state_bytes,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 

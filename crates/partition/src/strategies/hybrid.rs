@@ -128,12 +128,14 @@ impl Partitioner for Hybrid {
             Assignment::from_edge_partitions(graph, parts, ctx.num_partitions, ctx.seed);
         let masters = Self::masters(&assignment, &homes);
         assignment.set_masters(masters);
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work: Self::two_pass_work(graph, ctx),
             passes: 2,
             state_bytes: Self::base_state_bytes(graph, ctx),
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 
@@ -253,12 +255,14 @@ impl Partitioner for HybridGinger {
         let state_bytes = Hybrid::base_state_bytes(graph, ctx)
             + graph.num_edges() as u64 * 8 / ctx.num_loaders as u64
             + graph.num_vertices() * 8;
-        PartitionOutcome {
+        let outcome = PartitionOutcome {
             assignment,
             loader_work,
             passes: 3,
             state_bytes,
-        }
+        };
+        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        outcome
     }
 }
 

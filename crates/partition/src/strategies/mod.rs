@@ -16,7 +16,8 @@ pub use hdrf::Hdrf;
 pub use hybrid::{Hybrid, HybridGinger};
 pub use oblivious::Oblivious;
 
-use crate::partitioner::{loader_chunks, PartitionContext};
+use crate::ingress::IngressReport;
+use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome};
 
 /// Per-loader work for a single-pass stateless hash strategy: every loader
 /// parses and hash-assigns its block.
@@ -25,4 +26,40 @@ pub(crate) fn stateless_loader_work(total_edges: usize, ctx: &PartitionContext) 
         .into_iter()
         .map(|c| c as f64 * (ctx.cost.parse_edge + ctx.cost.hash_assign))
         .collect()
+}
+
+/// Record a finished partitioning run into `ctx.telemetry`. Every strategy
+/// calls this from the tail of its `partition`, so one `trace` run captures
+/// the same quantities the paper's ingress tables report — edges shipped,
+/// replicas/mirrors created, passes, state bytes, replication factor — no
+/// matter which strategy ran. Disabled sinks bail before the replica scan,
+/// so untraced runs pay nothing.
+pub(crate) fn record_ingress_telemetry(
+    strategy: &'static str,
+    outcome: &PartitionOutcome,
+    ctx: &PartitionContext,
+) {
+    let sink = &ctx.telemetry;
+    if !sink.is_enabled() {
+        return;
+    }
+    let report = IngressReport::from_outcome(strategy, outcome, ctx.num_loaders);
+    sink.counter_add(
+        "ingress.edges_placed",
+        outcome.assignment.num_edges() as u64,
+    );
+    sink.counter_add("ingress.edges_shipped", report.volumes.edges_shipped);
+    sink.counter_add("ingress.replicas_created", report.volumes.replicas_created);
+    sink.counter_add("ingress.mirrors_created", report.volumes.mirrors_created);
+    sink.counter_add("ingress.passes", u64::from(report.passes));
+    sink.counter_add("ingress.state_bytes", report.state_bytes);
+    sink.gauge_set("ingress.replication_factor", report.replication_factor);
+    sink.gauge_set("ingress.edge_imbalance", report.edge_imbalance);
+    for w in &report.loader_work {
+        sink.histogram_record(
+            "ingress.loader_work_units",
+            &gp_telemetry::sink::WORK_BUCKETS,
+            *w,
+        );
+    }
 }

@@ -1,0 +1,252 @@
+//! The metrics registry: counters, gauges, fixed-boundary histograms.
+//!
+//! Names are free-form dotted strings (`ingress.replicas_created`,
+//! `superstep.wall_seconds`); the registry stores them in `BTreeMap`s so
+//! every export iterates in a deterministic order.
+
+use std::collections::BTreeMap;
+
+/// A histogram with fixed upper bucket boundaries (Prometheus `le`
+/// semantics: a value lands in the first bucket whose upper bound is
+/// `>= value`; values above the last bound land in the overflow bucket).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper boundaries, which must be finite
+    /// and strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Upper bucket boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Deterministically ordered registry of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Add to a counter, creating it at zero on first touch.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to the latest value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record into a histogram, creating it with `bounds` on first touch.
+    /// Later calls ignore `bounds` — the boundaries are fixed at creation.
+    pub fn histogram_record(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// A counter's value, or 0 if never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if created.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_from_zero() {
+        let mut m = MetricsRegistry::default();
+        assert_eq!(m.counter("x"), 0);
+        m.counter_add("x", 2);
+        m.counter_add("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauge_keeps_latest() {
+        let mut m = MetricsRegistry::default();
+        assert_eq!(m.gauge("rf"), None);
+        m.gauge_set("rf", 4.8);
+        m.gauge_set("rf", 6.4);
+        assert_eq!(m.gauge("rf"), Some(6.4));
+    }
+
+    #[test]
+    fn histogram_boundary_value_lands_in_lower_bucket() {
+        // Prometheus `le` semantics: value == bound counts in that bucket.
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(1.0);
+        h.record(10.0);
+        assert_eq!(h.counts(), &[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_below_first_and_above_last() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(-5.0); // below the first bound → first bucket
+        h.record(0.0);
+        h.record(10.000001); // above the last bound → overflow
+        h.record(1e18);
+        assert_eq!(h.counts(), &[2, 0, 2]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_mean_and_sum() {
+        let mut h = Histogram::new(&[10.0]);
+        assert_eq!(h.mean(), 0.0);
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_single_bound() {
+        let mut h = Histogram::new(&[0.0]);
+        h.record(0.0);
+        h.record(0.5);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_duplicate_bounds() {
+        Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn histogram_rejects_infinite_bound() {
+        // The overflow bucket already plays the +inf role.
+        Histogram::new(&[1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_rejects_nan_observation() {
+        Histogram::new(&[1.0]).record(f64::NAN);
+    }
+
+    #[test]
+    fn registry_fixes_bounds_on_first_touch() {
+        let mut m = MetricsRegistry::default();
+        m.histogram_record("h", &[1.0, 2.0], 1.5);
+        m.histogram_record("h", &[100.0], 1.5); // bounds ignored
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.bounds(), &[1.0, 2.0]);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("b", 1);
+        m.counter_add("a", 1);
+        m.counter_add("c", 1);
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+}

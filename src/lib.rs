@@ -15,6 +15,7 @@
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
 //! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
 //! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
+//! * [`telemetry`] (gp-telemetry) — spans, metrics, Chrome-trace profiling.
 
 pub use gp_advisor as advisor;
 pub use gp_apps as apps;
@@ -24,6 +25,7 @@ pub use gp_engine as engine;
 pub use gp_fault as fault;
 pub use gp_gen as gen;
 pub use gp_partition as partition;
+pub use gp_telemetry as telemetry;
 
 /// Crate version of the umbrella package.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -127,14 +127,17 @@ fn powergraph_tree_job_duration_crossover_on_power_law() {
         Strategy::Grid,
         "short job should favor Grid: {short:?}"
     );
+    // The long job is the paper's k-core sweep, recentred on the analogue's
+    // mid-degree band (see `App::kcore_paper`): with the paper's absolute
+    // k=10..=20 the down-scaled analogue's surviving core is pure hubs,
+    // which are mirrored on every machine under both strategies, so the
+    // replication-factor gap (Grid 6.4 vs HDRF 4.8 here) never reaches the
+    // network term and the crossover the experiment demonstrates vanishes.
     let long = measure(
         dataset,
         &spec,
         EngineKind::PowerGraph,
-        App::KCore {
-            k_min: 10,
-            k_max: 20,
-        },
+        App::kcore_paper(),
         &strategies,
     );
     assert_eq!(

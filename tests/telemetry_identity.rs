@@ -1,0 +1,192 @@
+//! Telemetry must be an observer, never a participant: instrumented runs
+//! with a `Disabled` sink are bit-identical to uninstrumented ones, traces
+//! are deterministic per seed, and the Chrome exporter's byte format is
+//! pinned by a golden file.
+
+use distgraph::apps::PageRank;
+use distgraph::cluster::ClusterSpec;
+use distgraph::engine::{AsyncGas, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
+use distgraph::fault::{CheckpointPolicy, FaultPlan};
+use distgraph::gen::Dataset;
+use distgraph::partition::{Assignment, PartitionContext, Strategy};
+use distgraph::telemetry::TelemetrySink;
+use gp_bench::{App, EngineKind, Pipeline};
+
+fn graph_and_assignment() -> (distgraph::core::EdgeList, Assignment) {
+    let g = Dataset::LiveJournal.generate(0.05, 7);
+    let a = Strategy::Hdrf
+        .build()
+        .partition(&g, &PartitionContext::new(9).with_seed(5))
+        .assignment;
+    (g, a)
+}
+
+/// A config that exercises the fault path too, so the checkpoint/recovery
+/// telemetry in `fault_hook` is covered by the identity check.
+fn faulty_config(sink: TelemetrySink) -> EngineConfig {
+    EngineConfig::new(ClusterSpec::local_9())
+        .with_fault_plan(FaultPlan::crash_at(2, 1))
+        .with_checkpoint(CheckpointPolicy::every(2))
+        .with_telemetry(sink)
+}
+
+#[test]
+fn disabled_sink_is_bit_identical_across_all_engines() {
+    let (g, a) = graph_and_assignment();
+    let prog = PageRank::fixed(6);
+
+    let (s_off, r_off) = SyncGas::new(faulty_config(TelemetrySink::Disabled)).run(&g, &a, &prog);
+    let (s_on, r_on) = SyncGas::new(faulty_config(TelemetrySink::recording())).run(&g, &a, &prog);
+    assert_eq!(s_off, s_on, "sync states diverge");
+    assert_eq!(format!("{r_off:?}"), format!("{r_on:?}"), "sync report");
+
+    let (s_off, r_off) = HybridGas::new(faulty_config(TelemetrySink::Disabled)).run(&g, &a, &prog);
+    let (s_on, r_on) = HybridGas::new(faulty_config(TelemetrySink::recording())).run(&g, &a, &prog);
+    assert_eq!(s_off, s_on, "hybrid states diverge");
+    assert_eq!(format!("{r_off:?}"), format!("{r_on:?}"), "hybrid report");
+
+    let (s_off, r_off) = AsyncGas::new(faulty_config(TelemetrySink::Disabled)).run(&g, &a, &prog);
+    let (s_on, r_on) = AsyncGas::new(faulty_config(TelemetrySink::recording())).run(&g, &a, &prog);
+    assert_eq!(s_off, s_on, "async states diverge");
+    assert_eq!(format!("{r_off:?}"), format!("{r_on:?}"), "async report");
+
+    let (s_off, r_off) = Pregel::new(PregelConfig::new(faulty_config(TelemetrySink::Disabled)))
+        .run(&g, &a, &prog)
+        .expect("fits");
+    let (s_on, r_on) = Pregel::new(PregelConfig::new(faulty_config(TelemetrySink::recording())))
+        .run(&g, &a, &prog)
+        .expect("fits");
+    assert_eq!(s_off, s_on, "pregel states diverge");
+    assert_eq!(format!("{r_off:?}"), format!("{r_on:?}"), "pregel report");
+}
+
+#[test]
+fn default_config_and_disabled_sink_agree() {
+    // `Disabled` is the default: an engine built without touching telemetry
+    // at all must match one built with an explicit `Disabled` sink.
+    let (g, a) = graph_and_assignment();
+    let prog = PageRank::fixed(4);
+    let plain = EngineConfig::new(ClusterSpec::local_9());
+    let explicit =
+        EngineConfig::new(ClusterSpec::local_9()).with_telemetry(TelemetrySink::Disabled);
+    let (s1, r1) = SyncGas::new(plain).run(&g, &a, &prog);
+    let (s2, r2) = SyncGas::new(explicit).run(&g, &a, &prog);
+    assert_eq!(s1, s2);
+    assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+}
+
+fn traced_job(sink: &TelemetrySink) -> gp_bench::JobResult {
+    let mut pipeline = Pipeline::new(0.05, 11).with_telemetry(sink.clone());
+    pipeline.run_with_faults(
+        Dataset::LiveJournal,
+        Strategy::Hdrf,
+        &ClusterSpec::local_9(),
+        EngineKind::PowerGraph,
+        App::PageRankFixed(5),
+        FaultPlan::crash_at(3, 2),
+        CheckpointPolicy::every(2),
+    )
+}
+
+#[test]
+fn same_seed_yields_byte_identical_artifacts() {
+    let sink1 = TelemetrySink::recording();
+    let sink2 = TelemetrySink::recording();
+    traced_job(&sink1);
+    traced_job(&sink2);
+    let json = sink1.chrome_trace_json();
+    assert!(!json.is_empty());
+    assert_eq!(
+        json,
+        sink2.chrome_trace_json(),
+        "trace JSON not deterministic"
+    );
+    assert_eq!(
+        sink1.metrics_csv(),
+        sink2.metrics_csv(),
+        "metrics CSV not deterministic"
+    );
+    assert_eq!(
+        sink1.summary(),
+        sink2.summary(),
+        "summary not deterministic"
+    );
+}
+
+#[test]
+fn trace_covers_ingress_supersteps_phases_and_faults() {
+    let sink = TelemetrySink::recording();
+    let result = traced_job(&sink);
+    let spans = sink.spans();
+
+    let ingress: Vec<_> = spans
+        .iter()
+        .filter(|s| s.cat == "ingress" && s.track == distgraph::telemetry::span::Track::Cluster)
+        .collect();
+    assert_eq!(ingress.len(), 1, "exactly one cluster ingress span");
+    assert_eq!(ingress[0].name, "ingress.HDRF");
+    assert!(ingress[0].start_s.abs() < 1e-12);
+    assert!((ingress[0].dur_s - result.ingress_seconds).abs() < 1e-9);
+
+    // One superstep span per executed superstep (including replays), each
+    // starting at or after the end of ingress.
+    let supersteps: Vec<_> = spans.iter().filter(|s| s.cat == "superstep").collect();
+    assert_eq!(supersteps.len() as u32, result.supersteps);
+    for s in &supersteps {
+        assert!(s.start_s >= result.ingress_seconds - 1e-9);
+    }
+
+    // Phase decomposition nests under supersteps: the nesting depths the
+    // summary reports must include depth >= 1 entries.
+    assert!(spans
+        .iter()
+        .any(|s| s.cat == "phase" && s.name == "compute"));
+    assert!(spans
+        .iter()
+        .any(|s| s.cat == "phase" && s.name == "network"));
+    assert!(sink.nesting_depths().iter().any(|&d| d >= 1));
+
+    // Per-machine tracks carry load and work spans.
+    assert!(spans.iter().any(|s| s.cat == "ingress"
+        && s.name == "load"
+        && s.track != distgraph::telemetry::span::Track::Cluster));
+    assert!(spans.iter().any(|s| s.cat == "machine" && s.name == "work"));
+
+    // The injected crash and checkpoint policy show up as fault spans.
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "fault" && s.name == "checkpoint.0"),
+        "missing checkpoint span"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "fault" && s.name == "recovery.m2"),
+        "missing recovery span"
+    );
+    assert!(sink.counter("fault.crashes") == 1);
+    assert!(sink.counter("fault.checkpoints") >= 1);
+    assert_eq!(
+        sink.counter("engine.supersteps"),
+        u64::from(result.supersteps)
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    // A small hand-built trace pins the exporter's exact byte format:
+    // metadata events first, integer-microsecond complete events sorted by
+    // (tid, start asc, duration desc) so parents precede children.
+    let sink = TelemetrySink::recording();
+    sink.record_span("ingress", "ingress.Grid".to_string(), 0.0, 2.0);
+    sink.record_machine_span("ingress", "load".to_string(), 0, 0.0, 1.5);
+    sink.record_machine_span("ingress", "load".to_string(), 1, 0.0, 2.0);
+    sink.set_time_offset(2.0);
+    sink.record_span("superstep", "superstep.0".to_string(), 0.0, 1.0);
+    sink.record_span("phase", "compute".to_string(), 0.0, 0.5);
+    sink.record_span("phase", "network".to_string(), 0.5, 0.25);
+    sink.record_span("phase", "sync".to_string(), 0.75, 0.25);
+    sink.record_machine_span("machine", "work".to_string(), 1, 0.0, 0.5);
+    assert_eq!(sink.chrome_trace_json(), include_str!("golden_trace.json"));
+}
