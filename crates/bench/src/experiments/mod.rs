@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod ch10;
+pub mod ch11;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
@@ -178,6 +179,16 @@ pub fn registry() -> Vec<Experiment> {
             run: ch10::ch10_interval,
         },
         Experiment {
+            id: "ch11-netloss",
+            title: "Wall clock and retransmit traffic vs packet loss (beyond the paper)",
+            run: ch11::ch11_netloss,
+        },
+        Experiment {
+            id: "ch11-speculation",
+            title: "Speculative straggler mitigation vs barrier-wait (beyond the paper)",
+            run: ch11::ch11_speculation,
+        },
+        Experiment {
             id: "ablation-hdrf-lambda",
             title: "HDRF lambda sweep (beyond the paper)",
             run: ablations::ablation_hdrf_lambda,
@@ -258,7 +269,7 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         // 3 front-matter tables + 8 ch5 + 6 ch6 + 2 ch7 + 4 ch8 + 4 ch9
-        // + 2 ch10 + 9 ablations.
-        assert_eq!(registry().len(), 38);
+        // + 2 ch10 + 2 ch11 + 9 ablations.
+        assert_eq!(registry().len(), 40);
     }
 }

@@ -5,7 +5,7 @@ use gp_apps::{Coloring, PageRank, Sssp, Wcc};
 use gp_cluster::{ClusterSpec, CostRates};
 use gp_core::{EdgeList, VertexId};
 use gp_engine::{
-    base_memory_per_machine, AsyncGas, ComputeReport, EngineConfig, HybridGas, Pregel,
+    base_memory_per_machine, AsyncGas, CommsConfig, ComputeReport, EngineConfig, HybridGas, Pregel,
     PregelConfig, SyncGas,
 };
 use gp_fault::{CheckpointPolicy, FaultPlan};
@@ -160,6 +160,14 @@ pub struct JobResult {
     pub recovery_seconds: f64,
     /// Supersteps re-executed after rollbacks (ch10).
     pub supersteps_replayed: u32,
+    /// Extra bytes resent by the reliable-delivery protocol (ch11).
+    pub retransmit_bytes: f64,
+    /// Barrier time lost to retry timeouts and delay spikes (ch11).
+    pub retry_timeout_seconds: f64,
+    /// Speculative backup tasks launched against stragglers (ch11).
+    pub speculative_clones: u32,
+    /// Wall-clock seconds saved by speculation (ch11).
+    pub speculation_saved_seconds: f64,
     /// True if the job failed (GraphX OOM, §7.3/§9.2.4).
     pub failed: bool,
 }
@@ -299,6 +307,34 @@ impl Pipeline {
         fault_plan: FaultPlan,
         checkpoint: CheckpointPolicy,
     ) -> JobResult {
+        self.run_with_comms(
+            dataset,
+            strategy,
+            spec,
+            engine,
+            app,
+            fault_plan,
+            checkpoint,
+            CommsConfig::disabled(),
+        )
+    }
+
+    /// Run one job under a fault plan, checkpoint policy and communication
+    /// protocol config (ch11). With comms disabled this is exactly
+    /// [`Pipeline::run_with_faults`]; with everything disabled it is exactly
+    /// [`Pipeline::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_comms(
+        &mut self,
+        dataset: Dataset,
+        strategy: Strategy,
+        spec: &ClusterSpec,
+        engine: EngineKind,
+        app: App,
+        fault_plan: FaultPlan,
+        checkpoint: CheckpointPolicy,
+        comms: CommsConfig,
+    ) -> JobResult {
         let (ingress_report, ingress_seconds) = self.ingress(dataset, strategy, spec, engine);
         let partitions = engine.partitions(spec);
         let outcome = &self.partitions[&(dataset, strategy, partitions, spec.machines)];
@@ -338,6 +374,7 @@ impl Pipeline {
         let config = EngineConfig::new(spec.clone())
             .with_fault_plan(fault_plan)
             .with_checkpoint(checkpoint)
+            .with_comms(comms)
             .with_telemetry(telemetry.clone());
 
         let reports: Vec<ComputeReport> = match (engine, app) {
@@ -380,6 +417,10 @@ impl Pipeline {
                             checkpoint_bytes: 0.0,
                             recovery_seconds: 0.0,
                             supersteps_replayed: 0,
+                            retransmit_bytes: 0.0,
+                            retry_timeout_seconds: 0.0,
+                            speculative_clones: 0,
+                            speculation_saved_seconds: 0.0,
                             failed: true,
                         }
                     }
@@ -435,6 +476,10 @@ impl Pipeline {
             checkpoint_bytes: reports.iter().map(|r| r.checkpoint_bytes).sum(),
             recovery_seconds: reports.iter().map(|r| r.recovery_seconds).sum(),
             supersteps_replayed: reports.iter().map(|r| r.supersteps_replayed).sum(),
+            retransmit_bytes: reports.iter().map(|r| r.retransmit_bytes).sum(),
+            retry_timeout_seconds: reports.iter().map(|r| r.retry_timeout_seconds).sum(),
+            speculative_clones: reports.iter().map(|r| r.speculative_clones).sum(),
+            speculation_saved_seconds: reports.iter().map(|r| r.speculation_saved_seconds).sum(),
             failed: false,
         }
     }
@@ -716,6 +761,70 @@ mod tests {
         assert_eq!(sink.counter("engine.supersteps"), u64::from(r.supersteps));
         assert!(sink.counter("ingress.edges_placed") > 0);
         assert!(sink.counter("ingress.replicas_created") > 0);
+    }
+
+    #[test]
+    fn lossy_network_job_pays_retransmits() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let args = (
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(5),
+        );
+        let clean = p.run(args.0, args.1, &spec, args.2, args.3);
+        let lossy = p.run_with_comms(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::uniform_flaky(0.1, 9, 100),
+            CheckpointPolicy::disabled(),
+            CommsConfig::reliable(),
+        );
+        assert!(lossy.retransmit_bytes > 0.0);
+        assert!(lossy.retry_timeout_seconds > 0.0);
+        assert!(
+            lossy.compute_seconds > clean.compute_seconds,
+            "a lossy network can only slow the job down"
+        );
+        assert_eq!(lossy.supersteps, clean.supersteps, "no semantic change");
+    }
+
+    #[test]
+    fn disabled_comms_matches_run_with_faults_exactly() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let args = (
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(5),
+        );
+        let faults = p.run_with_faults(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::crash_at(3, 2),
+            CheckpointPolicy::every(2),
+        );
+        let comms = p.run_with_comms(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::crash_at(3, 2),
+            CheckpointPolicy::every(2),
+            CommsConfig::disabled(),
+        );
+        assert_eq!(faults.compute_seconds, comms.compute_seconds);
+        assert_eq!(comms.retransmit_bytes, 0.0);
+        assert_eq!(comms.speculative_clones, 0);
     }
 
     #[test]

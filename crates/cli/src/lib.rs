@@ -26,8 +26,8 @@ use gp_bench::{App, EngineKind, Pipeline};
 use gp_cluster::{ClusterSpec, CostRates, Table};
 use gp_core::io::read_edge_list;
 use gp_core::{EdgeList, GraphStats};
-use gp_engine::{EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
-use gp_fault::{recovery_cost, CheckpointPolicy, FaultPlan};
+use gp_engine::{CommsConfig, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
+use gp_fault::{recovery_cost, CheckpointPolicy, FaultEvent, FaultKind, FaultPlan};
 use gp_gen::{classify, Dataset, DegreeAnalysis};
 use gp_partition::{IngressReport, PartitionContext, Strategy};
 use gp_telemetry::TelemetrySink;
@@ -85,6 +85,10 @@ pub enum Command {
         asynchronous: bool,
         steps: u32,
         strategies: Vec<Strategy>,
+        /// Uniform per-link packet-loss rate (0 = clean network).
+        loss_rate: f64,
+        /// Launch speculative backup tasks against stragglers.
+        speculate: bool,
     },
     /// Run one (dataset, strategy, app, cluster) cell with telemetry
     /// recording and write Chrome trace-event JSON plus metrics artifacts.
@@ -100,6 +104,10 @@ pub enum Command {
         crash: Option<(u32, u32)>,
         /// Checkpoint interval in supersteps (0 = off).
         interval: u32,
+        /// Uniform per-link packet-loss rate (0 = clean network).
+        loss_rate: f64,
+        /// Launch speculative backup tasks against stragglers.
+        speculate: bool,
         out_dir: String,
     },
     /// Print usage.
@@ -232,7 +240,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "natural" | "help" | "async");
+            let takes_value = !matches!(name, "natural" | "help" | "async" | "speculate");
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -302,6 +310,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Err(format!("--scale must be in (0, 1000], got {v}"))
         }
     };
+    let parse_loss_rate = || -> Result<f64, String> {
+        let v = parse_flag("loss-rate", 0.0)?;
+        if (0.0..1.0).contains(&v) {
+            Ok(v)
+        } else {
+            Err(format!("--loss-rate must be in [0, 1), got {v}"))
+        }
+    };
 
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -360,6 +376,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 asynchronous: has("async"),
                 steps: parse_count("steps", 20)?,
                 strategies,
+                loss_rate: parse_loss_rate()?,
+                speculate: has("speculate"),
             })
         }
         "trace" => {
@@ -390,6 +408,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 crash,
                 interval: u32::try_from(parse_u("interval", 0)?)
                     .map_err(|_| "--interval out of range".to_string())?,
+                loss_rate: parse_loss_rate()?,
+                speculate: has("speculate"),
                 out_dir: flag("out").cloned().unwrap_or_else(|| "trace-out".into()),
             })
         }
@@ -425,11 +445,12 @@ USAGE:
                 [--parts N] [--system ...] [--partition-file parts.txt]
   distgraph fault <dataset> [--strategies random,hybrid] [--cluster ec2-16]
                   [--crash-at 10] [--machine 0] [--interval 4] [--async]
-                  [--steps 20] [--scale S] [--seed N]
+                  [--steps 20] [--loss-rate P] [--speculate]
+                  [--scale S] [--seed N]
   distgraph trace <dataset> [--strategy hdrf] [--app pagerank|pagerank10|wcc|
                   sssp|kcore|coloring] [--system powergraph|powerlyra|graphx]
                   [--cluster ec2-16] [--interval K] [--crash-at N --machine M]
-                  [--scale S] [--seed N] [-o DIR]
+                  [--loss-rate P] [--speculate] [--scale S] [--seed N] [-o DIR]
 
 Graphs are plain-text edge lists (one `src dst` pair per line, # comments).
 Strategies: Random, Assym-Rand, Grid, PDS, Oblivious, HDRF, 1D, 1D-Target,
@@ -444,6 +465,12 @@ chrome://tracing), `metrics.csv` and `summary.txt` into DIR.
 `fault` crashes one machine mid-PageRank, rolls back to the last checkpoint,
 and compares recovery cost (refetch traffic, replayed supersteps, wall-clock
 overhead) across partitioning strategies.
+
+`--loss-rate P` makes every link drop a fraction P of its packets; reliable
+delivery retries with capped exponential backoff, so lossy links cost
+retransmit traffic and timeout stalls instead of losing messages.
+`--speculate` re-executes a straggling machine's partition on the
+least-loaded peer and takes the first finisher.
 "
 }
 
@@ -639,6 +666,8 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             cluster,
             crash,
             interval,
+            loss_rate,
+            speculate,
             out_dir,
         } => {
             let spec = cluster.spec();
@@ -665,19 +694,26 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                     );
                 }
             }
-            let plan = match crash {
-                Some((step, machine)) => FaultPlan::crash_at(*step, *machine),
-                None => FaultPlan::none(),
-            };
+            // Flaky windows cover the whole job; a trace has no superstep
+            // bound up front, so use a horizon past any simulated run.
+            let mut plan = FaultPlan::uniform_flaky(*loss_rate, spec.machines, 100_000);
+            if let Some((step, machine)) = crash {
+                plan.push(FaultEvent {
+                    superstep: *step,
+                    machine: *machine,
+                    kind: FaultKind::Crash,
+                });
+            }
             let policy = if *interval == 0 {
                 CheckpointPolicy::disabled()
             } else {
                 CheckpointPolicy::every(*interval)
             };
+            let comms = comms_config(*loss_rate, *speculate);
             let sink = TelemetrySink::recording();
             let mut pipeline = Pipeline::new(*scale, *seed).with_telemetry(sink.clone());
-            let result =
-                pipeline.run_with_faults(*dataset, *strategy, &spec, kind, *app, plan, policy);
+            let result = pipeline
+                .run_with_comms(*dataset, *strategy, &spec, kind, *app, plan, policy, comms);
             if result.failed {
                 return fail(out, "job ran out of memory on the simulated cluster");
             }
@@ -717,6 +753,8 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             asynchronous,
             steps,
             strategies,
+            loss_rate,
+            speculate,
         } => {
             let spec = cluster.spec();
             if *machine >= spec.machines {
@@ -746,10 +784,15 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                 (k, false) => format!("every {k} (sync)"),
                 (k, true) => format!("every {k} (async)"),
             };
+            let loss_label = if *loss_rate > 0.0 {
+                format!(", {:.0}% packet loss", *loss_rate * 100.0)
+            } else {
+                String::new()
+            };
             let mut t = Table::new(
                 format!(
                     "Machine {machine} crashes at superstep {crash_at} on {} \
-                     (PageRank({steps}), checkpoint {ckpt_label})",
+                     (PageRank({steps}), checkpoint {ckpt_label}{loss_label})",
                     spec.name
                 ),
                 &[
@@ -761,6 +804,8 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                     "Clean (s)",
                     "Faulted (s)",
                     "Overhead",
+                    "Retransmit",
+                    "Spec saved (s)",
                 ],
             );
             for strategy in strategies {
@@ -783,9 +828,16 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                     &assignment,
                     &program,
                 );
+                let mut plan = FaultPlan::uniform_flaky(*loss_rate, spec.machines, *steps);
+                plan.push(FaultEvent {
+                    superstep: *crash_at,
+                    machine: *machine,
+                    kind: FaultKind::Crash,
+                });
                 let faulted_config = EngineConfig::new(spec.clone())
-                    .with_fault_plan(FaultPlan::crash_at(*crash_at, *machine))
-                    .with_checkpoint(policy);
+                    .with_fault_plan(plan)
+                    .with_checkpoint(policy)
+                    .with_comms(comms_config(*loss_rate, *speculate));
                 let (_, faulted) = SyncGas::new(faulted_config).run(&graph, &assignment, &program);
                 t.row(vec![
                     strategy.label().to_string(),
@@ -799,6 +851,8 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                         "{:.2}x",
                         faulted.wall_clock_seconds() / clean.wall_clock_seconds().max(1e-12)
                     ),
+                    gp_cluster::table::fmt_bytes(faulted.retransmit_bytes),
+                    format!("{:.2}", faulted.speculation_saved_seconds),
                 ]);
             }
             writeln!(out, "{t}")?;
@@ -840,6 +894,17 @@ fn run_app(
         AppChoice::Wcc => dispatch!(Wcc),
         AppChoice::Sssp => dispatch!(Sssp::undirected(0u64)),
     }
+}
+
+/// Comms protocols implied by the CLI flags: a lossy network needs reliable
+/// delivery; speculation is opt-in either way.
+fn comms_config(loss_rate: f64, speculate: bool) -> CommsConfig {
+    let comms = if loss_rate > 0.0 {
+        CommsConfig::reliable()
+    } else {
+        CommsConfig::disabled()
+    };
+    comms.with_speculation(speculate)
 }
 
 fn fail<W: Write>(out: &mut W, msg: &str) -> std::io::Result<i32> {
@@ -1092,6 +1157,8 @@ mod tests {
                 asynchronous: false,
                 steps: 20,
                 strategies: vec![Strategy::Random, Strategy::Hybrid],
+                loss_rate: 0.0,
+                speculate: false,
             }
         );
         let cmd = parse_ok(&[
@@ -1114,6 +1181,9 @@ mod tests {
             "0.2",
             "--seed",
             "7",
+            "--loss-rate",
+            "0.05",
+            "--speculate",
         ]);
         assert_eq!(
             cmd,
@@ -1128,6 +1198,8 @@ mod tests {
                 asynchronous: true,
                 steps: 8,
                 strategies: vec![Strategy::Grid, Strategy::Hdrf, Strategy::Oblivious],
+                loss_rate: 0.05,
+                speculate: true,
             }
         );
         let bad: Vec<String> = ["fault", "Twitter", "--cluster", "ec2-99"]
@@ -1135,6 +1207,16 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(parse(&bad).is_err());
+        let bad_loss: Vec<String> = ["fault", "Twitter", "--loss-rate", "1.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&bad_loss).is_err());
+        let bad_loss: Vec<String> = ["trace", "Twitter", "--loss-rate", "-0.1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse(&bad_loss).is_err());
     }
 
     #[test]
@@ -1150,6 +1232,8 @@ mod tests {
             asynchronous: false,
             steps: 8,
             strategies: vec![Strategy::Random, Strategy::Hybrid],
+            loss_rate: 0.0,
+            speculate: false,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("crashes at superstep 3"), "{text}");
@@ -1182,6 +1266,8 @@ mod tests {
                 cluster: ClusterChoice::Ec2x16,
                 crash: None,
                 interval: 0,
+                loss_rate: 0.0,
+                speculate: false,
                 out_dir: "trace-out".into(),
             }
         );
@@ -1206,6 +1292,9 @@ mod tests {
             "0.1",
             "--seed",
             "7",
+            "--loss-rate",
+            "0.02",
+            "--speculate",
             "-o",
             "artifacts",
         ]);
@@ -1221,6 +1310,8 @@ mod tests {
                 cluster: ClusterChoice::Local9,
                 crash: Some((5, 2)),
                 interval: 3,
+                loss_rate: 0.02,
+                speculate: true,
                 out_dir: "artifacts".into(),
             }
         );
@@ -1246,6 +1337,8 @@ mod tests {
             cluster: ClusterChoice::Local9,
             crash: None,
             interval: 2,
+            loss_rate: 0.0,
+            speculate: false,
             out_dir: dir.to_string_lossy().to_string(),
         });
         assert_eq!(code, 0, "{text}");
@@ -1264,6 +1357,67 @@ mod tests {
     }
 
     #[test]
+    fn fault_command_with_loss_rate_reports_retransmits() {
+        let (code, text) = run_to_string(&Command::Fault {
+            dataset: Dataset::LiveJournal,
+            scale: 0.02,
+            seed: 11,
+            cluster: ClusterChoice::Local9,
+            crash_at: 3,
+            machine: 2,
+            interval: 2,
+            asynchronous: false,
+            steps: 8,
+            strategies: vec![Strategy::Random],
+            loss_rate: 0.1,
+            speculate: false,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("Retransmit"), "{text}");
+        let row = text.lines().find(|l| l.contains("Random")).unwrap();
+        // The retransmit column must be a real, nonzero byte count.
+        let bytes_text = row
+            .split_whitespace()
+            .rev()
+            .skip(1)
+            .take(2)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect::<Vec<_>>()
+            .join(" ");
+        let bytes = gp_cluster::table::parse_bytes(&bytes_text).unwrap();
+        assert!(bytes > 0.0, "{text}");
+    }
+
+    #[test]
+    fn trace_with_loss_rate_records_retry_spans() {
+        let dir = std::env::temp_dir()
+            .join("distgraph-cli-test")
+            .join("trace-netloss");
+        let (code, text) = run_to_string(&Command::Trace {
+            dataset: Dataset::LiveJournal,
+            scale: 0.05,
+            seed: 7,
+            strategy: Strategy::Hdrf,
+            app: App::PageRankFixed(5),
+            system: SystemChoice::PowerGraph,
+            cluster: ClusterChoice::Local9,
+            crash: None,
+            interval: 0,
+            loss_rate: 0.1,
+            speculate: true,
+            out_dir: dir.to_string_lossy().to_string(),
+        });
+        assert_eq!(code, 0, "{text}");
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        assert!(trace.contains("\"retry\""), "trace covers retry windows");
+        let csv = std::fs::read_to_string(dir.join("metrics.csv")).unwrap();
+        assert!(csv.contains("net.retransmit_bytes"), "{csv}");
+        assert!(csv.contains("net.flaky_windows"), "{csv}");
+    }
+
+    #[test]
     fn fault_command_rejects_machine_out_of_range() {
         let (code, text) = run_to_string(&Command::Fault {
             dataset: Dataset::LiveJournal,
@@ -1276,6 +1430,8 @@ mod tests {
             asynchronous: false,
             steps: 2,
             strategies: vec![Strategy::Random],
+            loss_rate: 0.0,
+            speculate: false,
         });
         assert_eq!(code, 2);
         assert!(text.contains("out of range"), "{text}");

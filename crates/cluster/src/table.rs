@@ -120,6 +120,18 @@ pub fn fmt_bytes(bytes: f64) -> String {
     format!("{v:.2} {}", UNITS[u])
 }
 
+/// Parse a [`fmt_bytes`]-formatted string back into a byte count. Returns
+/// `None` for anything that isn't `<number> <unit>` with a known unit.
+pub fn parse_bytes(text: &str) -> Option<f64> {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let (value, unit) = text.trim().rsplit_once(' ')?;
+    let scale = UNITS
+        .iter()
+        .position(|u| *u == unit)
+        .map(|p| 1024.0f64.powi(p as i32))?;
+    value.parse::<f64>().ok().map(|v| v * scale)
+}
+
 /// Format seconds adaptively (ms below 1 s).
 pub fn fmt_seconds(s: f64) -> String {
     if s.abs() < 1.0 {
@@ -168,6 +180,16 @@ mod tests {
         assert!(fmt_bytes(3.5 * 1024.0 * 1024.0 * 1024.0).contains("GiB"));
         assert_eq!(fmt_seconds(0.25), "250.0 ms");
         assert_eq!(fmt_seconds(12.34), "12.3 s");
+    }
+
+    #[test]
+    fn parse_bytes_round_trips_fmt_bytes() {
+        for v in [0.0, 512.0, 2048.0, 3.5 * 1024.0 * 1024.0 * 1024.0] {
+            let parsed = parse_bytes(&fmt_bytes(v)).unwrap();
+            assert!((parsed - v).abs() <= v * 0.005 + 1e-9, "{v} -> {parsed}");
+        }
+        assert_eq!(parse_bytes("12.00 QiB"), None);
+        assert_eq!(parse_bytes("garbage"), None);
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl AsyncGas {
             }
             let mut work = vec![0.0f64; machines];
             let mut in_bytes = vec![0.0f64; machines];
+            let mut out_bytes = vec![0.0f64; machines];
             let mut gather_messages = 0u64;
             let mut sync_messages = 0u64;
             let mut next_active = vec![false; n];
@@ -131,6 +132,7 @@ impl AsyncGas {
                         let m = self.config.machine_of(r.partition.0);
                         if m != master_machine {
                             in_bytes[master_machine] += program.accum_wire_bytes() as f64;
+                            out_bytes[m] += program.accum_wire_bytes() as f64;
                         }
                     }
                 }
@@ -158,6 +160,7 @@ impl AsyncGas {
                             let m = self.config.machine_of(r.partition.0);
                             if m != master_machine {
                                 in_bytes[m] += program.state_wire_bytes() as f64;
+                                out_bytes[master_machine] += program.state_wire_bytes() as f64;
                             }
                         }
                     }
@@ -197,6 +200,7 @@ impl AsyncGas {
                 sync_messages,
                 machine_work: work,
                 machine_in_bytes: in_bytes,
+                machine_out_bytes: out_bytes,
                 wall_seconds: wall,
             });
             active = next_active;
@@ -206,6 +210,7 @@ impl AsyncGas {
         }
         let mut report = ComputeReport::new(program.name(), "async-gas", steps, converged);
         crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        crate::comms_hook::apply_comms_model(&mut report, &self.config);
         crate::telemetry_hook::record_compute_telemetry(&self.config, &report);
         (states, report)
     }

@@ -8,6 +8,9 @@
 //! * **Stragglers/degradation** stretch the barrier: the afflicted
 //!   machine's compute (or network) share of the step is multiplied by the
 //!   slowdown factor and the difference added to the step's wall time.
+//!   Degradation is *symmetric*: a throttled NIC slows both what the
+//!   machine receives and what it sends (its outbound bytes arrive late at
+//!   healthy peers), so the penalty covers inbound + outbound traffic.
 //! * **Checkpoints** fire after every `interval`-th executed superstep:
 //!   each machine snapshots the vertex state it masters to a peer
 //!   (`(m + 1) % machines`), which shows up as inbound bytes on the peer
@@ -104,8 +107,17 @@ pub fn apply_fault_model(
                 let mut replayed = original[j].clone();
                 if k == 0 {
                     // The re-fetched partitions stream into the replacement
-                    // machine while replay begins.
+                    // machine while replay begins; the surviving peers
+                    // serve the data, splitting the outbound load evenly.
                     replayed.machine_in_bytes[machine as usize % machines] += rc.refetch_bytes;
+                    if machines > 1 {
+                        let share = rc.refetch_bytes / (machines - 1) as f64;
+                        for (m, out) in replayed.machine_out_bytes.iter_mut().enumerate() {
+                            if m != machine as usize % machines {
+                                *out += share;
+                            }
+                        }
+                    }
                 }
                 report.supersteps_replayed += 1;
                 elapsed += replayed.wall_seconds;
@@ -120,6 +132,7 @@ pub fn apply_fault_model(
             let last = timeline.last_mut().expect("step just pushed");
             for (m, &bytes) in snapshot.iter().enumerate() {
                 last.machine_in_bytes[(m + 1) % machines] += bytes;
+                last.machine_out_bytes[m] += bytes;
             }
             let stall = checkpoint_stall_seconds(&snapshot, policy, &config.spec);
             last.wall_seconds += stall;
@@ -141,7 +154,11 @@ pub fn apply_fault_model(
 }
 
 /// A copy of `step` with active straggler/degradation penalties added to
-/// its wall time.
+/// its wall time. A degraded NIC throttles symmetrically: both the bytes
+/// the machine receives and the bytes it sends cross the slow link, so
+/// the network penalty covers inbound + outbound traffic. (The pre-audit
+/// model charged inbound only, silently letting a degraded heavy *sender*
+/// off for free.)
 fn slowed(
     step: &SuperstepStats,
     config: &EngineConfig,
@@ -156,7 +173,12 @@ fn slowed(
             out.wall_seconds += (compute_factor - 1.0) * share / compute_rate;
         }
         if network_factor > 1.0 {
-            let share = out.machine_in_bytes.get(m as usize).copied().unwrap_or(0.0);
+            let share = out.machine_in_bytes.get(m as usize).copied().unwrap_or(0.0)
+                + out
+                    .machine_out_bytes
+                    .get(m as usize)
+                    .copied()
+                    .unwrap_or(0.0);
             out.wall_seconds += (network_factor - 1.0) * share / bandwidth;
         }
     }
@@ -309,6 +331,49 @@ mod tests {
             assert_eq!(slow.steps[i].wall_seconds, base.steps[i].wall_seconds);
         }
         assert_eq!(slow.recovery_seconds, 0.0);
+    }
+
+    #[test]
+    fn degrade_throttles_inbound_and_outbound_symmetrically() {
+        // Regression pin for the symmetric-degradation audit: the penalty
+        // charged for a degraded NIC must be exactly
+        // `(factor - 1) * (in_bytes + out_bytes) / bandwidth` — the old
+        // model charged inbound only, so a degraded heavy *sender* was
+        // priced as if its NIC were healthy.
+        let (_, base) = job(healthy());
+        let s = &base.steps[1];
+        let machine = (0..9)
+            .max_by(|&a, &b| {
+                let t = |m: usize| s.machine_in_bytes[m] + s.machine_out_bytes[m];
+                t(a).partial_cmp(&t(b)).unwrap()
+            })
+            .unwrap();
+        assert!(
+            s.machine_out_bytes[machine] > 0.0,
+            "need outbound traffic to observe the asymmetry"
+        );
+        let mut plan = FaultPlan::none();
+        plan.push(FaultEvent {
+            superstep: 1,
+            machine: machine as u32,
+            kind: FaultKind::Degrade {
+                factor: 3.0,
+                duration_steps: 1,
+            },
+        });
+        let (_, slow) = job(healthy().with_fault_plan(plan));
+        let bw = ClusterSpec::local_9().bandwidth_bytes_per_s;
+        let expected =
+            (3.0 - 1.0) * (s.machine_in_bytes[machine] + s.machine_out_bytes[machine]) / bw;
+        assert!(
+            (slow.steps[1].wall_seconds - s.wall_seconds - expected).abs() < 1e-12,
+            "degrade penalty must cover inbound + outbound bytes: got {}, want {}",
+            slow.steps[1].wall_seconds - s.wall_seconds,
+            expected
+        );
+        for i in [0usize, 2] {
+            assert_eq!(slow.steps[i].wall_seconds, base.steps[i].wall_seconds);
+        }
     }
 
     #[test]

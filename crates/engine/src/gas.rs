@@ -87,6 +87,7 @@ impl SyncGas {
             "sync-gas",
         );
         crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        crate::comms_hook::apply_comms_model(&mut report, &self.config);
         crate::telemetry_hook::record_compute_telemetry(&self.config, &report);
         (states, report)
     }
@@ -159,6 +160,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
         }
         let mut work = vec![0.0f64; machines];
         let mut in_bytes = vec![0.0f64; machines];
+        let mut out_bytes = vec![0.0f64; machines];
         let mut gather_messages = 0u64;
         let mut sync_messages = 0u64;
         let mut next_active = vec![false; n];
@@ -223,6 +225,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
                         let src_machine = config.machine_of(r.partition.0);
                         if src_machine != master_machine {
                             in_bytes[master_machine] += program.accum_wire_bytes() as f64;
+                            out_bytes[src_machine] += program.accum_wire_bytes() as f64;
                         }
                     }
                 }
@@ -251,6 +254,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
                     let m = config.machine_of(r.partition.0);
                     if m != master_machine {
                         in_bytes[m] += program.state_wire_bytes() as f64;
+                        out_bytes[master_machine] += program.state_wire_bytes() as f64;
                     }
                 }
             }
@@ -321,6 +325,7 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
             sync_messages,
             machine_work: work,
             machine_in_bytes: in_bytes,
+            machine_out_bytes: out_bytes,
             wall_seconds: wall,
         });
 

@@ -29,6 +29,7 @@
 //! described by the [`gp_partition::Assignment`].
 
 pub mod async_gas;
+pub mod comms_hook;
 pub mod fault_hook;
 pub mod gas;
 pub mod hybrid;
@@ -39,8 +40,10 @@ pub mod report;
 pub mod telemetry_hook;
 
 pub use async_gas::AsyncGas;
+pub use comms_hook::apply_comms_model;
 pub use fault_hook::apply_fault_model;
 pub use gas::SyncGas;
+pub use gp_net::{CommsConfig, RetryPolicy, SpeculationPolicy};
 pub use hybrid::HybridGas;
 pub use pregel::{ExecutorMemoryModel, PlacementCase, Pregel, PregelConfig};
 pub use program::{ApplyInfo, Direction, InitInfo, VertexProgram};

@@ -233,6 +233,7 @@ impl Pregel {
             }
             let mut work = vec![0.0f64; machines];
             let mut in_bytes = vec![0.0f64; machines];
+            let mut out_bytes = vec![0.0f64; machines];
             let mut gather_messages = 0u64; // aggregated msgs edge-part → vertex master
             let mut sync_messages = 0u64; // attribute shipping master → edge-part
             let mut next_active = vec![false; n];
@@ -274,6 +275,7 @@ impl Pregel {
                         let m = cfg.machine_of(r.partition.0);
                         if m != master_machine {
                             in_bytes[master_machine] += program.accum_wire_bytes() as f64;
+                            out_bytes[m] += program.accum_wire_bytes() as f64;
                         }
                     }
                 }
@@ -299,6 +301,7 @@ impl Pregel {
                         let m = cfg.machine_of(r.partition.0);
                         if m != master_machine {
                             in_bytes[m] += program.state_wire_bytes() as f64;
+                            out_bytes[master_machine] += program.state_wire_bytes() as f64;
                         }
                     }
                 }
@@ -343,6 +346,7 @@ impl Pregel {
                 sync_messages,
                 machine_work: work,
                 machine_in_bytes: in_bytes,
+                machine_out_bytes: out_bytes,
                 wall_seconds: wall,
             });
             active = if program.always_active() {
@@ -364,6 +368,7 @@ impl Pregel {
         }
         let mut report = ComputeReport::new(program.name(), "pregel", steps, converged);
         crate::fault_hook::apply_fault_model(&mut report, cfg, assignment);
+        crate::comms_hook::apply_comms_model(&mut report, cfg);
         crate::telemetry_hook::record_compute_telemetry(cfg, &report);
         Ok((states, report))
     }

@@ -2,6 +2,7 @@
 
 use gp_cluster::{ClusterSpec, CostRates, MachineSample, MemoryModel, ResourceMonitor, Timeline};
 use gp_fault::{CheckpointPolicy, FaultPlan};
+use gp_net::CommsConfig;
 use gp_partition::Assignment;
 use gp_telemetry::TelemetrySink;
 
@@ -41,6 +42,12 @@ pub struct EngineConfig {
     /// [`ComputeReport`] is bit-identical with or without instrumentation
     /// (the same contract as the inactive fault model).
     pub telemetry: TelemetrySink,
+    /// Communication-layer protocols: reliable delivery over flaky links
+    /// and speculative straggler re-execution. Fully disabled by default,
+    /// in which case flaky windows in the fault plan are inert (an
+    /// idealized network delivers everything) and reports are
+    /// bit-identical to pre-comms runs.
+    pub comms: CommsConfig,
 }
 
 impl EngineConfig {
@@ -57,6 +64,7 @@ impl EngineConfig {
             fault_plan: FaultPlan::none(),
             checkpoint: CheckpointPolicy::disabled(),
             telemetry: TelemetrySink::Disabled,
+            comms: CommsConfig::disabled(),
         }
     }
 
@@ -84,10 +92,25 @@ impl EngineConfig {
         self
     }
 
+    /// Builder: enable communication-layer protocols.
+    pub fn with_comms(mut self, comms: CommsConfig) -> Self {
+        self.comms = comms;
+        self
+    }
+
     /// True when this configuration can alter a report after the compute
     /// loop (faults scheduled or checkpoints enabled).
     pub fn fault_model_active(&self) -> bool {
         !self.fault_plan.is_empty() || self.checkpoint.is_enabled()
+    }
+
+    /// True when the comms layer can alter a report: the retry protocol
+    /// only acts on scheduled flaky windows, and speculation only on
+    /// scheduled slowdowns. An enabled protocol over a clean plan — or a
+    /// flaky plan with everything disabled — is guaranteed inert.
+    pub fn comms_model_active(&self) -> bool {
+        (self.comms.retry.enabled && self.fault_plan.has_flaky())
+            || (self.comms.speculation.enabled && self.fault_plan.has_slowdowns())
     }
 
     /// Machine hosting partition `p` (round-robin fold, exact identity when
@@ -113,6 +136,10 @@ pub struct SuperstepStats {
     pub machine_work: Vec<f64>,
     /// Inbound network bytes per machine this step.
     pub machine_in_bytes: Vec<f64>,
+    /// Outbound network bytes per machine this step (what each NIC sent;
+    /// cluster-wide this mirrors the inbound total, but the per-machine
+    /// split differs and is what a symmetric link degradation throttles).
+    pub machine_out_bytes: Vec<f64>,
     /// Simulated wall-clock duration of the step.
     pub wall_seconds: f64,
 }
@@ -121,6 +148,11 @@ impl SuperstepStats {
     /// Total inbound bytes across machines.
     pub fn total_in_bytes(&self) -> f64 {
         self.machine_in_bytes.iter().sum()
+    }
+
+    /// Total outbound bytes across machines.
+    pub fn total_out_bytes(&self) -> f64 {
+        self.machine_out_bytes.iter().sum()
     }
 }
 
@@ -145,6 +177,22 @@ pub struct ComputeReport {
     /// Supersteps re-executed after crashes (their stats appear again in
     /// `steps`, in execution order).
     pub supersteps_replayed: u32,
+    /// Extra bytes retransmitted (and duplicate-delivered) by the reliable
+    /// delivery protocol over flaky links (0 without flaky windows or with
+    /// retries disabled). Already folded into the steps' inbound bytes.
+    pub retransmit_bytes: f64,
+    /// Barrier time lost waiting out retransmission timeouts and delay
+    /// spikes, seconds. Already folded into the steps' wall times.
+    pub retry_timeout_seconds: f64,
+    /// Backup tasks launched by speculative straggler mitigation.
+    pub speculative_clones: u32,
+    /// Wall-clock seconds recovered by taking first finishers (already
+    /// subtracted from the steps' wall times; never exceeds the fault
+    /// penalties it mitigates).
+    pub speculation_saved_seconds: f64,
+    /// Input bytes re-shipped to backup machines (already folded into the
+    /// steps' inbound bytes).
+    pub speculation_shipped_bytes: f64,
 }
 
 impl ComputeReport {
@@ -164,6 +212,11 @@ impl ComputeReport {
             checkpoint_bytes: 0.0,
             recovery_seconds: 0.0,
             supersteps_replayed: 0,
+            retransmit_bytes: 0.0,
+            retry_timeout_seconds: 0.0,
+            speculative_clones: 0,
+            speculation_saved_seconds: 0.0,
+            speculation_shipped_bytes: 0.0,
         }
     }
 
@@ -312,6 +365,7 @@ mod tests {
     use gp_cluster::ClusterSpec;
 
     fn step(i: u32, wall: f64, work: Vec<f64>, bytes: Vec<f64>) -> SuperstepStats {
+        let out = bytes.iter().rev().copied().collect();
         SuperstepStats {
             superstep: i,
             active_vertices: 10,
@@ -319,6 +373,7 @@ mod tests {
             sync_messages: 5,
             machine_work: work,
             machine_in_bytes: bytes,
+            machine_out_bytes: out,
             wall_seconds: wall,
         }
     }

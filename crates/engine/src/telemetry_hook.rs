@@ -109,6 +109,7 @@ mod tests {
                     sync_messages: 2,
                     machine_work: vec![100.0, 50.0],
                     machine_in_bytes: vec![0.0, 800.0],
+                    machine_out_bytes: vec![800.0, 0.0],
                     wall_seconds: 0.5,
                 },
                 SuperstepStats {
@@ -118,6 +119,7 @@ mod tests {
                     sync_messages: 1,
                     machine_work: vec![40.0, 80.0],
                     machine_in_bytes: vec![400.0, 0.0],
+                    machine_out_bytes: vec![0.0, 400.0],
                     wall_seconds: 0.25,
                 },
             ],

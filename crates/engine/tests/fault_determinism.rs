@@ -8,7 +8,7 @@
 
 use gp_apps::PageRank;
 use gp_cluster::ClusterSpec;
-use gp_engine::{ComputeReport, EngineConfig, SyncGas};
+use gp_engine::{CommsConfig, ComputeReport, EngineConfig, SyncGas};
 use gp_fault::{CheckpointPolicy, FaultPlan, FaultRates};
 use gp_partition::{PartitionContext, Strategy};
 use proptest::prelude::*;
@@ -16,6 +16,16 @@ use proptest::prelude::*;
 /// One full run: partition a small power-law graph onto local-9, draw a
 /// fault plan from `seed` and `rates`, and price PageRank(10) under it.
 fn run_under(seed: u64, interval: u32, rates: &FaultRates) -> ComputeReport {
+    run_under_comms(seed, interval, rates, CommsConfig::disabled())
+}
+
+/// [`run_under`] with the comms protocols configured too.
+fn run_under_comms(
+    seed: u64,
+    interval: u32,
+    rates: &FaultRates,
+    comms: CommsConfig,
+) -> ComputeReport {
     let spec = ClusterSpec::local_9();
     let graph = gp_gen::barabasi_albert(600, 4, 3);
     let assignment = Strategy::Hdrf
@@ -30,7 +40,8 @@ fn run_under(seed: u64, interval: u32, rates: &FaultRates) -> ComputeReport {
     };
     let config = EngineConfig::new(spec)
         .with_fault_plan(plan)
-        .with_checkpoint(policy);
+        .with_checkpoint(policy)
+        .with_comms(comms);
     SyncGas::new(config)
         .run(&graph, &assignment, &PageRank::fixed(10))
         .1
@@ -43,6 +54,14 @@ fn lively_rates() -> FaultRates {
         degrade_per_step: 0.03,
         straggler_per_step: 0.03,
         ..FaultRates::default()
+    }
+}
+
+/// [`lively_rates`] plus flaky network windows for the comms protocols.
+fn flaky_rates() -> FaultRates {
+    FaultRates {
+        flaky_per_step: 0.08,
+        ..lively_rates()
     }
 }
 
@@ -71,5 +90,27 @@ proptest! {
         prop_assert_eq!(a.checkpoint_bytes, 0.0);
         prop_assert_eq!(a.recovery_seconds, 0.0);
         prop_assert_eq!(a.supersteps_replayed, 0);
+    }
+
+    #[test]
+    fn same_seed_same_report_bytes_under_flaky_comms(
+        seed in 0u64..1 << 48,
+        interval in 0u32..5,
+    ) {
+        let comms = CommsConfig::reliable().with_speculation(true);
+        let a = run_under_comms(seed, interval, &flaky_rates(), comms.clone());
+        let b = run_under_comms(seed, interval, &flaky_rates(), comms);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn retries_are_free_on_a_lossless_network(seed in 0u64..1 << 48, interval in 0u32..5) {
+        // Crashes, degrades, stragglers — but zero flaky windows. Turning the
+        // retry protocol on must not change a single byte of the report.
+        let off = run_under(seed, interval, &lively_rates());
+        let on = run_under_comms(seed, interval, &lively_rates(), CommsConfig::reliable());
+        prop_assert_eq!(format!("{off:?}"), format!("{on:?}"));
+        prop_assert_eq!(on.retransmit_bytes, 0.0);
+        prop_assert_eq!(on.retry_timeout_seconds, 0.0);
     }
 }

@@ -7,8 +7,10 @@
 //! * [`plan`] — deterministic fault schedules: a [`FaultPlan`] is drawn
 //!   from a seeded ChaCha stream ([`rng::FaultRng`]) and per-superstep
 //!   hazard rates, scheduling machine crashes, transient network
-//!   degradation and CPU stragglers. The seed lives in the plan, so every
-//!   run is reproducible bit-for-bit.
+//!   degradation, CPU stragglers and flaky links (message loss /
+//!   duplication / delay spikes, priced by `gp-net`'s reliable-delivery
+//!   protocol). The seed lives in the plan, so every run is reproducible
+//!   bit-for-bit.
 //! * [`checkpoint`] — [`CheckpointPolicy`] prices periodic snapshots as
 //!   real load: each machine persists the vertex state it masters to a peer
 //!   (HDFS-style), stalling the barrier (fully for sync snapshots,
@@ -32,6 +34,6 @@ pub mod rng;
 pub use checkpoint::{
     checkpoint_stall_seconds, snapshot_bytes_per_machine, CheckpointMode, CheckpointPolicy,
 };
-pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultRates};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, FaultRates, FlakyLink};
 pub use recovery::{recovery_cost, RecoveryCost};
 pub use rng::FaultRng;

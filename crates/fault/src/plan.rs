@@ -32,6 +32,34 @@ pub enum FaultKind {
         /// Supersteps the slowdown lasts.
         duration_steps: u32,
     },
+    /// Flaky link: messages crossing the machine's NIC are lost, duplicated
+    /// or delayed for `duration_steps` supersteps. A reliable-delivery
+    /// protocol (gp-net) turns losses into retransmissions and timeout
+    /// stalls; without one the messages are assumed delivered by an
+    /// idealized network and the event is inert.
+    Flaky {
+        /// Probability a message on the link is lost and must be resent.
+        loss_rate: f64,
+        /// Probability a message is delivered twice (wasted bytes).
+        dup_rate: f64,
+        /// Extra one-way latency spike added to the step's barrier, seconds.
+        delay_spike_s: f64,
+        /// Supersteps the flakiness lasts.
+        duration_steps: u32,
+    },
+}
+
+/// The composed unreliability of one machine's link at one superstep (all
+/// overlapping [`FaultKind::Flaky`] windows folded together).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlakyLink {
+    /// Per-message loss probability (independent losses compose as
+    /// `1 - Π(1 - lᵢ)`).
+    pub loss_rate: f64,
+    /// Per-message duplication probability (sums across windows).
+    pub dup_rate: f64,
+    /// Latency spike in seconds (sums across windows).
+    pub delay_spike_s: f64,
 }
 
 /// One scheduled fault.
@@ -54,12 +82,20 @@ pub struct FaultRates {
     pub degrade_per_step: f64,
     /// Probability a machine straggles in a given superstep.
     pub straggler_per_step: f64,
+    /// Probability a machine's link turns flaky in a given superstep.
+    pub flaky_per_step: f64,
     /// Degrade/straggler slowdown factors are drawn uniformly from this
     /// range.
     pub slowdown_range: (f64, f64),
-    /// Degrade/straggler durations are drawn uniformly from this range
-    /// (supersteps, inclusive bounds).
+    /// Degrade/straggler/flaky durations are drawn uniformly from this
+    /// range (supersteps, inclusive bounds).
     pub duration_range: (u32, u32),
+    /// Flaky loss rates are drawn uniformly from this range.
+    pub loss_range: (f64, f64),
+    /// Flaky duplication rates are drawn uniformly from this range.
+    pub dup_range: (f64, f64),
+    /// Flaky delay spikes (seconds) are drawn uniformly from this range.
+    pub delay_spike_range: (f64, f64),
 }
 
 impl Default for FaultRates {
@@ -68,8 +104,12 @@ impl Default for FaultRates {
             crash_per_step: 0.0,
             degrade_per_step: 0.0,
             straggler_per_step: 0.0,
+            flaky_per_step: 0.0,
             slowdown_range: (2.0, 6.0),
             duration_range: (1, 4),
+            loss_range: (0.01, 0.2),
+            dup_range: (0.0, 0.05),
+            delay_spike_range: (0.0, 0.02),
         }
     }
 }
@@ -83,9 +123,20 @@ impl FaultRates {
         }
     }
 
+    /// Rates with only flaky links enabled.
+    pub fn flaky(per_step: f64) -> Self {
+        FaultRates {
+            flaky_per_step: per_step,
+            ..Self::default()
+        }
+    }
+
     /// True when every hazard is zero (a draw yields an empty plan).
     pub fn all_zero(&self) -> bool {
-        self.crash_per_step == 0.0 && self.degrade_per_step == 0.0 && self.straggler_per_step == 0.0
+        self.crash_per_step == 0.0
+            && self.degrade_per_step == 0.0
+            && self.straggler_per_step == 0.0
+            && self.flaky_per_step == 0.0
     }
 }
 
@@ -126,6 +177,7 @@ impl FaultPlan {
                 let crash_roll = rng.next_f64();
                 let degrade_roll = rng.next_f64();
                 let straggle_roll = rng.next_f64();
+                let flaky_roll = rng.next_f64();
                 if crash_roll < rates.crash_per_step && !crashed_this_step {
                     crashed_this_step = true;
                     plan.events.push(FaultEvent {
@@ -155,6 +207,21 @@ impl FaultPlan {
                         },
                     });
                 }
+                if flaky_roll < rates.flaky_per_step {
+                    let (lo_l, hi_l) = rates.loss_range;
+                    let (lo_u, hi_u) = rates.dup_range;
+                    let (lo_s, hi_s) = rates.delay_spike_range;
+                    plan.events.push(FaultEvent {
+                        superstep,
+                        machine,
+                        kind: FaultKind::Flaky {
+                            loss_rate: lo_l + rng.next_f64() * (hi_l - lo_l),
+                            dup_rate: lo_u + rng.next_f64() * (hi_u - lo_u),
+                            delay_spike_s: lo_s + rng.next_f64() * (hi_s - lo_s),
+                            duration_steps: lo_d + rng.next_below((hi_d - lo_d + 1) as u64) as u32,
+                        },
+                    });
+                }
             }
         }
         plan
@@ -169,6 +236,32 @@ impl FaultPlan {
                 machine,
                 kind: FaultKind::Crash,
             }],
+        }
+    }
+
+    /// Hand-built plan: every machine's link drops messages at `loss_rate`
+    /// for the whole `horizon` (the ch11 sweep and the CLI `--loss-rate`
+    /// flag, where the loss rate must be the *only* variable). A
+    /// non-positive loss rate yields the empty plan, so `--loss-rate 0` is
+    /// bit-identical to no plan at all.
+    pub fn uniform_flaky(loss_rate: f64, machines: u32, horizon: u32) -> Self {
+        if loss_rate <= 0.0 {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            seed: 0,
+            events: (0..machines)
+                .map(|machine| FaultEvent {
+                    superstep: 0,
+                    machine,
+                    kind: FaultKind::Flaky {
+                        loss_rate,
+                        dup_rate: 0.0,
+                        delay_spike_s: 0.0,
+                        duration_steps: horizon,
+                    },
+                })
+                .collect(),
         }
     }
 
@@ -228,9 +321,58 @@ impl FaultPlan {
                         compute *= factor;
                     }
                 }
+                // Flaky links are priced by the reliable-delivery protocol
+                // (gp-net), not as a bandwidth slowdown.
+                FaultKind::Flaky { .. } => {}
             }
         }
         (compute, network)
+    }
+
+    /// Composed link unreliability active at `superstep` for `machine`, or
+    /// `None` when every window misses. Overlapping windows compose:
+    /// independent losses as `1 - Π(1 - lᵢ)`, duplication rates and delay
+    /// spikes additively.
+    pub fn flaky_at(&self, superstep: u32, machine: u32) -> Option<FlakyLink> {
+        let mut link: Option<FlakyLink> = None;
+        for e in &self.events {
+            if e.machine != machine {
+                continue;
+            }
+            if let FaultKind::Flaky {
+                loss_rate,
+                dup_rate,
+                delay_spike_s,
+                duration_steps,
+            } = e.kind
+            {
+                if superstep >= e.superstep && superstep < e.superstep + duration_steps {
+                    let l = link.get_or_insert_with(FlakyLink::default);
+                    l.loss_rate = 1.0 - (1.0 - l.loss_rate) * (1.0 - loss_rate);
+                    l.dup_rate += dup_rate;
+                    l.delay_spike_s += delay_spike_s;
+                }
+            }
+        }
+        link
+    }
+
+    /// True when the plan schedules at least one flaky-link window.
+    pub fn has_flaky(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Flaky { .. }))
+    }
+
+    /// True when the plan schedules at least one straggler or degraded-link
+    /// window (the faults speculative execution can mitigate).
+    pub fn has_slowdowns(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::Straggler { .. } | FaultKind::Degrade { .. }
+            )
+        })
     }
 }
 
@@ -314,6 +456,81 @@ mod tests {
             (1.0, 1.0),
             "other machines unaffected"
         );
+    }
+
+    #[test]
+    fn flaky_rates_schedule_flaky_windows() {
+        let spec = ClusterSpec::ec2_16();
+        let plan = FaultPlan::generate(11, &spec, 60, &FaultRates::flaky(0.05));
+        assert!(plan.has_flaky(), "flaky rates over 60x16 cells should fire");
+        assert!(!plan.has_slowdowns());
+        assert_eq!(plan.crash_count(), 0);
+        let b = FaultPlan::generate(11, &spec, 60, &FaultRates::flaky(0.05));
+        assert_eq!(plan, b, "flaky draws must be deterministic per seed");
+        for e in &plan.events {
+            if let FaultKind::Flaky {
+                loss_rate,
+                dup_rate,
+                delay_spike_s,
+                duration_steps,
+            } = e.kind
+            {
+                assert!((0.01..=0.2).contains(&loss_rate));
+                assert!((0.0..=0.05).contains(&dup_rate));
+                assert!((0.0..=0.02).contains(&delay_spike_s));
+                assert!((1..=4).contains(&duration_steps));
+            } else {
+                panic!("unexpected kind {:?}", e.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_flaky_windows_compose() {
+        let mut plan = FaultPlan::none();
+        plan.push(FaultEvent {
+            superstep: 2,
+            machine: 1,
+            kind: FaultKind::Flaky {
+                loss_rate: 0.5,
+                dup_rate: 0.01,
+                delay_spike_s: 0.1,
+                duration_steps: 3,
+            },
+        });
+        plan.push(FaultEvent {
+            superstep: 3,
+            machine: 1,
+            kind: FaultKind::Flaky {
+                loss_rate: 0.5,
+                dup_rate: 0.02,
+                delay_spike_s: 0.2,
+                duration_steps: 1,
+            },
+        });
+        assert_eq!(plan.flaky_at(1, 1), None);
+        assert_eq!(plan.flaky_at(2, 1).unwrap().loss_rate, 0.5);
+        let both = plan.flaky_at(3, 1).unwrap();
+        assert!((both.loss_rate - 0.75).abs() < 1e-12, "1 - 0.5*0.5");
+        assert!((both.dup_rate - 0.03).abs() < 1e-12);
+        assert!((both.delay_spike_s - 0.3).abs() < 1e-12);
+        assert_eq!(plan.flaky_at(3, 0), None, "other machines unaffected");
+        // Flaky windows do not masquerade as bandwidth slowdowns.
+        assert_eq!(plan.slowdown_at(3, 1), (1.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_flaky_covers_every_machine_and_zero_is_empty() {
+        let plan = FaultPlan::uniform_flaky(0.05, 4, 30);
+        assert_eq!(plan.events.len(), 4);
+        for m in 0..4 {
+            let link = plan.flaky_at(29, m).expect("whole horizon");
+            assert!((link.loss_rate - 0.05).abs() < 1e-12);
+            assert_eq!(link.dup_rate, 0.0);
+        }
+        assert_eq!(plan.flaky_at(30, 0), None);
+        assert!(FaultPlan::uniform_flaky(0.0, 4, 30).is_empty());
+        assert!(FaultPlan::uniform_flaky(-1.0, 4, 30).is_empty());
     }
 
     #[test]

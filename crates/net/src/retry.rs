@@ -1,0 +1,157 @@
+//! Reliable delivery over lossy links: ack windows, timeouts, backoff.
+//!
+//! The protocol being modeled is the standard one: each superstep's
+//! exchange is one ack window; a sender keeps every message buffered until
+//! the receiver acks it, and retransmits on a timeout that doubles (capped)
+//! with each attempt. Rather than simulating individual messages we charge
+//! the *expectation* of that process, which keeps the model deterministic
+//! and exactly zero-cost on a clean link:
+//!
+//! * a message is retransmitted at attempt `k` with probability `p^k`
+//!   (every earlier copy was lost), so the expected number of extra
+//!   transmissions per message is `Σ_{k=1..A-1} p^k` — `0` when `p = 0`,
+//!   strictly increasing in `p`;
+//! * each retransmission wave is preceded by its timeout, so the expected
+//!   stall charged to the barrier is `Σ_{k=1..A-1} p^k · timeout(k-1)`
+//!   with `timeout(i) = min(base · backoff^i, max)`.
+//!
+//! After `max_attempts` the protocol gives up and the superstep's barrier
+//! recovers the message with the next global resynchronization — the
+//! residual loss `p^A` is exposed for reporting but not priced further.
+
+/// Deterministic retransmission policy for one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Whether the protocol runs at all. Disabled means flaky windows are
+    /// inert (the idealized-network baseline).
+    pub enabled: bool,
+    /// Total transmission attempts per message (first send included).
+    pub max_attempts: u32,
+    /// Timeout before the first retransmission, seconds.
+    pub base_timeout_s: f64,
+    /// Multiplier applied to the timeout after each failed attempt.
+    pub backoff: f64,
+    /// Cap on any single timeout, seconds.
+    pub max_timeout_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            enabled: false,
+            max_attempts: 5,
+            base_timeout_s: 0.05,
+            backoff: 2.0,
+            max_timeout_s: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default protocol, switched on.
+    pub fn reliable() -> Self {
+        RetryPolicy {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Timeout preceding retransmission attempt `retry` (0-based), seconds:
+    /// `min(base · backoff^retry, max)`.
+    pub fn timeout_s(&self, retry: u32) -> f64 {
+        (self.base_timeout_s * self.backoff.powi(retry as i32)).min(self.max_timeout_s)
+    }
+
+    /// Expected extra transmissions per message on a link with per-message
+    /// loss probability `loss`: `Σ_{k=1..A-1} loss^k`. Exactly 0.0 at
+    /// `loss = 0`, monotonically increasing in `loss`.
+    pub fn expected_retransmissions(&self, loss: f64) -> f64 {
+        let loss = loss.clamp(0.0, 1.0);
+        let mut p = 1.0;
+        let mut extra = 0.0;
+        for _ in 1..self.max_attempts {
+            p *= loss;
+            extra += p;
+        }
+        extra
+    }
+
+    /// Expected timeout stall per message, seconds: each retransmission
+    /// wave waits out its (backed-off, capped) timer first.
+    pub fn expected_timeout_stall_s(&self, loss: f64) -> f64 {
+        let loss = loss.clamp(0.0, 1.0);
+        let mut p = 1.0;
+        let mut stall = 0.0;
+        for k in 1..self.max_attempts {
+            p *= loss;
+            stall += p * self.timeout_s(k - 1);
+        }
+        stall
+    }
+
+    /// Probability a message is still undelivered after every attempt
+    /// (`loss^max_attempts`) — reported, not priced.
+    pub fn residual_loss(&self, loss: f64) -> f64 {
+        loss.clamp(0.0, 1.0).powi(self.max_attempts as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_link_costs_exactly_nothing() {
+        let p = RetryPolicy::reliable();
+        assert_eq!(p.expected_retransmissions(0.0), 0.0);
+        assert_eq!(p.expected_timeout_stall_s(0.0), 0.0);
+        assert_eq!(p.residual_loss(0.0), 0.0);
+    }
+
+    #[test]
+    fn costs_are_monotone_in_loss() {
+        let p = RetryPolicy::reliable();
+        let rates = [0.0, 0.01, 0.05, 0.1, 0.3, 0.6, 0.9];
+        for w in rates.windows(2) {
+            assert!(p.expected_retransmissions(w[0]) < p.expected_retransmissions(w[1]));
+            assert!(p.expected_timeout_stall_s(w[0]) < p.expected_timeout_stall_s(w[1]));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy::reliable();
+        assert!((p.timeout_s(0) - 0.05).abs() < 1e-12);
+        assert!((p.timeout_s(1) - 0.10).abs() < 1e-12);
+        assert!((p.timeout_s(2) - 0.20).abs() < 1e-12);
+        assert_eq!(p.timeout_s(10), 1.0, "capped at max_timeout_s");
+        assert_eq!(p.timeout_s(60), 1.0, "no overflow blowup");
+    }
+
+    #[test]
+    fn expectations_match_closed_form_on_small_attempts() {
+        let p = RetryPolicy {
+            enabled: true,
+            max_attempts: 3,
+            base_timeout_s: 0.1,
+            backoff: 2.0,
+            max_timeout_s: 10.0,
+        };
+        // Σ_{k=1..2} 0.5^k = 0.75; stall = 0.5*0.1 + 0.25*0.2 = 0.1.
+        assert!((p.expected_retransmissions(0.5) - 0.75).abs() < 1e-12);
+        assert!((p.expected_timeout_stall_s(0.5) - 0.1).abs() < 1e-12);
+        assert!((p.residual_loss(0.5) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_loss_is_clamped() {
+        let p = RetryPolicy::reliable();
+        assert_eq!(
+            p.expected_retransmissions(1.5),
+            p.expected_retransmissions(1.0)
+        );
+        assert_eq!(p.expected_retransmissions(-0.5), 0.0);
+        assert!(p.expected_retransmissions(1.0).is_finite());
+        assert!(p.expected_timeout_stall_s(1.0).is_finite());
+    }
+}

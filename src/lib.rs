@@ -12,6 +12,7 @@
 //! * [`partition`] (gp-partition) — the eleven partitioning strategies.
 //! * [`cluster`] (gp-cluster) — simulated cluster and resource models.
 //! * [`fault`] (gp-fault) — fault injection, checkpointing, recovery pricing.
+//! * [`net`] (gp-net) — unreliable network model: retry/backoff, speculation.
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
 //! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
 //! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
@@ -24,6 +25,7 @@ pub use gp_core as core;
 pub use gp_engine as engine;
 pub use gp_fault as fault;
 pub use gp_gen as gen;
+pub use gp_net as net;
 pub use gp_partition as partition;
 pub use gp_telemetry as telemetry;
 

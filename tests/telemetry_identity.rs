@@ -5,8 +5,10 @@
 
 use distgraph::apps::PageRank;
 use distgraph::cluster::ClusterSpec;
-use distgraph::engine::{AsyncGas, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
-use distgraph::fault::{CheckpointPolicy, FaultPlan};
+use distgraph::engine::{
+    AsyncGas, CommsConfig, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas,
+};
+use distgraph::fault::{CheckpointPolicy, FaultEvent, FaultKind, FaultPlan};
 use distgraph::gen::Dataset;
 use distgraph::partition::{Assignment, PartitionContext, Strategy};
 use distgraph::telemetry::TelemetrySink;
@@ -58,6 +60,56 @@ fn disabled_sink_is_bit_identical_across_all_engines() {
         .expect("fits");
     assert_eq!(s_off, s_on, "pregel states diverge");
     assert_eq!(format!("{r_off:?}"), format!("{r_on:?}"), "pregel report");
+}
+
+/// A config exercising the comms path: flaky links everywhere plus one
+/// straggler, with reliable delivery and speculation both on.
+fn flaky_config(sink: TelemetrySink) -> EngineConfig {
+    let mut plan = FaultPlan::uniform_flaky(0.1, 9, 100);
+    plan.push(FaultEvent {
+        superstep: 2,
+        machine: 4,
+        kind: FaultKind::Straggler {
+            factor: 20.0,
+            duration_steps: 2,
+        },
+    });
+    EngineConfig::new(ClusterSpec::local_9())
+        .with_fault_plan(plan)
+        .with_comms(CommsConfig::reliable().with_speculation(true))
+        .with_telemetry(sink)
+}
+
+#[test]
+fn flaky_runs_are_deterministic_across_all_engines() {
+    // Same seed + same flaky plan: reports AND trace bytes must be identical
+    // across two runs, for every engine.
+    let (g, a) = graph_and_assignment();
+    let prog = PageRank::fixed(6);
+    let twice = |run: &dyn Fn(EngineConfig) -> String| {
+        let sink1 = TelemetrySink::recording();
+        let sink2 = TelemetrySink::recording();
+        let r1 = run(flaky_config(sink1.clone()));
+        let r2 = run(flaky_config(sink2.clone()));
+        assert_eq!(r1, r2, "report not deterministic");
+        let json = sink1.chrome_trace_json();
+        assert_eq!(json, sink2.chrome_trace_json(), "trace not deterministic");
+        json
+    };
+    let sync_json = twice(&|c| format!("{:?}", SyncGas::new(c).run(&g, &a, &prog).1));
+    twice(&|c| format!("{:?}", HybridGas::new(c).run(&g, &a, &prog).1));
+    twice(&|c| format!("{:?}", AsyncGas::new(c).run(&g, &a, &prog).1));
+    twice(&|c| {
+        format!(
+            "{:?}",
+            Pregel::new(PregelConfig::new(c))
+                .run(&g, &a, &prog)
+                .expect("fits")
+                .1
+        )
+    });
+    // The flaky windows surface in the trace as net-category retry spans.
+    assert!(sync_json.contains("\"cat\":\"net\""), "missing net spans");
 }
 
 #[test]
@@ -188,5 +240,9 @@ fn chrome_trace_matches_golden_file() {
     sink.record_span("phase", "network".to_string(), 0.5, 0.25);
     sink.record_span("phase", "sync".to_string(), 0.75, 0.25);
     sink.record_machine_span("machine", "work".to_string(), 1, 0.0, 0.5);
+    // The gp-net categories added in the unreliable-network model: a
+    // per-machine retry window and a cluster-track speculation span.
+    sink.record_machine_span("net", "retry".to_string(), 0, 1.0, 0.25);
+    sink.record_span("net", "speculate.m0->m1".to_string(), 1.0, 0.5);
     assert_eq!(sink.chrome_trace_json(), include_str!("golden_trace.json"));
 }
