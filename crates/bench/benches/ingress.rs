@@ -1,0 +1,26 @@
+//! Multi-threaded ingress throughput: edges/second for one partitioning
+//! pass at 1, 2 and 4 real threads on a synthetic power-law graph.
+//!
+//! The parallel path is guaranteed byte-identical to sequential, so this
+//! bench is purely about speed: it shows what `--threads N` buys on a given
+//! host. The CI regression gate lives in the `ingress_throughput` binary
+//! (`--check`); this Criterion bench is for local profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gp_partition::{PartitionContext, Strategy};
+
+fn bench_ingress_threads(c: &mut Criterion) {
+    let graph = gp_gen::barabasi_albert(50_000, 10, 1);
+    let mut group = c.benchmark_group("ingress-threads");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    for threads in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let ctx = PartitionContext::new(9).with_seed(1).with_threads(t);
+            b.iter(|| Strategy::Random.build().partition(&graph, &ctx));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingress_threads);
+criterion_main!(benches);

@@ -187,6 +187,10 @@ pub struct Pipeline {
     pub scale: f64,
     /// Master seed.
     pub seed: u64,
+    /// Real threads for ingress and engine kernels (1 = sequential,
+    /// 0 = available parallelism). Every result is byte-identical at any
+    /// value, which is why the partition cache key can ignore it.
+    pub threads: u32,
     telemetry: TelemetrySink,
     graphs: HashMap<Dataset, EdgeList>,
     partitions: HashMap<(Dataset, Strategy, u32, u32), PartitionOutcome>,
@@ -198,10 +202,17 @@ impl Pipeline {
         Pipeline {
             scale,
             seed,
+            threads: 1,
             telemetry: TelemetrySink::Disabled,
             graphs: HashMap::new(),
             partitions: HashMap::new(),
         }
+    }
+
+    /// Builder: run ingress and engine kernels on `threads` real threads.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Attach a telemetry sink. Strategies, engines and the pipeline itself
@@ -251,6 +262,7 @@ impl Pipeline {
             let ctx = PartitionContext::new(partitions)
                 .with_seed(seed)
                 .with_loaders(loaders)
+                .with_threads(self.threads)
                 .with_telemetry(self.telemetry.clone());
             let outcome = strategy.build().partition(graph, &ctx);
             self.partitions.insert(key, outcome);
@@ -375,6 +387,7 @@ impl Pipeline {
             .with_fault_plan(fault_plan)
             .with_checkpoint(checkpoint)
             .with_comms(comms)
+            .with_threads(self.threads)
             .with_telemetry(telemetry.clone());
 
         let reports: Vec<ComputeReport> = match (engine, app) {

@@ -53,6 +53,9 @@ pub enum Command {
         strategy: Strategy,
         parts: u32,
         seed: u64,
+        /// Ingress worker threads (0 = all cores). Output is byte-identical
+        /// at any value.
+        threads: u32,
         out: Option<String>,
     },
     /// Recommend a strategy via the paper's decision trees.
@@ -72,6 +75,9 @@ pub enum Command {
         seed: u64,
         system: SystemChoice,
         partition_file: Option<String>,
+        /// Worker threads for ingress and superstep accounting (0 = all
+        /// cores). Reports are byte-identical at any value.
+        threads: u32,
     },
     /// Crash a machine mid-job and compare recovery cost across strategies.
     Fault {
@@ -89,6 +95,8 @@ pub enum Command {
         loss_rate: f64,
         /// Launch speculative backup tasks against stragglers.
         speculate: bool,
+        /// Worker threads (0 = all cores); results byte-identical.
+        threads: u32,
     },
     /// Run one (dataset, strategy, app, cluster) cell with telemetry
     /// recording and write Chrome trace-event JSON plus metrics artifacts.
@@ -108,6 +116,9 @@ pub enum Command {
         loss_rate: f64,
         /// Launch speculative backup tasks against stragglers.
         speculate: bool,
+        /// Worker threads (0 = all cores); artifacts byte-identical apart
+        /// from the extra `par.*` telemetry entries.
+        threads: u32,
         out_dir: String,
     },
     /// Print usage.
@@ -302,6 +313,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Err(format!("--{name} must be between 1 and 1000000, got {v}"))
         }
     };
+    // Worker threads: 0 means "all available cores", so parse_count's
+    // lower bound does not apply; cap well above any real machine.
+    let parse_threads = || -> Result<u32, String> {
+        let v = parse_u("threads", 1)?;
+        if v <= 4096 {
+            Ok(v as u32)
+        } else {
+            Err(format!("--threads must be between 0 and 4096, got {v}"))
+        }
+    };
     let parse_scale = || -> Result<f64, String> {
         let v = parse_flag("scale", 1.0)?;
         if v > 0.0 && v <= 1000.0 {
@@ -339,6 +360,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .parse::<Strategy>()?,
             parts: parse_count("parts", 9)?,
             seed: parse_u("seed", 42)?,
+            threads: parse_threads()?,
             out: flag("out").cloned(),
         }),
         "recommend" => Ok(Command::Recommend {
@@ -378,6 +400,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 strategies,
                 loss_rate: parse_loss_rate()?,
                 speculate: has("speculate"),
+                threads: parse_threads()?,
             })
         }
         "trace" => {
@@ -410,6 +433,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--interval out of range".to_string())?,
                 loss_rate: parse_loss_rate()?,
                 speculate: has("speculate"),
+                threads: parse_threads()?,
                 out_dir: flag("out").cloned().unwrap_or_else(|| "trace-out".into()),
             })
         }
@@ -425,6 +449,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map(|s| s.parse())
                 .unwrap_or(Ok(SystemChoice::PowerGraph))?,
             partition_file: flag("partition-file").cloned(),
+            threads: parse_threads()?,
         }),
         other => Err(format!("unknown command {other:?} (try `distgraph help`)")),
     }
@@ -438,19 +463,22 @@ USAGE:
   distgraph stats <graph.txt>
   distgraph classify <graph.txt>
   distgraph generate <dataset> [--scale S] [--seed N] [-o out.txt]
-  distgraph partition <graph.txt> --strategy <name> [--parts N] [--seed N] [-o parts.txt]
+  distgraph partition <graph.txt> --strategy <name> [--parts N] [--seed N]
+                      [--threads N] [-o parts.txt]
   distgraph recommend <graph.txt> [--system powergraph|powerlyra|graphx]
                       [--machines N] [--compute-ingress R] [--natural]
   distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
                 [--parts N] [--system ...] [--partition-file parts.txt]
+                [--threads N]
   distgraph fault <dataset> [--strategies random,hybrid] [--cluster ec2-16]
                   [--crash-at 10] [--machine 0] [--interval 4] [--async]
                   [--steps 20] [--loss-rate P] [--speculate]
-                  [--scale S] [--seed N]
+                  [--scale S] [--seed N] [--threads N]
   distgraph trace <dataset> [--strategy hdrf] [--app pagerank|pagerank10|wcc|
                   sssp|kcore|coloring] [--system powergraph|powerlyra|graphx]
                   [--cluster ec2-16] [--interval K] [--crash-at N --machine M]
-                  [--loss-rate P] [--speculate] [--scale S] [--seed N] [-o DIR]
+                  [--loss-rate P] [--speculate] [--scale S] [--seed N]
+                  [--threads N] [-o DIR]
 
 Graphs are plain-text edge lists (one `src dst` pair per line, # comments).
 Strategies: Random, Assym-Rand, Grid, PDS, Oblivious, HDRF, 1D, 1D-Target,
@@ -471,6 +499,10 @@ delivery retries with capped exponential backoff, so lossy links cost
 retransmit traffic and timeout stalls instead of losing messages.
 `--speculate` re-executes a straggling machine's partition on the
 least-loaded peer and takes the first finisher.
+
+`--threads N` runs ingress and superstep accounting on N worker threads
+(0 = all cores). Every report, assignment, and trace artifact is
+byte-identical at any thread count — parallelism only changes speed.
 "
 }
 
@@ -536,6 +568,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             strategy,
             parts,
             seed,
+            threads,
             out: dest,
         } => {
             let loaded = match read_edge_list(path) {
@@ -548,7 +581,9 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                     &format!("{} cannot run on {parts} partitions", strategy.label()),
                 );
             }
-            let ctx = PartitionContext::new(*parts).with_seed(*seed);
+            let ctx = PartitionContext::new(*parts)
+                .with_seed(*seed)
+                .with_threads(*threads);
             let outcome = strategy.build().partition(&loaded.graph, &ctx);
             let report = IngressReport::from_outcome(strategy.label(), &outcome, *parts);
             let mut t = Table::new(
@@ -621,6 +656,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             seed,
             system,
             partition_file,
+            threads,
         } => {
             let loaded = match read_edge_list(path) {
                 Ok(l) => l,
@@ -633,14 +669,16 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                     Err(e) => return fail(out, &format!("cannot load {pf}: {e}")),
                 }
             } else {
-                let ctx = PartitionContext::new(*parts).with_seed(*seed);
+                let ctx = PartitionContext::new(*parts)
+                    .with_seed(*seed)
+                    .with_threads(*threads);
                 strategy.build().partition(graph, &ctx).assignment
             };
             let spec = match system {
                 SystemChoice::GraphX => ClusterSpec::local_10(),
                 _ => ClusterSpec::local_9(),
             };
-            let report = run_app(graph, &assignment, *app, *system, &spec);
+            let report = run_app(graph, &assignment, *app, *system, &spec, *threads);
             let Some(report) = report else {
                 return fail(out, "job ran out of memory on the simulated cluster");
             };
@@ -668,6 +706,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             interval,
             loss_rate,
             speculate,
+            threads,
             out_dir,
         } => {
             let spec = cluster.spec();
@@ -711,7 +750,9 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             };
             let comms = comms_config(*loss_rate, *speculate);
             let sink = TelemetrySink::recording();
-            let mut pipeline = Pipeline::new(*scale, *seed).with_telemetry(sink.clone());
+            let mut pipeline = Pipeline::new(*scale, *seed)
+                .with_telemetry(sink.clone())
+                .with_threads(*threads);
             let result = pipeline
                 .run_with_comms(*dataset, *strategy, &spec, kind, *app, plan, policy, comms);
             if result.failed {
@@ -755,6 +796,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             strategies,
             loss_rate,
             speculate,
+            threads,
         } => {
             let spec = cluster.spec();
             if *machine >= spec.machines {
@@ -819,15 +861,14 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                         ),
                     );
                 }
-                let ctx = PartitionContext::new(spec.machines).with_seed(*seed);
+                let ctx = PartitionContext::new(spec.machines)
+                    .with_seed(*seed)
+                    .with_threads(*threads);
                 let assignment = strategy.build().partition(&graph, &ctx).assignment;
                 let rc = recovery_cost(&assignment, *machine, &spec, &rates);
                 let program = PageRank::fixed(*steps);
-                let (_, clean) = SyncGas::new(EngineConfig::new(spec.clone())).run(
-                    &graph,
-                    &assignment,
-                    &program,
-                );
+                let clean_config = EngineConfig::new(spec.clone()).with_threads(*threads);
+                let (_, clean) = SyncGas::new(clean_config).run(&graph, &assignment, &program);
                 let mut plan = FaultPlan::uniform_flaky(*loss_rate, spec.machines, *steps);
                 plan.push(FaultEvent {
                     superstep: *crash_at,
@@ -835,6 +876,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                     kind: FaultKind::Crash,
                 });
                 let faulted_config = EngineConfig::new(spec.clone())
+                    .with_threads(*threads)
                     .with_fault_plan(plan)
                     .with_checkpoint(policy)
                     .with_comms(comms_config(*loss_rate, *speculate));
@@ -867,8 +909,9 @@ fn run_app(
     app: AppChoice,
     system: SystemChoice,
     spec: &ClusterSpec,
+    threads: u32,
 ) -> Option<gp_engine::ComputeReport> {
-    let config = EngineConfig::new(spec.clone());
+    let config = EngineConfig::new(spec.clone()).with_threads(threads);
     macro_rules! dispatch {
         ($prog:expr) => {
             match system {
@@ -966,6 +1009,8 @@ mod tests {
             "16",
             "--seed",
             "7",
+            "--threads",
+            "3",
             "-o",
             "p.txt",
         ]);
@@ -976,6 +1021,7 @@ mod tests {
                 strategy: Strategy::Hdrf,
                 parts: 16,
                 seed: 7,
+                threads: 3,
                 out: Some("p.txt".into()),
             }
         );
@@ -1036,6 +1082,19 @@ mod tests {
         assert!(parse_strs(&["generate", "LiveJournal", "--scale", "0"]).is_err());
         assert!(parse_strs(&["generate", "LiveJournal", "--scale", "-2"]).is_err());
         assert!(parse_strs(&["recommend", "g.txt", "--machines", "0"]).is_err());
+        // --threads 0 is valid (all cores), but absurd pools are not.
+        assert!(
+            parse_strs(&["partition", "g.txt", "--strategy", "grid", "--threads", "0"]).is_ok()
+        );
+        assert!(parse_strs(&[
+            "partition",
+            "g.txt",
+            "--strategy",
+            "grid",
+            "--threads",
+            "99999",
+        ])
+        .is_err());
     }
 
     #[test]
@@ -1070,6 +1129,7 @@ mod tests {
             strategy: Strategy::Grid,
             parts: 9,
             seed: 1,
+            threads: 2,
             out: Some(pfile.clone()),
         });
         assert_eq!(code, 0, "{text}");
@@ -1082,6 +1142,7 @@ mod tests {
             seed: 1,
             system: SystemChoice::PowerGraph,
             partition_file: Some(pfile),
+            threads: 1,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("WCC"), "{text}");
@@ -1104,6 +1165,7 @@ mod tests {
                 seed: 1,
                 system,
                 partition_file: None,
+                threads: 2, // exercise the parallel engine path
             });
             assert_eq!(code, 0, "{system:?}: {text}");
             assert!(text.contains("PageRank"), "{system:?}: {text}");
@@ -1159,6 +1221,7 @@ mod tests {
                 strategies: vec![Strategy::Random, Strategy::Hybrid],
                 loss_rate: 0.0,
                 speculate: false,
+                threads: 1,
             }
         );
         let cmd = parse_ok(&[
@@ -1184,6 +1247,8 @@ mod tests {
             "--loss-rate",
             "0.05",
             "--speculate",
+            "--threads",
+            "4",
         ]);
         assert_eq!(
             cmd,
@@ -1200,6 +1265,7 @@ mod tests {
                 strategies: vec![Strategy::Grid, Strategy::Hdrf, Strategy::Oblivious],
                 loss_rate: 0.05,
                 speculate: true,
+                threads: 4,
             }
         );
         let bad: Vec<String> = ["fault", "Twitter", "--cluster", "ec2-99"]
@@ -1234,6 +1300,7 @@ mod tests {
             strategies: vec![Strategy::Random, Strategy::Hybrid],
             loss_rate: 0.0,
             speculate: false,
+            threads: 1,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("crashes at superstep 3"), "{text}");
@@ -1268,6 +1335,7 @@ mod tests {
                 interval: 0,
                 loss_rate: 0.0,
                 speculate: false,
+                threads: 1,
                 out_dir: "trace-out".into(),
             }
         );
@@ -1295,6 +1363,8 @@ mod tests {
             "--loss-rate",
             "0.02",
             "--speculate",
+            "--threads",
+            "0",
             "-o",
             "artifacts",
         ]);
@@ -1312,6 +1382,7 @@ mod tests {
                 interval: 3,
                 loss_rate: 0.02,
                 speculate: true,
+                threads: 0,
                 out_dir: "artifacts".into(),
             }
         );
@@ -1339,6 +1410,7 @@ mod tests {
             interval: 2,
             loss_rate: 0.0,
             speculate: false,
+            threads: 1,
             out_dir: dir.to_string_lossy().to_string(),
         });
         assert_eq!(code, 0, "{text}");
@@ -1371,6 +1443,7 @@ mod tests {
             strategies: vec![Strategy::Random],
             loss_rate: 0.1,
             speculate: false,
+            threads: 1,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("Retransmit"), "{text}");
@@ -1407,6 +1480,7 @@ mod tests {
             interval: 0,
             loss_rate: 0.1,
             speculate: true,
+            threads: 1,
             out_dir: dir.to_string_lossy().to_string(),
         });
         assert_eq!(code, 0, "{text}");
@@ -1432,6 +1506,7 @@ mod tests {
             strategies: vec![Strategy::Random],
             loss_rate: 0.0,
             speculate: false,
+            threads: 1,
         });
         assert_eq!(code, 2);
         assert!(text.contains("out of range"), "{text}");
@@ -1454,6 +1529,7 @@ mod tests {
             strategy: Strategy::Pds,
             parts: 9,
             seed: 1,
+            threads: 1,
             out: None,
         });
         assert_eq!(code, 2);

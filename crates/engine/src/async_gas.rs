@@ -88,13 +88,14 @@ impl AsyncGas {
                 let j = rng.next_below(i as u64 + 1) as usize;
                 order.swap(i, j);
             }
-            let mut work = vec![0.0f64; machines];
-            let mut in_bytes = vec![0.0f64; machines];
-            let mut out_bytes = vec![0.0f64; machines];
-            let mut gather_messages = 0u64;
-            let mut sync_messages = 0u64;
             let mut next_active = vec![false; n];
             let mut updates = 0u64;
+            // Per-update flags for the accounting replay: (vertex, changed,
+            // scatters). The semantic pass itself must stay sequential —
+            // each update commits immediately and the next one reads it —
+            // so only the cost accounting is parallelized, by replaying
+            // these flags machine-sharded after the round.
+            let mut records: Vec<(usize, bool, bool)> = Vec::with_capacity(order.len());
 
             for &vi in &order {
                 let v = VertexId(vi as u64);
@@ -119,24 +120,6 @@ impl AsyncGas {
                         });
                     }
                 }
-                let reps = table.replicas(v);
-                let master = table.master_of(v);
-                let master_machine = self.config.machine_of(master.0);
-                for r in reps {
-                    let local = (if gdir.includes_in() { r.local_in } else { 0 })
-                        + (if gdir.includes_out() { r.local_out } else { 0 });
-                    work[self.config.machine_of(r.partition.0)] +=
-                        self.config.gather_work * local as f64;
-                    if r.partition != master {
-                        gather_messages += 1;
-                        let m = self.config.machine_of(r.partition.0);
-                        if m != master_machine {
-                            in_bytes[master_machine] += program.accum_wire_bytes() as f64;
-                            out_bytes[m] += program.accum_wire_bytes() as f64;
-                        }
-                    }
-                }
-                work[master_machine] += self.config.apply_work;
                 let new = program.apply(
                     v,
                     &states[vi],
@@ -154,53 +137,104 @@ impl AsyncGas {
                 if changed {
                     // Immediate commit — async semantics.
                     states[vi] = new;
-                    for r in reps {
-                        if r.partition != master {
-                            sync_messages += 1;
-                            let m = self.config.machine_of(r.partition.0);
-                            if m != master_machine {
-                                in_bytes[m] += program.state_wire_bytes() as f64;
-                                out_bytes[master_machine] += program.state_wire_bytes() as f64;
-                            }
-                        }
-                    }
                 }
                 // Initial scatter in round 0 mirrors the synchronous engines.
-                if changed || round == 0 {
-                    for r in reps {
-                        let local_s = (if sdir.includes_in() { r.local_in } else { 0 })
-                            + (if sdir.includes_out() { r.local_out } else { 0 });
-                        work[self.config.machine_of(r.partition.0)] +=
-                            self.config.scatter_work * local_s as f64;
-                    }
-                    if program.activates_on_change() {
-                        if sdir.includes_out() {
-                            for u in csr.out_neighbors(v) {
-                                next_active[u.index()] = true;
-                            }
+                let scatters = changed || round == 0;
+                if scatters && program.activates_on_change() {
+                    if sdir.includes_out() {
+                        for u in csr.out_neighbors(v) {
+                            next_active[u.index()] = true;
                         }
-                        if sdir.includes_in() {
-                            for u in csr.in_neighbors(v) {
-                                next_active[u.index()] = true;
-                            }
+                    }
+                    if sdir.includes_in() {
+                        for u in csr.in_neighbors(v) {
+                            next_active[u.index()] = true;
                         }
                     }
                 }
+                records.push((vi, changed, scatters));
             }
+
+            // Accounting replay in update order, machine-sharded: the
+            // statement sequence mirrors the original interleaved loop.
+            let tallies =
+                crate::sharding::shard_tallies(&self.config, machines, |t, owned, cnt| {
+                    for &(vi, changed, scatters) in &records {
+                        let v = VertexId(vi as u64);
+                        let reps = table.replicas(v);
+                        let master = table.master_of(v);
+                        let master_machine = self.config.machine_of(master.0);
+                        for r in reps {
+                            let local = (if gdir.includes_in() { r.local_in } else { 0 })
+                                + (if gdir.includes_out() { r.local_out } else { 0 });
+                            let m = self.config.machine_of(r.partition.0);
+                            if owned(m) {
+                                t.work[m] += self.config.gather_work * local as f64;
+                            }
+                            if r.partition != master {
+                                if cnt {
+                                    t.gather_messages += 1;
+                                }
+                                if m != master_machine {
+                                    if owned(master_machine) {
+                                        t.in_bytes[master_machine] +=
+                                            program.accum_wire_bytes() as f64;
+                                    }
+                                    if owned(m) {
+                                        t.out_bytes[m] += program.accum_wire_bytes() as f64;
+                                    }
+                                }
+                            }
+                        }
+                        if owned(master_machine) {
+                            t.work[master_machine] += self.config.apply_work;
+                        }
+                        if changed {
+                            for r in reps {
+                                if r.partition != master {
+                                    if cnt {
+                                        t.sync_messages += 1;
+                                    }
+                                    let m = self.config.machine_of(r.partition.0);
+                                    if m != master_machine {
+                                        if owned(m) {
+                                            t.in_bytes[m] += program.state_wire_bytes() as f64;
+                                        }
+                                        if owned(master_machine) {
+                                            t.out_bytes[master_machine] +=
+                                                program.state_wire_bytes() as f64;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if scatters {
+                            for r in reps {
+                                let local_s = (if sdir.includes_in() { r.local_in } else { 0 })
+                                    + (if sdir.includes_out() { r.local_out } else { 0 });
+                                let m = self.config.machine_of(r.partition.0);
+                                if owned(m) {
+                                    t.work[m] += self.config.scatter_work * local_s as f64;
+                                }
+                            }
+                        }
+                    }
+                });
+
             // No barrier: time = serialized-lock overhead + pipelined work
             // and traffic.
             let wall = updates as f64 * self.lock_overhead_s / machines as f64
-                + work.iter().sum::<f64>() / compute_rate
-                + in_bytes.iter().sum::<f64>()
+                + tallies.work.iter().sum::<f64>() / compute_rate
+                + tallies.in_bytes.iter().sum::<f64>()
                     / (machines as f64 * self.config.spec.bandwidth_bytes_per_s);
             steps.push(SuperstepStats {
                 superstep: round,
                 active_vertices: order.len() as u64,
-                gather_messages,
-                sync_messages,
-                machine_work: work,
-                machine_in_bytes: in_bytes,
-                machine_out_bytes: out_bytes,
+                gather_messages: tallies.gather_messages,
+                sync_messages: tallies.sync_messages,
+                machine_work: tallies.work,
+                machine_in_bytes: tallies.in_bytes,
+                machine_out_bytes: tallies.out_bytes,
                 wall_seconds: wall,
             });
             active = next_active;

@@ -108,7 +108,31 @@ pub(crate) enum GatherPolicy {
     },
 }
 
+/// Per-vertex outcome of the semantic pass, replayed by the accounting and
+/// commit phases in the sequential visit order.
+struct PassRecord<S> {
+    vi: usize,
+    new: S,
+    changed: bool,
+    cache_hit: bool,
+    scatters: bool,
+}
+
 /// Shared synchronous GAS loop used by both SyncGas and HybridGas.
+///
+/// Each superstep runs in three phases so that `config.par` can
+/// parallelize it without changing a single output bit:
+///
+/// 1. **Semantic pass** (chunk-parallel): states are frozen for the
+///    superstep, so every active vertex's gather/apply is independent.
+///    Chunks emit ordered [`PassRecord`]s; concatenating them in chunk
+///    order reproduces the sequential visit order, and per-chunk
+///    activation bitmaps merge by OR (idempotent, order-free).
+/// 2. **Accounting replay** (machine-sharded): the f64 cost tallies are
+///    rebuilt from the records via [`crate::sharding::shard_tallies`],
+///    which preserves every cell's addition order exactly.
+/// 3. **Commit** (sequential): changed states land simultaneously —
+///    synchronous semantics, identical to the pre-refactor loop.
 pub(crate) fn run_gas_loop<P: VertexProgram>(
     config: &EngineConfig,
     csr: &CsrGraph,
@@ -158,149 +182,199 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
             converged = true;
             break;
         }
-        let mut work = vec![0.0f64; machines];
-        let mut in_bytes = vec![0.0f64; machines];
-        let mut out_bytes = vec![0.0f64; machines];
-        let mut gather_messages = 0u64;
-        let mut sync_messages = 0u64;
-        let mut next_active = vec![false; n];
-        let mut pending: Vec<(usize, P::State, bool)> = Vec::with_capacity(actives.len());
-
-        for &vi in &actives {
-            let v = VertexId(vi as u64);
-            let cache_hit = config.delta_caching && !cache_dirty[vi] && gather_cache[vi].is_some();
-            // --- Gather (semantic): merge over gather-direction neighbors,
-            // or reuse the cached accumulator.
-            let acc: Option<P::Accum> = if cache_hit {
-                gather_cache[vi].clone().expect("checked above")
-            } else {
-                let mut acc: Option<P::Accum> = None;
-                if gdir.includes_in() {
-                    for u in csr.in_neighbors(v) {
-                        let g = program.gather(v, u, &states[u.index()], info(u));
-                        acc = Some(match acc {
-                            Some(a) => program.merge(a, g),
-                            None => g,
-                        });
-                    }
-                }
-                if gdir.includes_out() {
-                    for u in csr.out_neighbors(v) {
-                        let g = program.gather(v, u, &states[u.index()], info(u));
-                        acc = Some(match acc {
-                            Some(a) => program.merge(a, g),
-                            None => g,
-                        });
-                    }
-                }
-                if config.delta_caching {
-                    gather_cache[vi] = Some(acc.clone());
-                    cache_dirty[vi] = false;
-                }
-                acc
-            };
-
-            // --- Gather (accounting). A cache hit skips both the local
-            // gather work and the mirror→master partial aggregates.
-            let reps = table.replicas(v);
-            let master = table.master_of(v);
-            let master_machine = config.machine_of(master.0);
-            let degree = csr.in_degree(v) + csr.out_degree(v);
-            if !cache_hit {
-                for r in reps {
-                    let local_gather = local_edges(gdir, r.local_in, r.local_out);
-                    work[config.machine_of(r.partition.0)] +=
-                        config.gather_work * local_gather as f64;
-                    if r.partition == master {
-                        continue;
-                    }
-                    let sends = match policy {
-                        GatherPolicy::AllMirrors => true,
-                        GatherPolicy::LocalAware { threshold } => {
-                            degree > threshold || local_gather > 0
-                        }
-                    };
-                    if sends {
-                        gather_messages += 1;
-                        let src_machine = config.machine_of(r.partition.0);
-                        if src_machine != master_machine {
-                            in_bytes[master_machine] += program.accum_wire_bytes() as f64;
-                            out_bytes[src_machine] += program.accum_wire_bytes() as f64;
+        // --- Phase 1: semantic pass over frozen states, chunk-parallel.
+        // A vertex's cache slot is read/written only by its own iteration,
+        // so deferring the writes to the join keeps them slot-disjoint.
+        let chunks = gp_par::map_chunks(&config.par, actives.len(), |_, range| {
+            let mut records: Vec<PassRecord<P::State>> = Vec::with_capacity(range.len());
+            let mut chunk_active = vec![false; n];
+            let mut cache_writes: Vec<(usize, Option<P::Accum>)> = Vec::new();
+            for &vi in &actives[range] {
+                let v = VertexId(vi as u64);
+                let cache_hit =
+                    config.delta_caching && !cache_dirty[vi] && gather_cache[vi].is_some();
+                // Gather: merge over gather-direction neighbors, or reuse
+                // the cached accumulator.
+                let acc: Option<P::Accum> = if cache_hit {
+                    gather_cache[vi].clone().expect("checked above")
+                } else {
+                    let mut acc: Option<P::Accum> = None;
+                    if gdir.includes_in() {
+                        for u in csr.in_neighbors(v) {
+                            let g = program.gather(v, u, &states[u.index()], info(u));
+                            acc = Some(match acc {
+                                Some(a) => program.merge(a, g),
+                                None => g,
+                            });
                         }
                     }
-                }
-            }
+                    if gdir.includes_out() {
+                        for u in csr.out_neighbors(v) {
+                            let g = program.gather(v, u, &states[u.index()], info(u));
+                            acc = Some(match acc {
+                                Some(a) => program.merge(a, g),
+                                None => g,
+                            });
+                        }
+                    }
+                    if config.delta_caching {
+                        cache_writes.push((vi, acc.clone()));
+                    }
+                    acc
+                };
 
-            // --- Apply.
-            work[master_machine] += config.apply_work;
-            let new = program.apply(
-                v,
-                &states[vi],
-                acc,
-                ApplyInfo {
-                    superstep,
-                    out_degree: csr.out_degree(v),
-                    in_degree: csr.in_degree(v),
-                },
-            );
-            let changed = new != states[vi];
-            if changed {
-                // Mirror synchronization.
-                for r in reps {
-                    if r.partition == master {
-                        continue;
-                    }
-                    sync_messages += 1;
-                    let m = config.machine_of(r.partition.0);
-                    if m != master_machine {
-                        in_bytes[m] += program.state_wire_bytes() as f64;
-                        out_bytes[master_machine] += program.state_wire_bytes() as f64;
-                    }
-                }
-            }
-            // Initially-active vertices scatter in superstep 0 even without
-            // a state change — "at the start of computation, all [active]
-            // vertices ... send out their label IDs" (§3.3.2); for SSSP only
-            // the source is active and must seed the frontier.
-            let scatters = changed || superstep == 0;
-            if scatters {
-                // --- Scatter (accounting): replicas scan local scatter edges.
-                for r in reps {
-                    let local_scatter = local_edges(sdir, r.local_in, r.local_out);
-                    work[config.machine_of(r.partition.0)] +=
-                        config.scatter_work * local_scatter as f64;
-                }
-                // --- Scatter (semantic): activate neighbors.
-                if program.activates_on_change() {
+                // Apply.
+                let new = program.apply(
+                    v,
+                    &states[vi],
+                    acc,
+                    ApplyInfo {
+                        superstep,
+                        out_degree: csr.out_degree(v),
+                        in_degree: csr.in_degree(v),
+                    },
+                );
+                let changed = new != states[vi];
+                // Initially-active vertices scatter in superstep 0 even
+                // without a state change — "at the start of computation,
+                // all [active] vertices ... send out their label IDs"
+                // (§3.3.2); for SSSP only the source is active and must
+                // seed the frontier.
+                let scatters = changed || superstep == 0;
+                if scatters && program.activates_on_change() {
+                    // Scatter (semantic): activate neighbors.
                     if sdir.includes_out() {
                         for u in csr.out_neighbors(v) {
-                            next_active[u.index()] = true;
+                            chunk_active[u.index()] = true;
                         }
                     }
                     if sdir.includes_in() {
                         for u in csr.in_neighbors(v) {
-                            next_active[u.index()] = true;
+                            chunk_active[u.index()] = true;
+                        }
+                    }
+                }
+                if program.self_reactivates(&new) {
+                    chunk_active[vi] = true;
+                }
+                records.push(PassRecord {
+                    vi,
+                    new,
+                    changed,
+                    cache_hit,
+                    scatters,
+                });
+            }
+            (records, chunk_active, cache_writes)
+        });
+
+        // Ordered join: concatenate records, OR the activation bitmaps,
+        // land the slot-disjoint cache writes.
+        let mut records: Vec<PassRecord<P::State>> = Vec::with_capacity(actives.len());
+        let mut next_active = vec![false; n];
+        for (chunk_records, chunk_active, cache_writes) in chunks {
+            records.extend(chunk_records);
+            for (na, ca) in next_active.iter_mut().zip(&chunk_active) {
+                *na = *na || *ca;
+            }
+            for (vi, acc) in cache_writes {
+                gather_cache[vi] = Some(acc);
+                cache_dirty[vi] = false;
+            }
+        }
+
+        // --- Phase 2: accounting replay, machine-sharded. The statement
+        // sequence below mirrors the sequential loop exactly; `owned`
+        // gates the f64 cells and `count` the u64 message counters.
+        let tallies = crate::sharding::shard_tallies(config, machines, |t, owned, count| {
+            for rec in &records {
+                let v = VertexId(rec.vi as u64);
+                let reps = table.replicas(v);
+                let master = table.master_of(v);
+                let master_machine = config.machine_of(master.0);
+                let degree = csr.in_degree(v) + csr.out_degree(v);
+                // Gather (accounting). A cache hit skips both the local
+                // gather work and the mirror→master partial aggregates.
+                if !rec.cache_hit {
+                    for r in reps {
+                        let local_gather = local_edges(gdir, r.local_in, r.local_out);
+                        let m = config.machine_of(r.partition.0);
+                        if owned(m) {
+                            t.work[m] += config.gather_work * local_gather as f64;
+                        }
+                        if r.partition == master {
+                            continue;
+                        }
+                        let sends = match policy {
+                            GatherPolicy::AllMirrors => true,
+                            GatherPolicy::LocalAware { threshold } => {
+                                degree > threshold || local_gather > 0
+                            }
+                        };
+                        if sends {
+                            if count {
+                                t.gather_messages += 1;
+                            }
+                            if m != master_machine {
+                                if owned(master_machine) {
+                                    t.in_bytes[master_machine] += program.accum_wire_bytes() as f64;
+                                }
+                                if owned(m) {
+                                    t.out_bytes[m] += program.accum_wire_bytes() as f64;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Apply.
+                if owned(master_machine) {
+                    t.work[master_machine] += config.apply_work;
+                }
+                if rec.changed {
+                    // Mirror synchronization.
+                    for r in reps {
+                        if r.partition == master {
+                            continue;
+                        }
+                        if count {
+                            t.sync_messages += 1;
+                        }
+                        let m = config.machine_of(r.partition.0);
+                        if m != master_machine {
+                            if owned(m) {
+                                t.in_bytes[m] += program.state_wire_bytes() as f64;
+                            }
+                            if owned(master_machine) {
+                                t.out_bytes[master_machine] += program.state_wire_bytes() as f64;
+                            }
+                        }
+                    }
+                }
+                if rec.scatters {
+                    // Scatter (accounting): replicas scan local scatter
+                    // edges.
+                    for r in reps {
+                        let local_scatter = local_edges(sdir, r.local_in, r.local_out);
+                        let m = config.machine_of(r.partition.0);
+                        if owned(m) {
+                            t.work[m] += config.scatter_work * local_scatter as f64;
                         }
                     }
                 }
             }
-            if program.self_reactivates(&new) {
-                next_active[vi] = true;
-            }
-            pending.push((vi, new, changed));
-        }
+        });
 
-        // Commit simultaneously (synchronous semantics).
+        // --- Phase 3: commit simultaneously (synchronous semantics).
         let mut any_changed = false;
-        for (vi, new, changed) in pending {
-            if changed {
-                states[vi] = new;
+        for rec in records {
+            if rec.changed {
+                states[rec.vi] = rec.new;
                 any_changed = true;
                 if config.delta_caching {
                     // Invalidate the gather caches that read this vertex:
                     // w gathers v through w's gather-direction edges, i.e.
                     // v's *opposite*-direction neighbors.
-                    let v = VertexId(vi as u64);
+                    let v = VertexId(rec.vi as u64);
                     if gdir.includes_in() {
                         for w in csr.out_neighbors(v) {
                             cache_dirty[w.index()] = true;
@@ -315,17 +389,18 @@ pub(crate) fn run_gas_loop<P: VertexProgram>(
             }
         }
 
-        let wall = work.iter().copied().fold(0.0, f64::max) / compute_rate
-            + in_bytes.iter().copied().fold(0.0, f64::max) / config.spec.bandwidth_bytes_per_s
+        let wall = tallies.work.iter().copied().fold(0.0, f64::max) / compute_rate
+            + tallies.in_bytes.iter().copied().fold(0.0, f64::max)
+                / config.spec.bandwidth_bytes_per_s
             + barrier;
         steps.push(SuperstepStats {
             superstep,
             active_vertices: actives.len() as u64,
-            gather_messages,
-            sync_messages,
-            machine_work: work,
-            machine_in_bytes: in_bytes,
-            machine_out_bytes: out_bytes,
+            gather_messages: tallies.gather_messages,
+            sync_messages: tallies.sync_messages,
+            machine_work: tallies.work,
+            machine_in_bytes: tallies.in_bytes,
+            machine_out_bytes: tallies.out_bytes,
             wall_seconds: wall,
         });
 

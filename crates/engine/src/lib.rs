@@ -37,6 +37,7 @@ pub mod pregel;
 pub mod program;
 pub mod replicas;
 pub mod report;
+pub(crate) mod sharding;
 pub mod telemetry_hook;
 
 pub use async_gas::AsyncGas;
@@ -44,6 +45,7 @@ pub use comms_hook::apply_comms_model;
 pub use fault_hook::apply_fault_model;
 pub use gas::SyncGas;
 pub use gp_net::{CommsConfig, RetryPolicy, SpeculationPolicy};
+pub use gp_par::ParConfig;
 pub use hybrid::HybridGas;
 pub use pregel::{ExecutorMemoryModel, PlacementCase, Pregel, PregelConfig};
 pub use program::{ApplyInfo, Direction, InitInfo, VertexProgram};

@@ -231,100 +231,136 @@ impl Pregel {
                 converged = true;
                 break;
             }
-            let mut work = vec![0.0f64; machines];
-            let mut in_bytes = vec![0.0f64; machines];
-            let mut out_bytes = vec![0.0f64; machines];
-            let mut gather_messages = 0u64; // aggregated msgs edge-part → vertex master
-            let mut sync_messages = 0u64; // attribute shipping master → edge-part
-            let mut next_active = vec![false; n];
-            let mut pending: Vec<(usize, P::State, bool)> = Vec::with_capacity(actives.len());
-
-            for &vi in &actives {
-                let v = VertexId(vi as u64);
-                let mut acc: Option<P::Accum> = None;
-                if gdir.includes_in() {
-                    for u in csr.in_neighbors(v) {
-                        let g = program.gather(v, u, &states[u.index()], info(u));
-                        acc = Some(match acc {
-                            Some(a) => program.merge(a, g),
-                            None => g,
-                        });
-                    }
-                }
-                if gdir.includes_out() {
-                    for u in csr.out_neighbors(v) {
-                        let g = program.gather(v, u, &states[u.index()], info(u));
-                        acc = Some(match acc {
-                            Some(a) => program.merge(a, g),
-                            None => g,
-                        });
-                    }
-                }
-                let reps = table.replicas(v);
-                let master = table.master_of(v);
-                let master_machine = cfg.machine_of(master.0);
-                for r in reps {
-                    let local_gather = (if gdir.includes_in() { r.local_in } else { 0 })
-                        + (if gdir.includes_out() { r.local_out } else { 0 });
-                    work[cfg.machine_of(r.partition.0)] += cfg.gather_work * local_gather as f64;
-                    // GraphX's aggregateMessages: edge partitions with
-                    // gather-direction edges emit one pre-aggregated message
-                    // per destination vertex.
-                    if local_gather > 0 && r.partition != master {
-                        gather_messages += 1;
-                        let m = cfg.machine_of(r.partition.0);
-                        if m != master_machine {
-                            in_bytes[master_machine] += program.accum_wire_bytes() as f64;
-                            out_bytes[m] += program.accum_wire_bytes() as f64;
-                        }
-                    }
-                }
-                work[master_machine] += cfg.apply_work;
-                let new = program.apply(
-                    v,
-                    &states[vi],
-                    acc,
-                    ApplyInfo {
-                        superstep,
-                        out_degree: csr.out_degree(v),
-                        in_degree: csr.in_degree(v),
-                    },
-                );
-                let changed = new != states[vi];
-                if changed {
-                    // Ship the new attribute to every replica (routing table).
-                    for r in reps {
-                        if r.partition == master {
-                            continue;
-                        }
-                        sync_messages += 1;
-                        let m = cfg.machine_of(r.partition.0);
-                        if m != master_machine {
-                            in_bytes[m] += program.state_wire_bytes() as f64;
-                            out_bytes[master_machine] += program.state_wire_bytes() as f64;
-                        }
-                    }
-                }
-                // Superstep-0 initial messages, as in Pregel.
-                if (changed || superstep == 0) && program.activates_on_change() {
-                    if sdir.includes_out() {
-                        for u in csr.out_neighbors(v) {
-                            next_active[u.index()] = true;
-                        }
-                    }
-                    if sdir.includes_in() {
+            // --- Phase 1: semantic pass over frozen states, chunk-parallel
+            // (same deterministic scheme as the GAS engines: ordered
+            // per-chunk records, OR-merged activation bitmaps).
+            let chunks = gp_par::map_chunks(&cfg.par, actives.len(), |_, range| {
+                let mut records: Vec<(usize, P::State, bool)> = Vec::with_capacity(range.len());
+                let mut chunk_active = vec![false; n];
+                for &vi in &actives[range] {
+                    let v = VertexId(vi as u64);
+                    let mut acc: Option<P::Accum> = None;
+                    if gdir.includes_in() {
                         for u in csr.in_neighbors(v) {
-                            next_active[u.index()] = true;
+                            let g = program.gather(v, u, &states[u.index()], info(u));
+                            acc = Some(match acc {
+                                Some(a) => program.merge(a, g),
+                                None => g,
+                            });
+                        }
+                    }
+                    if gdir.includes_out() {
+                        for u in csr.out_neighbors(v) {
+                            let g = program.gather(v, u, &states[u.index()], info(u));
+                            acc = Some(match acc {
+                                Some(a) => program.merge(a, g),
+                                None => g,
+                            });
+                        }
+                    }
+                    let new = program.apply(
+                        v,
+                        &states[vi],
+                        acc,
+                        ApplyInfo {
+                            superstep,
+                            out_degree: csr.out_degree(v),
+                            in_degree: csr.in_degree(v),
+                        },
+                    );
+                    let changed = new != states[vi];
+                    // Superstep-0 initial messages, as in Pregel.
+                    if (changed || superstep == 0) && program.activates_on_change() {
+                        if sdir.includes_out() {
+                            for u in csr.out_neighbors(v) {
+                                chunk_active[u.index()] = true;
+                            }
+                        }
+                        if sdir.includes_in() {
+                            for u in csr.in_neighbors(v) {
+                                chunk_active[u.index()] = true;
+                            }
+                        }
+                    }
+                    if program.self_reactivates(&new) {
+                        chunk_active[vi] = true;
+                    }
+                    records.push((vi, new, changed));
+                }
+                (records, chunk_active)
+            });
+            let mut records: Vec<(usize, P::State, bool)> = Vec::with_capacity(actives.len());
+            let mut next_active = vec![false; n];
+            for (chunk_records, chunk_active) in chunks {
+                records.extend(chunk_records);
+                for (na, ca) in next_active.iter_mut().zip(&chunk_active) {
+                    *na = *na || *ca;
+                }
+            }
+
+            // --- Phase 2: accounting replay, machine-sharded.
+            let mut tallies = crate::sharding::shard_tallies(cfg, machines, |t, owned, cnt| {
+                for rec in &records {
+                    let (vi, changed) = (rec.0, rec.2);
+                    let v = VertexId(vi as u64);
+                    let reps = table.replicas(v);
+                    let master = table.master_of(v);
+                    let master_machine = cfg.machine_of(master.0);
+                    for r in reps {
+                        let local_gather = (if gdir.includes_in() { r.local_in } else { 0 })
+                            + (if gdir.includes_out() { r.local_out } else { 0 });
+                        let m = cfg.machine_of(r.partition.0);
+                        if owned(m) {
+                            t.work[m] += cfg.gather_work * local_gather as f64;
+                        }
+                        // GraphX's aggregateMessages: edge partitions with
+                        // gather-direction edges emit one pre-aggregated
+                        // message per destination vertex.
+                        if local_gather > 0 && r.partition != master {
+                            if cnt {
+                                t.gather_messages += 1;
+                            }
+                            if m != master_machine {
+                                if owned(master_machine) {
+                                    t.in_bytes[master_machine] += program.accum_wire_bytes() as f64;
+                                }
+                                if owned(m) {
+                                    t.out_bytes[m] += program.accum_wire_bytes() as f64;
+                                }
+                            }
+                        }
+                    }
+                    if owned(master_machine) {
+                        t.work[master_machine] += cfg.apply_work;
+                    }
+                    if changed {
+                        // Ship the new attribute to every replica (routing
+                        // table).
+                        for r in reps {
+                            if r.partition == master {
+                                continue;
+                            }
+                            if cnt {
+                                t.sync_messages += 1;
+                            }
+                            let m = cfg.machine_of(r.partition.0);
+                            if m != master_machine {
+                                if owned(m) {
+                                    t.in_bytes[m] += program.state_wire_bytes() as f64;
+                                }
+                                if owned(master_machine) {
+                                    t.out_bytes[master_machine] +=
+                                        program.state_wire_bytes() as f64;
+                                }
+                            }
                         }
                     }
                 }
-                if program.self_reactivates(&new) {
-                    next_active[vi] = true;
-                }
-                pending.push((vi, new, changed));
-            }
+            });
+
+            // --- Phase 3: commit.
             let mut any_changed = false;
-            for (vi, new, changed) in pending {
+            for (vi, new, changed) in records {
                 if changed {
                     states[vi] = new;
                     any_changed = true;
@@ -333,20 +369,21 @@ impl Pregel {
             // Join overhead: the vertex RDD is co-joined with edge partitions
             // every iteration, over active vertices.
             let join = self.config.join_work_per_vertex * actives.len() as f64;
-            for w in work.iter_mut() {
+            for w in tallies.work.iter_mut() {
                 *w += join / machines as f64;
             }
-            let wall = (work.iter().copied().fold(0.0, f64::max) / compute_rate) * gc
-                + in_bytes.iter().copied().fold(0.0, f64::max) / cfg.spec.bandwidth_bytes_per_s
+            let wall = (tallies.work.iter().copied().fold(0.0, f64::max) / compute_rate) * gc
+                + tallies.in_bytes.iter().copied().fold(0.0, f64::max)
+                    / cfg.spec.bandwidth_bytes_per_s
                 + per_iter_overhead;
             steps.push(SuperstepStats {
                 superstep,
                 active_vertices: actives.len() as u64,
-                gather_messages,
-                sync_messages,
-                machine_work: work,
-                machine_in_bytes: in_bytes,
-                machine_out_bytes: out_bytes,
+                gather_messages: tallies.gather_messages,
+                sync_messages: tallies.sync_messages,
+                machine_work: tallies.work,
+                machine_in_bytes: tallies.in_bytes,
+                machine_out_bytes: tallies.out_bytes,
                 wall_seconds: wall,
             });
             active = if program.always_active() {

@@ -56,11 +56,16 @@ pub struct ApplyInfo {
 }
 
 /// A Gather-Apply-Scatter vertex program.
-pub trait VertexProgram {
+///
+/// Programs (and their state/accumulator types) must be thread-safe: the
+/// engines' parallel path shares `&self` and the frozen state array across
+/// superstep-kernel workers. All of the paper's applications are plain data
+/// and satisfy the bounds automatically.
+pub trait VertexProgram: Sync {
     /// Per-vertex state.
-    type State: Clone + PartialEq + std::fmt::Debug;
+    type State: Clone + PartialEq + std::fmt::Debug + Send + Sync;
     /// Gather accumulator.
-    type Accum: Clone;
+    type Accum: Clone + Send + Sync;
 
     /// Application name as used in the paper's figures.
     fn name(&self) -> &'static str;

@@ -3,6 +3,7 @@
 use gp_cluster::{ClusterSpec, CostRates, MachineSample, MemoryModel, ResourceMonitor, Timeline};
 use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_net::CommsConfig;
+use gp_par::ParConfig;
 use gp_partition::Assignment;
 use gp_telemetry::TelemetrySink;
 
@@ -48,6 +49,11 @@ pub struct EngineConfig {
     /// idealized network delivers everything) and reports are
     /// bit-identical to pre-comms runs.
     pub comms: CommsConfig,
+    /// Real threads driving the engine's superstep kernels. The default
+    /// (1) runs today's sequential loops; any other value runs the
+    /// deterministic parallel path, whose reports are guaranteed
+    /// bit-identical to sequential at every thread count.
+    pub par: ParConfig,
 }
 
 impl EngineConfig {
@@ -65,7 +71,15 @@ impl EngineConfig {
             checkpoint: CheckpointPolicy::disabled(),
             telemetry: TelemetrySink::Disabled,
             comms: CommsConfig::disabled(),
+            par: ParConfig::default(),
         }
+    }
+
+    /// Builder: run superstep kernels on `threads` real threads (0 = all
+    /// available). Reports are bit-identical at any value.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.par = ParConfig::new(threads);
+        self
     }
 
     /// Builder: enable gather/delta caching.

@@ -1,0 +1,141 @@
+//! Machine-sharded accounting: the deterministic-parallel replay of the
+//! engines' per-vertex cost loops.
+//!
+//! The engines tally f64 work/byte costs per machine while visiting
+//! vertices in a fixed order. Floating-point addition is not associative,
+//! so a parallel path must not reorder any cell's addition sequence. The
+//! shard rule used here: `workers` workers each replay the *whole* record
+//! stream in the sequential order, but worker `w` only adds into machine
+//! cells `m` with `m % workers == w`. Every cell therefore receives exactly
+//! the sequential addition sequence, and the ordered merge (elementwise add
+//! of disjoint-support vectors, whose unowned cells are exactly `0.0`)
+//! reconstructs the sequential tallies bit-for-bit. The u64 message
+//! counters are associative but are still counted by worker 0 alone, so no
+//! deduplication is ever needed.
+
+use crate::report::EngineConfig;
+
+/// Per-machine cost tallies for one superstep, plus its message counters.
+pub(crate) struct MachineTallies {
+    /// Work units per machine.
+    pub work: Vec<f64>,
+    /// Inbound bytes per machine.
+    pub in_bytes: Vec<f64>,
+    /// Outbound bytes per machine.
+    pub out_bytes: Vec<f64>,
+    /// Mirror→master partial-aggregate messages.
+    pub gather_messages: u64,
+    /// Master→mirror state-sync messages.
+    pub sync_messages: u64,
+}
+
+impl MachineTallies {
+    fn new(machines: usize) -> Self {
+        MachineTallies {
+            work: vec![0.0; machines],
+            in_bytes: vec![0.0; machines],
+            out_bytes: vec![0.0; machines],
+            gather_messages: 0,
+            sync_messages: 0,
+        }
+    }
+}
+
+/// Run `account` under the machine-shard rule and return the merged
+/// tallies.
+///
+/// `account(tallies, owned, count_msgs)` must execute the same statement
+/// sequence regardless of its arguments, gating every f64 `+=` on machine
+/// `m` behind `owned(m)` and every u64 counter behind `count_msgs`. With
+/// `config.par` sequential (the default) it runs inline once with every
+/// cell owned — exactly the pre-refactor loop.
+pub(crate) fn shard_tallies<F>(config: &EngineConfig, machines: usize, account: F) -> MachineTallies
+where
+    F: Fn(&mut MachineTallies, &dyn Fn(usize) -> bool, bool) + Sync,
+{
+    let workers = if config.par.is_parallel() {
+        config.par.effective_threads().clamp(1, machines.max(1))
+    } else {
+        1
+    };
+    if workers <= 1 {
+        let mut t = MachineTallies::new(machines);
+        account(&mut t, &|_| true, true);
+        return t;
+    }
+    let account = &account;
+    let tasks: Vec<_> = (0..workers)
+        .map(|w| {
+            move || {
+                let mut t = MachineTallies::new(machines);
+                account(&mut t, &move |m: usize| m % workers == w, w == 0);
+                t
+            }
+        })
+        .collect();
+    let mut merged = MachineTallies::new(machines);
+    for part in gp_par::run_ordered(workers, tasks) {
+        for (a, b) in merged.work.iter_mut().zip(&part.work) {
+            *a += b;
+        }
+        for (a, b) in merged.in_bytes.iter_mut().zip(&part.in_bytes) {
+            *a += b;
+        }
+        for (a, b) in merged.out_bytes.iter_mut().zip(&part.out_bytes) {
+            *a += b;
+        }
+        merged.gather_messages += part.gather_messages;
+        merged.sync_messages += part.sync_messages;
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_cluster::ClusterSpec;
+
+    /// A deliberately order-sensitive accounting closure: adds a stream of
+    /// scale-varying values whose f64 sum depends on addition order.
+    fn account(t: &mut MachineTallies, owned: &dyn Fn(usize) -> bool, count: bool) {
+        let machines = t.work.len();
+        for i in 0..10_000usize {
+            let m = (i * 7) % machines;
+            let x = ((i % 41) as f64).exp2() + 1e-9 * i as f64;
+            if owned(m) {
+                t.work[m] += x;
+                t.in_bytes[m] += x * 0.5;
+                t.out_bytes[m] += x * 0.25;
+            }
+            if count {
+                t.gather_messages += 1;
+                t.sync_messages += 2;
+            }
+        }
+    }
+
+    fn run(threads: u32) -> MachineTallies {
+        let config = EngineConfig::new(ClusterSpec::local_9()).with_threads(threads);
+        shard_tallies(&config, 9, account)
+    }
+
+    #[test]
+    fn sharded_tallies_are_bit_identical_to_sequential() {
+        let seq = run(1);
+        for threads in [2u32, 3, 7, 16] {
+            let par = run(threads);
+            assert_eq!(seq.work, par.work, "{threads} threads");
+            assert_eq!(seq.in_bytes, par.in_bytes);
+            assert_eq!(seq.out_bytes, par.out_bytes);
+            assert_eq!(seq.gather_messages, par.gather_messages);
+            assert_eq!(seq.sync_messages, par.sync_messages);
+        }
+    }
+
+    #[test]
+    fn counters_are_not_double_counted() {
+        let par = run(4);
+        assert_eq!(par.gather_messages, 10_000);
+        assert_eq!(par.sync_messages, 20_000);
+    }
+}

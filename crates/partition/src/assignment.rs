@@ -8,6 +8,7 @@
 //! the replica sets computed here.
 
 use gp_core::{hash_u64, Edge, EdgeList, PartitionId, VertexId};
+use gp_par::ParConfig;
 
 /// An edge→partition assignment plus derived replication structure.
 #[derive(Debug, Clone)]
@@ -35,24 +36,79 @@ impl Assignment {
         num_partitions: u32,
         seed: u64,
     ) -> Self {
+        Self::from_edge_partitions_par(
+            graph,
+            edge_partition,
+            num_partitions,
+            seed,
+            &ParConfig::default(),
+        )
+    }
+
+    /// Multi-threaded [`Assignment::from_edge_partitions`]: workers build
+    /// thread-local replica/edge-count shards over disjoint edge chunks,
+    /// merged by an ordered reduction whose operators (sorted-set union,
+    /// integer addition) are insensitive to chunk boundaries — so the result
+    /// is byte-identical to the sequential build at any thread count.
+    pub fn from_edge_partitions_par(
+        graph: &EdgeList,
+        edge_partition: Vec<PartitionId>,
+        num_partitions: u32,
+        seed: u64,
+        par: &ParConfig,
+    ) -> Self {
         assert_eq!(
             edge_partition.len(),
             graph.num_edges(),
             "one partition per edge"
         );
         let n = graph.num_vertices() as usize;
-        let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut edge_counts = vec![0u64; num_partitions as usize];
-        for (e, &p) in graph.edges().iter().zip(&edge_partition) {
-            debug_assert!(p.0 < num_partitions, "partition {p} out of range");
-            edge_counts[p.index()] += 1;
-            for v in [e.src, e.dst] {
-                let list = &mut replicas[v.index()];
-                if let Err(pos) = list.binary_search(&p.0) {
-                    list.insert(pos, p.0);
+        let build_shard = |range: std::ops::Range<usize>| {
+            let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut edge_counts = vec![0u64; num_partitions as usize];
+            for (e, &p) in graph.edges()[range.clone()]
+                .iter()
+                .zip(&edge_partition[range])
+            {
+                debug_assert!(p.0 < num_partitions, "partition {p} out of range");
+                edge_counts[p.index()] += 1;
+                for v in [e.src, e.dst] {
+                    let list = &mut replicas[v.index()];
+                    if let Err(pos) = list.binary_search(&p.0) {
+                        list.insert(pos, p.0);
+                    }
                 }
             }
-        }
+            (replicas, edge_counts)
+        };
+        let (replicas, edge_counts) = if par.is_parallel() {
+            let shards = gp_par::map_chunks(par, graph.num_edges(), |_, range| build_shard(range));
+            let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut edge_counts = vec![0u64; num_partitions as usize];
+            for (shard_replicas, shard_counts) in shards {
+                for (total, c) in edge_counts.iter_mut().zip(shard_counts) {
+                    *total += c;
+                }
+                for (list, shard_list) in replicas.iter_mut().zip(shard_replicas) {
+                    if shard_list.is_empty() {
+                        continue;
+                    }
+                    if list.is_empty() {
+                        // First shard touching this vertex: take its sorted
+                        // list wholesale.
+                        *list = shard_list;
+                    } else {
+                        // Sorted-set union by linear merge (both inputs are
+                        // sorted and duplicate-free).
+                        let merged = merge_sorted_sets(list, &shard_list);
+                        *list = merged;
+                    }
+                }
+            }
+            (replicas, edge_counts)
+        } else {
+            build_shard(0..graph.num_edges())
+        };
         let masters = replicas
             .iter()
             .enumerate()
@@ -232,6 +288,33 @@ impl BalanceReport {
     }
 }
 
+/// Union of two sorted duplicate-free lists, itself sorted and
+/// duplicate-free.
+fn merge_sorted_sets(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Convenience: partition every edge with a pure function of the edge.
 /// Used by the stateless hash strategies.
 pub fn assign_stateless(
@@ -242,6 +325,25 @@ pub fn assign_stateless(
 ) -> Assignment {
     let parts: Vec<PartitionId> = graph.edges().iter().map(|&e| f(e)).collect();
     Assignment::from_edge_partitions(graph, parts, num_partitions, seed)
+}
+
+/// Multi-threaded [`assign_stateless`]: each worker streams a disjoint edge
+/// chunk through the pure assignment function; per-chunk results concatenate
+/// in chunk order, reproducing the sequential stream exactly.
+pub fn assign_stateless_par(
+    graph: &EdgeList,
+    num_partitions: u32,
+    seed: u64,
+    par: &ParConfig,
+    f: impl Fn(Edge) -> PartitionId + Sync,
+) -> Assignment {
+    let mut parts: Vec<PartitionId> = vec![PartitionId(0); graph.num_edges()];
+    gp_par::fill_chunks(par, &mut parts, |_, range, out| {
+        for (slot, &e) in out.iter_mut().zip(&graph.edges()[range]) {
+            *slot = f(e);
+        }
+    });
+    Assignment::from_edge_partitions_par(graph, parts, num_partitions, seed, par)
 }
 
 #[cfg(test)]

@@ -44,7 +44,8 @@ pub mod strategies;
 pub mod strategy;
 
 pub use assignment::{Assignment, BalanceReport};
-pub use ingress::{IngressReport, IngressVolumes};
+pub use gp_par::ParConfig;
+pub use ingress::{ingress_chunks, IngressReport, IngressVolumes};
 pub use partitioner::{CostModel, PartitionContext, PartitionOutcome, Partitioner};
 pub use persist::{load_assignment, read_assignment, save_assignment, write_assignment};
 pub use strategy::{Strategy, System};

@@ -10,6 +10,7 @@
 
 use crate::assignment::Assignment;
 use gp_core::EdgeList;
+use gp_par::ParConfig;
 use gp_telemetry::TelemetrySink;
 
 /// Tunable simulated-work constants (arbitrary units; the cluster model
@@ -67,6 +68,11 @@ pub struct PartitionContext {
     /// Telemetry sink; [`TelemetrySink::Disabled`] by default, in which
     /// case strategies record nothing and compute nothing extra.
     pub telemetry: TelemetrySink,
+    /// Real ingress thread count (distinct from the *simulated*
+    /// `num_loaders`): how many OS threads stream edge chunks in parallel.
+    /// Results are byte-identical at any value — see the `gp-par`
+    /// ordered-reduction rule.
+    pub par: ParConfig,
 }
 
 impl PartitionContext {
@@ -80,6 +86,7 @@ impl PartitionContext {
             seed: 42,
             cost: CostModel::default(),
             telemetry: TelemetrySink::Disabled,
+            par: ParConfig::default(),
         }
     }
 
@@ -101,6 +108,13 @@ impl PartitionContext {
     /// and per-loader work histograms into it.
     pub fn with_telemetry(mut self, telemetry: TelemetrySink) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Set the real ingress thread count (`0` = available parallelism,
+    /// `1` = sequential). Never changes a single output byte.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.par = ParConfig::new(threads);
         self
     }
 }

@@ -11,10 +11,11 @@
 //! side is replicated. General-purpose vertex-cuts cannot see this structure
 //! and replicate both sides.
 
-use crate::assignment::assign_stateless;
+use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
 use gp_core::{hash_vertex, EdgeList, PartitionId, VertexId};
+use gp_par::ParConfig;
 
 /// Which side of the bipartite graph to co-locate (the "favorite" side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,13 +50,28 @@ impl BiCut {
     }
 
     /// Auto-detection: count distinct sources vs distinct destinations.
-    fn detect(graph: &EdgeList) -> FavoriteSide {
+    /// Parallel chunks produce per-chunk endpoint bitsets merged by OR —
+    /// order-independent, so the verdict never depends on the thread count.
+    fn detect(graph: &EdgeList, par: &ParConfig) -> FavoriteSide {
         let n = graph.num_vertices() as usize;
+        let shards = gp_par::map_chunks(par, graph.num_edges(), |_, range| {
+            let mut is_src = vec![false; n];
+            let mut is_dst = vec![false; n];
+            for e in &graph.edges()[range] {
+                is_src[e.src.index()] = true;
+                is_dst[e.dst.index()] = true;
+            }
+            (is_src, is_dst)
+        });
         let mut is_src = vec![false; n];
         let mut is_dst = vec![false; n];
-        for e in graph.edges() {
-            is_src[e.src.index()] = true;
-            is_dst[e.dst.index()] = true;
+        for (shard_src, shard_dst) in shards {
+            for (b, s) in is_src.iter_mut().zip(shard_src) {
+                *b |= s;
+            }
+            for (b, s) in is_dst.iter_mut().zip(shard_dst) {
+                *b |= s;
+            }
         }
         let sources = is_src.iter().filter(|&&b| b).count();
         let dests = is_dst.iter().filter(|&&b| b).count();
@@ -74,18 +90,19 @@ impl Partitioner for BiCut {
 
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let side = match self.favorite {
-            FavoriteSide::Auto => Self::detect(graph),
+            FavoriteSide::Auto => Self::detect(graph, &ctx.par),
             explicit => explicit,
         };
         let p = ctx.num_partitions as u64;
-        let mut assignment = assign_stateless(graph, ctx.num_partitions, ctx.seed, |e| {
-            let key = match side {
-                FavoriteSide::Source => e.src,
-                FavoriteSide::Target => e.dst,
-                FavoriteSide::Auto => unreachable!("resolved above"),
-            };
-            PartitionId((hash_vertex(key, ctx.seed) % p) as u32)
-        });
+        let mut assignment =
+            assign_stateless_par(graph, ctx.num_partitions, ctx.seed, &ctx.par, |e| {
+                let key = match side {
+                    FavoriteSide::Source => e.src,
+                    FavoriteSide::Target => e.dst,
+                    FavoriteSide::Auto => unreachable!("resolved above"),
+                };
+                PartitionId((hash_vertex(key, ctx.seed) % p) as u32)
+            });
         // Favorite-side vertices have exactly one replica; pin their master
         // there so the engine gathers locally.
         let masters = (0..graph.num_vertices())
@@ -157,10 +174,11 @@ mod tests {
 
     #[test]
     fn auto_detection_picks_the_big_side() {
-        assert_eq!(BiCut::detect(&graph()), FavoriteSide::Source);
+        let par = ParConfig::default();
+        assert_eq!(BiCut::detect(&graph(), &par), FavoriteSide::Source);
         // Reverse the edges: now destinations are the big side.
         let reversed = gp_core::transform::reverse(&graph());
-        assert_eq!(BiCut::detect(&reversed), FavoriteSide::Target);
+        assert_eq!(BiCut::detect(&reversed, &par), FavoriteSide::Target);
     }
 
     #[test]

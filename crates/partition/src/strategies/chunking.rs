@@ -27,11 +27,21 @@ impl Partitioner for Chunking {
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let m = graph.num_edges();
         let p = ctx.num_partitions as usize;
-        let parts: Vec<PartitionId> = (0..m)
-            .map(|i| PartitionId(((i * p) / m.max(1)).min(p - 1) as u32))
-            .collect();
-        let assignment =
-            Assignment::from_edge_partitions(graph, parts, ctx.num_partitions, ctx.seed);
+        let parts: Vec<PartitionId> = gp_par::map_chunks(&ctx.par, m, |_, range| {
+            range
+                .map(|i| PartitionId(((i * p) / m.max(1)).min(p - 1) as u32))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let assignment = Assignment::from_edge_partitions_par(
+            graph,
+            parts,
+            ctx.num_partitions,
+            ctx.seed,
+            &ctx.par,
+        );
         // One pass; chunk boundaries need the total edge count, which the
         // loader learns from file sizes — no extra scan.
         let loader_work = loader_chunks(m, ctx.num_loaders)

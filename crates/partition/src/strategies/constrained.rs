@@ -14,7 +14,7 @@
 //!   projective-plane property that any two constraint sets intersect in
 //!   *exactly one* machine.
 
-use crate::assignment::assign_stateless;
+use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
 use gp_core::{hash_canonical_edge, hash_vertex, EdgeList, PartitionId};
@@ -77,7 +77,7 @@ impl Partitioner for Grid {
         }
         let side = (p as f64).sqrt().ceil() as u64;
         let virtual_n = side * side;
-        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             let mu = hash_vertex(e.src, ctx.seed) % virtual_n;
             let mv = hash_vertex(e.dst, ctx.seed) % virtual_n;
             let su = Grid::constraint_set(mu, side);
@@ -209,7 +209,7 @@ impl Partitioner for Pds {
             panic!("PDS requires p^2+p+1 machines for prime p (7, 13, 31, 57, ...), got {n}")
         });
         let ds = Pds::difference_set(p).expect("difference set exists for prime order");
-        let assignment = assign_stateless(graph, n, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, n, ctx.seed, &ctx.par, |e| {
             let su = Pds::constraint_set(hash_vertex(e.src, ctx.seed), &ds, n);
             let sv = Pds::constraint_set(hash_vertex(e.dst, ctx.seed), &ds, n);
             let inter: Vec<u64> = su

@@ -6,7 +6,7 @@
 //! highly parallelizable streaming graph partitioning strategies" — plus the
 //! thesis's 1D-Target variant (§8.2.3).
 
-use crate::assignment::assign_stateless;
+use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
 use gp_core::{hash_canonical_edge, hash_directed_edge, hash_vertex, EdgeList, PartitionId};
@@ -24,7 +24,7 @@ impl Partitioner for Random {
 
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let p = ctx.num_partitions;
-        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_canonical_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
         });
         let outcome = PartitionOutcome {
@@ -52,7 +52,7 @@ impl Partitioner for AsymmetricRandom {
 
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let p = ctx.num_partitions;
-        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_directed_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
         });
         let outcome = PartitionOutcome {
@@ -78,7 +78,7 @@ impl Partitioner for OneD {
 
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let p = ctx.num_partitions;
-        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_vertex(e.src, ctx.seed) % p as u64) as u32)
         });
         let outcome = PartitionOutcome {
@@ -106,7 +106,7 @@ impl Partitioner for OneDTarget {
 
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let p = ctx.num_partitions;
-        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_vertex(e.dst, ctx.seed) % p as u64) as u32)
         });
         let outcome = PartitionOutcome {
@@ -143,7 +143,7 @@ impl Partitioner for TwoD {
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let side = Self::side(p) as u64;
-        let assignment = assign_stateless(graph, p, ctx.seed, |e| {
+        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             let col = hash_vertex(e.src, ctx.seed) % side;
             let row = hash_vertex(e.dst, ctx.seed ^ 0x2D2D) % side;
             PartitionId(((col * side + row) % p as u64) as u32)

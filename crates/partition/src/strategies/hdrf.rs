@@ -136,39 +136,34 @@ impl Partitioner for Hdrf {
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let blocks = graph.blocks(ctx.num_loaders as usize);
         let lambda = self.lambda;
-        // Per-loader state is independent; run the loaders in parallel.
-        let results: Vec<(Vec<PartitionId>, f64, u64)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = blocks
-                .iter()
-                .enumerate()
-                .map(|(i, block)| {
-                    scope.spawn(move |_| {
-                        let mut loader = HdrfLoader::new(
-                            ctx.num_partitions,
-                            ctx.seed ^ (0x4d5f + i as u64),
-                            lambda,
-                        );
-                        let mut parts = Vec::with_capacity(block.len());
-                        for &e in *block {
-                            let candidates = loader.greedy.replicas(e.src).len()
-                                + loader.greedy.replicas(e.dst).len();
-                            loader.greedy.work += ctx.cost.parse_edge
-                                + ctx.cost.heuristic_base
-                                + ctx.cost.heuristic_per_candidate * candidates as f64;
-                            let p = loader.choose(e);
-                            loader.greedy.commit(e, p);
-                            parts.push(p);
-                        }
-                        (parts, loader.greedy.work, loader.state_bytes())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("loader thread"))
-                .collect()
-        })
-        .expect("loader scope");
+        // Per-loader state is independent; run the loaders on the bounded
+        // ordered pool. As with Oblivious, block boundaries and per-block
+        // seeds depend only on `num_loaders`, so any `--threads N` yields
+        // byte-identical placements.
+        let tasks: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| {
+                let block = *block;
+                move || {
+                    let mut loader =
+                        HdrfLoader::new(ctx.num_partitions, ctx.seed ^ (0x4d5f + i as u64), lambda);
+                    let mut parts = Vec::with_capacity(block.len());
+                    for &e in block {
+                        let candidates = loader.greedy.replicas(e.src).len()
+                            + loader.greedy.replicas(e.dst).len();
+                        loader.greedy.work += ctx.cost.parse_edge
+                            + ctx.cost.heuristic_base
+                            + ctx.cost.heuristic_per_candidate * candidates as f64;
+                        let p = loader.choose(e);
+                        loader.greedy.commit(e, p);
+                        parts.push(p);
+                    }
+                    (parts, loader.greedy.work, loader.state_bytes())
+                }
+            })
+            .collect();
+        let results = gp_par::run_ordered(ctx.par.effective_threads(), tasks);
         let mut parts = Vec::with_capacity(graph.num_edges());
         let mut loader_work = Vec::with_capacity(results.len());
         let mut state_bytes = 0u64;
@@ -178,11 +173,12 @@ impl Partitioner for Hdrf {
             state_bytes = state_bytes.max(bytes);
         }
         let outcome = PartitionOutcome {
-            assignment: Assignment::from_edge_partitions(
+            assignment: Assignment::from_edge_partitions_par(
                 graph,
                 parts,
                 ctx.num_partitions,
                 ctx.seed,
+                &ctx.par,
             ),
             loader_work,
             passes: 1,

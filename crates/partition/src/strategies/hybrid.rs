@@ -59,26 +59,46 @@ impl Hybrid {
         let p = ctx.num_partitions as u64;
         let n = graph.num_vertices() as usize;
         // Pass 1: count actual in-degrees (and conceptually hash-assign).
+        // Parallel chunks count into thread-local vectors merged by
+        // elementwise addition — integer sums are chunking-invariant.
         let mut in_deg = vec![0u32; n];
-        for e in graph.edges() {
-            in_deg[e.dst.index()] += 1;
+        for shard in gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
+            let mut counts = vec![0u32; n];
+            for e in &graph.edges()[range] {
+                counts[e.dst.index()] += 1;
+            }
+            counts
+        }) {
+            for (total, c) in in_deg.iter_mut().zip(shard) {
+                *total += c;
+            }
         }
         // Vertex home = hash(v): where a low-degree vertex's in-edges (and
         // master) live.
-        let homes: Vec<PartitionId> = (0..n)
-            .map(|v| PartitionId((hash_vertex(VertexId(v as u64), ctx.seed) % p) as u32))
-            .collect();
-        // Pass 2: final placement using actual degrees.
-        let parts: Vec<PartitionId> = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                if in_deg[e.dst.index()] > self.threshold {
-                    PartitionId((hash_vertex(e.src, ctx.seed) % p) as u32)
-                } else {
-                    homes[e.dst.index()]
-                }
+        let homes: Vec<PartitionId> = gp_par::map_chunks(&ctx.par, n, |_, range| {
+            range
+                .map(|v| PartitionId((hash_vertex(VertexId(v as u64), ctx.seed) % p) as u32))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        // Pass 2: final placement using actual degrees (pure per-edge map).
+        let parts: Vec<PartitionId> =
+            gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
+                graph.edges()[range]
+                    .iter()
+                    .map(|e| {
+                        if in_deg[e.dst.index()] > self.threshold {
+                            PartitionId((hash_vertex(e.src, ctx.seed) % p) as u32)
+                        } else {
+                            homes[e.dst.index()]
+                        }
+                    })
+                    .collect::<Vec<_>>()
             })
+            .into_iter()
+            .flatten()
             .collect();
         (parts, homes, in_deg)
     }
@@ -124,8 +144,13 @@ impl Partitioner for Hybrid {
 
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let (parts, homes, _) = self.assign(graph, ctx);
-        let mut assignment =
-            Assignment::from_edge_partitions(graph, parts, ctx.num_partitions, ctx.seed);
+        let mut assignment = Assignment::from_edge_partitions_par(
+            graph,
+            parts,
+            ctx.num_partitions,
+            ctx.seed,
+            &ctx.par,
+        );
         let masters = Self::masters(&assignment, &homes);
         assignment.set_masters(masters);
         let outcome = PartitionOutcome {
@@ -219,21 +244,34 @@ impl Partitioner for HybridGinger {
             }
         }
 
-        // Re-emit edge partitions with the refined homes.
+        // Re-emit edge partitions with the refined homes (pure map; the
+        // Ginger refinement itself stays sequential — it mutates shared
+        // vcount/ecount/homes state as it scans, so its result depends on
+        // scan order by design).
         let p64 = ctx.num_partitions as u64;
-        let parts: Vec<PartitionId> = graph
-            .edges()
-            .iter()
-            .map(|e| {
-                if in_deg[e.dst.index()] > self.threshold {
-                    PartitionId((hash_vertex(e.src, ctx.seed) % p64) as u32)
-                } else {
-                    homes[e.dst.index()]
-                }
+        let parts: Vec<PartitionId> =
+            gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
+                graph.edges()[range]
+                    .iter()
+                    .map(|e| {
+                        if in_deg[e.dst.index()] > self.threshold {
+                            PartitionId((hash_vertex(e.src, ctx.seed) % p64) as u32)
+                        } else {
+                            homes[e.dst.index()]
+                        }
+                    })
+                    .collect::<Vec<_>>()
             })
+            .into_iter()
+            .flatten()
             .collect();
-        let mut assignment =
-            Assignment::from_edge_partitions(graph, parts, ctx.num_partitions, ctx.seed);
+        let mut assignment = Assignment::from_edge_partitions_par(
+            graph,
+            parts,
+            ctx.num_partitions,
+            ctx.seed,
+            &ctx.par,
+        );
         let masters = Hybrid::masters(&assignment, &homes);
         assignment.set_masters(masters);
 

@@ -62,4 +62,27 @@ pub(crate) fn record_ingress_telemetry(
             *w,
         );
     }
+    // Real-parallelism observability. Only emitted when threads > 1, so a
+    // `--threads 1` trace stays byte-identical to the pre-parallel format;
+    // the `par` category / `par.` prefix let identity tests compare traces
+    // across thread counts modulo exactly these entries.
+    if ctx.par.is_parallel() {
+        let threads = ctx.par.effective_threads();
+        let chunks = gp_par::chunk_ranges(outcome.assignment.num_edges(), threads);
+        sink.gauge_set("par.threads", threads as f64);
+        sink.counter_add("par.ingress_chunks", chunks.len() as u64);
+        // One span per ingress worker on its machine lane; duration is the
+        // chunk's *simulated* parse+assign work (deterministic), not
+        // wall-clock, matching the simulated-seconds contract of the trace.
+        let per_edge = ctx.cost.parse_edge + ctx.cost.hash_assign;
+        for (i, r) in chunks.iter().enumerate() {
+            sink.record_machine_span(
+                "par",
+                format!("par.ingress.worker{i}"),
+                i as u32,
+                0.0,
+                r.len() as f64 * per_edge * 1e-6,
+            );
+        }
+    }
 }

@@ -160,36 +160,33 @@ impl Partitioner for Oblivious {
     fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
         let blocks = graph.blocks(ctx.num_loaders as usize);
         // Loaders are independent by design (each is "oblivious" to the
-        // others), so run them on real parallel threads.
-        let results: Vec<(Vec<PartitionId>, f64, u64)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = blocks
-                .iter()
-                .enumerate()
-                .map(|(i, block)| {
-                    scope.spawn(move |_| {
-                        let mut state =
-                            GreedyState::new(ctx.num_partitions, ctx.seed ^ (0x0b11 + i as u64));
-                        let mut parts = Vec::with_capacity(block.len());
-                        for &e in *block {
-                            let candidates =
-                                state.replicas(e.src).len() + state.replicas(e.dst).len();
-                            state.work += ctx.cost.parse_edge
-                                + ctx.cost.heuristic_base
-                                + ctx.cost.heuristic_per_candidate * candidates as f64;
-                            let p = oblivious_choose(&mut state, e);
-                            state.commit(e, p);
-                            parts.push(p);
-                        }
-                        (parts, state.work, state.state_bytes())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("loader thread"))
-                .collect()
-        })
-        .expect("loader scope");
+        // others), so they can run on real parallel threads. The determinism
+        // unit is the *block* — block boundaries and per-block seeds depend
+        // only on `num_loaders`, never on the thread count — so the bounded
+        // ordered pool returns byte-identical results at any `--threads N`.
+        let tasks: Vec<_> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, block)| {
+                let block = *block;
+                move || {
+                    let mut state =
+                        GreedyState::new(ctx.num_partitions, ctx.seed ^ (0x0b11 + i as u64));
+                    let mut parts = Vec::with_capacity(block.len());
+                    for &e in block {
+                        let candidates = state.replicas(e.src).len() + state.replicas(e.dst).len();
+                        state.work += ctx.cost.parse_edge
+                            + ctx.cost.heuristic_base
+                            + ctx.cost.heuristic_per_candidate * candidates as f64;
+                        let p = oblivious_choose(&mut state, e);
+                        state.commit(e, p);
+                        parts.push(p);
+                    }
+                    (parts, state.work, state.state_bytes())
+                }
+            })
+            .collect();
+        let results = gp_par::run_ordered(ctx.par.effective_threads(), tasks);
         let mut parts = Vec::with_capacity(graph.num_edges());
         let mut loader_work = Vec::with_capacity(results.len());
         let mut state_bytes = 0u64;
@@ -199,11 +196,12 @@ impl Partitioner for Oblivious {
             state_bytes = state_bytes.max(bytes);
         }
         let outcome = PartitionOutcome {
-            assignment: Assignment::from_edge_partitions(
+            assignment: Assignment::from_edge_partitions_par(
                 graph,
                 parts,
                 ctx.num_partitions,
                 ctx.seed,
+                &ctx.par,
             ),
             loader_work,
             passes: 1,

@@ -13,6 +13,7 @@
 //! * [`cluster`] (gp-cluster) — simulated cluster and resource models.
 //! * [`fault`] (gp-fault) — fault injection, checkpointing, recovery pricing.
 //! * [`net`] (gp-net) — unreliable network model: retry/backoff, speculation.
+//! * [`par`] (gp-par) — deterministic bounded parallelism (`--threads`).
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
 //! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
 //! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
@@ -26,6 +27,7 @@ pub use gp_engine as engine;
 pub use gp_fault as fault;
 pub use gp_gen as gen;
 pub use gp_net as net;
+pub use gp_par as par;
 pub use gp_partition as partition;
 pub use gp_telemetry as telemetry;
 

@@ -1,0 +1,208 @@
+//! The headline guarantee of the deterministic-parallel layer (`gp-par`):
+//! every assignment, compute report, and vertex state is **byte-identical**
+//! at any thread count. Parallelism may only change speed.
+//!
+//! Proptest drives random graphs through all thirteen partitioners (the
+//! eleven `Strategy` variants plus BiCut and Chunking) and all four engines
+//! at thread counts {1, 2, 7}, comparing the serialized artifacts.
+
+use distgraph::apps::{PageRank, Wcc};
+use distgraph::cluster::ClusterSpec;
+use distgraph::core::{Edge, EdgeList};
+use distgraph::engine::{AsyncGas, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
+use distgraph::partition::strategies::{BiCut, Chunking};
+use distgraph::partition::{write_assignment, PartitionContext, Partitioner, Strategy};
+use proptest::prelude::*;
+// The partition::Strategy enum shadows proptest's Strategy trait; re-import
+// the trait anonymously for method syntax.
+use proptest::strategy::Strategy as _;
+
+/// Arbitrary small graph: up to 60 vertices, up to 240 edges.
+fn arb_graph() -> impl proptest::strategy::Strategy<Value = EdgeList> {
+    (
+        2u64..60,
+        proptest::collection::vec((0u64..60, 0u64..60), 1..240),
+    )
+        .prop_map(|(n, pairs)| {
+            let edges: Vec<Edge> = pairs
+                .into_iter()
+                .map(|(a, b)| Edge::new(a % n, b % n))
+                .collect();
+            EdgeList::with_vertex_count(edges, n).expect("ids in range")
+        })
+}
+
+/// All thirteen partitioners, each with a partition count it supports
+/// (PDS needs p²+p+1).
+fn all_partitioners() -> Vec<(String, Box<dyn Partitioner>, u32)> {
+    let mut out: Vec<(String, Box<dyn Partitioner>, u32)> = Strategy::ALL
+        .into_iter()
+        .map(|s| {
+            let parts = if s == Strategy::Pds { 7 } else { 9 };
+            (s.label().to_string(), s.build(), parts)
+        })
+        .collect();
+    out.push(("BiCut".into(), Box::new(BiCut::default()), 9));
+    out.push(("Chunking".into(), Box::new(Chunking), 9));
+    out
+}
+
+/// The serialized assignment a partitioner produces at a given thread count.
+fn assignment_bytes(
+    graph: &EdgeList,
+    partitioner: &mut dyn Partitioner,
+    parts: u32,
+    seed: u64,
+    threads: u32,
+) -> Vec<u8> {
+    let ctx = PartitionContext::new(parts)
+        .with_seed(seed)
+        .with_threads(threads);
+    let outcome = partitioner.partition(graph, &ctx);
+    let mut buf = Vec::new();
+    write_assignment(&outcome.assignment, &mut buf).expect("serialize");
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn parallel_ingress_is_byte_identical_for_every_partitioner(
+        graph in arb_graph(),
+        seed in 0u64..1000,
+    ) {
+        for (name, mut partitioner, parts) in all_partitioners() {
+            let seq = assignment_bytes(&graph, &mut *partitioner, parts, seed, 1);
+            for threads in [2u32, 7] {
+                let par = assignment_bytes(&graph, &mut *partitioner, parts, seed, threads);
+                prop_assert_eq!(
+                    &seq, &par,
+                    "{} diverges at {} threads", name, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_supersteps_are_byte_identical_for_every_engine(
+        graph in arb_graph(),
+        seed in 0u64..1000,
+    ) {
+        let assignment = Strategy::Hdrf
+            .build()
+            .partition(&graph, &PartitionContext::new(9).with_seed(seed))
+            .assignment;
+        let spec = ClusterSpec::local_9();
+        // (states, report) rendered to bytes for each engine × thread count.
+        let run_all = |threads: u32| -> Vec<String> {
+            let config = EngineConfig::new(spec.clone()).with_threads(threads);
+            let prog = PageRank::fixed(4);
+            let sync = SyncGas::new(config.clone()).run(&graph, &assignment, &prog);
+            let hybrid = HybridGas::new(config.clone()).run(&graph, &assignment, &prog);
+            let async_ = AsyncGas::new(config.clone()).run(&graph, &assignment, &prog);
+            let pregel = Pregel::new(PregelConfig::new(config.clone()))
+                .run(&graph, &assignment, &prog)
+                .expect("fits");
+            let wcc = SyncGas::new(config).run(&graph, &assignment, &Wcc);
+            vec![
+                format!("{:?}|{:?}", sync.0, sync.1),
+                format!("{:?}|{:?}", hybrid.0, hybrid.1),
+                format!("{:?}|{:?}", async_.0, async_.1),
+                format!("{:?}|{:?}", pregel.0, pregel.1),
+                format!("{:?}|{:?}", wcc.0, wcc.1),
+            ]
+        };
+        let seq = run_all(1);
+        for threads in [2u32, 7] {
+            let par = run_all(threads);
+            for (engine, (s, p)) in ["sync", "hybrid", "async", "pregel", "sync-wcc"]
+                .iter()
+                .zip(seq.iter().zip(par.iter()))
+            {
+                prop_assert_eq!(s, p, "{} diverges at {} threads", engine, threads);
+            }
+        }
+    }
+}
+
+/// A realistic-size fixed case on top of the proptest sweep: a heavy-tailed
+/// LiveJournal analogue through ingress + every engine, including
+/// `--threads 0` (all cores), whose effective count depends on the host —
+/// exactly what the byte-identity guarantee must absorb.
+#[test]
+fn realistic_graph_is_byte_identical_at_every_thread_count() {
+    let graph = distgraph::gen::Dataset::LiveJournal.generate(0.05, 7);
+    for (name, mut partitioner, parts) in all_partitioners() {
+        let seq = assignment_bytes(&graph, &mut *partitioner, parts, 5, 1);
+        for threads in [2u32, 4, 0] {
+            let par = assignment_bytes(&graph, &mut *partitioner, parts, 5, threads);
+            assert_eq!(seq, par, "{name} diverges at {threads} threads");
+        }
+    }
+    let assignment = Strategy::Hdrf
+        .build()
+        .partition(&graph, &PartitionContext::new(9).with_seed(5))
+        .assignment;
+    let spec = ClusterSpec::local_9();
+    let run = |threads: u32| -> String {
+        let config = EngineConfig::new(spec.clone()).with_threads(threads);
+        let prog = PageRank::fixed(6);
+        let sync = SyncGas::new(config.clone()).run(&graph, &assignment, &prog);
+        let hybrid = HybridGas::new(config.clone()).run(&graph, &assignment, &prog);
+        let async_ = AsyncGas::new(config.clone()).run(&graph, &assignment, &prog);
+        let pregel = Pregel::new(PregelConfig::new(config))
+            .run(&graph, &assignment, &prog)
+            .expect("fits");
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            sync.0, sync.1, hybrid.0, hybrid.1, async_.0, async_.1, pregel.0, pregel.1
+        )
+    };
+    let seq = run(1);
+    for threads in [2u32, 4, 0] {
+        assert_eq!(seq, run(threads), "engines diverge at {threads} threads");
+    }
+}
+
+/// Speed half of the contract: more threads must actually help on hosts that
+/// have the cores. On single-core runners a strict win is impossible, so the
+/// assertion degrades to a bounded-overhead check there — the real
+/// regression gate for that case is `ingress_throughput --check` in CI.
+#[test]
+fn parallel_ingress_wins_on_multicore_hosts() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let graph = distgraph::gen::barabasi_albert(20_000, 10, 1);
+    let time = |threads: u32| -> f64 {
+        let ctx = PartitionContext::new(9).with_seed(1).with_threads(threads);
+        Strategy::Random.build().partition(&graph, &ctx); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let out = Strategy::Random.build().partition(&graph, &ctx);
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(out.assignment.num_edges(), graph.num_edges());
+        }
+        best
+    };
+    let one = time(1);
+    let four = time(4);
+    if cores >= 4 {
+        assert!(
+            four < one,
+            "4-thread ingress ({four:.4}s) not faster than 1-thread ({one:.4}s) on {cores} cores"
+        );
+    } else {
+        // Without cores to exploit, 4 workers time-slice one core and debug
+        // builds amplify the per-chunk overhead, so only a pathological
+        // blow-up (e.g. accidentally duplicated work) fails here. The
+        // calibrated single-core bound (2 threads within 10% of 1, release
+        // mode) is `ingress_throughput --check` in the par-smoke CI job.
+        assert!(
+            four < one * 3.0,
+            "4-thread ingress ({four:.4}s) pathologically slower than 1-thread ({one:.4}s)"
+        );
+    }
+}

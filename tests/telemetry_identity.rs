@@ -128,7 +128,13 @@ fn default_config_and_disabled_sink_agree() {
 }
 
 fn traced_job(sink: &TelemetrySink) -> gp_bench::JobResult {
-    let mut pipeline = Pipeline::new(0.05, 11).with_telemetry(sink.clone());
+    traced_job_threads(sink, 1)
+}
+
+fn traced_job_threads(sink: &TelemetrySink, threads: u32) -> gp_bench::JobResult {
+    let mut pipeline = Pipeline::new(0.05, 11)
+        .with_telemetry(sink.clone())
+        .with_threads(threads);
     pipeline.run_with_faults(
         Dataset::LiveJournal,
         Strategy::Hdrf,
@@ -163,6 +169,53 @@ fn same_seed_yields_byte_identical_artifacts() {
         sink2.summary(),
         "summary not deterministic"
     );
+}
+
+#[test]
+fn thread_count_changes_artifacts_only_by_par_entries() {
+    // The deterministic-parallelism contract for telemetry: a 4-thread run
+    // produces the same result and the same artifacts as a 1-thread run,
+    // except for the `par` worker lanes in the trace and the `par.` rows in
+    // the metrics CSV — and those extra entries must actually be there.
+    use distgraph::telemetry::{csv_without_prefix, trace_without_category};
+    let sink1 = TelemetrySink::recording();
+    let sink4 = TelemetrySink::recording();
+    let r1 = traced_job_threads(&sink1, 1);
+    let r4 = traced_job_threads(&sink4, 4);
+    assert_eq!(
+        format!("{r1:?}"),
+        format!("{r4:?}"),
+        "job result depends on thread count"
+    );
+
+    let json1 = sink1.chrome_trace_json();
+    let json4 = sink4.chrome_trace_json();
+    assert!(
+        json4.contains("\"cat\":\"par\""),
+        "missing par worker spans"
+    );
+    assert!(json4.contains("par.ingress.worker0"));
+    assert_ne!(json1, json4, "4-thread trace should gain par spans");
+    assert_eq!(
+        json1,
+        trace_without_category(&json4, "par"),
+        "traces differ beyond the par category"
+    );
+    // A sequential trace has no par lanes at all, so stripping is a no-op.
+    assert_eq!(json1, trace_without_category(&json1, "par"));
+
+    let csv1 = sink1.metrics_csv();
+    let csv4 = sink4.metrics_csv();
+    assert!(csv4.contains("par.threads"), "{csv4}");
+    assert!(csv4.contains("par.ingress_chunks"), "{csv4}");
+    assert!(csv4.contains("par.accounting_shards"), "{csv4}");
+    assert!(csv4.contains("par.sharded_supersteps"), "{csv4}");
+    assert_eq!(
+        csv1,
+        csv_without_prefix(&csv4, "par."),
+        "metrics differ beyond the par. prefix"
+    );
+    assert_eq!(csv1, csv_without_prefix(&csv1, "par."));
 }
 
 #[test]
@@ -244,5 +297,15 @@ fn chrome_trace_matches_golden_file() {
     // per-machine retry window and a cluster-track speculation span.
     sink.record_machine_span("net", "retry".to_string(), 0, 1.0, 0.25);
     sink.record_span("net", "speculate.m0->m1".to_string(), 1.0, 0.5);
+    // The per-worker ingress lanes added by the deterministic-parallelism
+    // layer: cat "par", one span per worker on its machine track.
+    sink.record_machine_span("par", "par.ingress.worker0".to_string(), 0, 2.0, 0.75);
+    sink.record_machine_span("par", "par.ingress.worker1".to_string(), 1, 2.0, 0.75);
     assert_eq!(sink.chrome_trace_json(), include_str!("golden_trace.json"));
+    // Stripping the par category must recover a well-formed trace with the
+    // same byte format and no par events.
+    let stripped = distgraph::telemetry::trace_without_category(&sink.chrome_trace_json(), "par");
+    assert!(!stripped.contains("\"cat\":\"par\""));
+    assert!(stripped.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(stripped.ends_with("]}\n"));
 }
