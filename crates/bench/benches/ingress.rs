@@ -11,15 +11,19 @@ use gp_partition::{PartitionContext, Strategy};
 
 fn bench_ingress_threads(c: &mut Criterion) {
     let graph = gp_gen::barabasi_albert(50_000, 10, 1);
-    let mut group = c.benchmark_group("ingress-threads");
-    group.throughput(Throughput::Elements(graph.num_edges() as u64));
-    for threads in [1u32, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let ctx = PartitionContext::new(9).with_seed(1).with_threads(t);
-            b.iter(|| Strategy::Random.build().partition(&graph, &ctx));
-        });
+    // Random exercises the stateless pure-function path; HDRF the stateful
+    // greedy path (dense degree/placement tables + bitset replica sets).
+    for strategy in [Strategy::Random, Strategy::Hdrf] {
+        let mut group = c.benchmark_group(format!("ingress-threads/{}", strategy.label()));
+        group.throughput(Throughput::Elements(graph.num_edges() as u64));
+        for threads in [1u32, 2, 4] {
+            group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+                let ctx = PartitionContext::new(9).with_seed(1).with_threads(t);
+                b.iter(|| strategy.build().partition(&graph, &ctx));
+            });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
 criterion_group!(benches, bench_ingress_threads);

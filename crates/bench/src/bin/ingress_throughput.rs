@@ -1,14 +1,20 @@
 //! Measures multi-threaded ingress throughput — edges/second at 1, 2 and
-//! 4 threads on a synthetic power-law graph — and writes the results to
+//! 4 threads on a synthetic power-law graph — for one stateless strategy
+//! (Random: the pure-function assignment path) and one stateful strategy
+//! (HDRF: the greedy per-loader-state path), and writes the results to
 //! `BENCH_ingress.json` in the working directory.
 //!
-//! With `--check` it also acts as the CI `par-smoke` regression gate: on
-//! hosts with at least two cores, exit non-zero if 2-thread ingress is
-//! slower than 1-thread by more than 10%. On single-core hosts a real
-//! slowdown is unavoidable (two workers time-slice one core and the ordered
-//! merge is pure overhead), so the gate degrades to a pathology bound: fail
-//! only if 2 threads are slower than 1 by more than 2x, which would indicate
-//! duplicated work rather than contention.
+//! With `--check` it also acts as the CI `par-smoke` regression gate,
+//! core-aware and applied to *both* strategies:
+//!
+//! - **≥ 4 cores:** 4-thread ingress must be at least as fast as 1-thread
+//!   (`threads=4 ≥ threads=1` edges/s). Anything less means the parallel
+//!   path regressed.
+//! - **≥ 2 cores:** 2-thread ingress must be within 10% of 1-thread.
+//! - **1 core:** extra workers can only time-slice the core, so the gate
+//!   degrades to a pathology bound — fail only if 2 threads are slower than
+//!   1 by more than 2x, which would indicate duplicated work rather than
+//!   contention.
 
 use gp_partition::{PartitionContext, Strategy};
 use std::time::Instant;
@@ -16,17 +22,18 @@ use std::time::Instant;
 const VERTICES: u64 = 120_000;
 const EDGES_PER_VERTEX: u64 = 10;
 const PARTITIONS: u32 = 9;
+const THREAD_COUNTS: [u32; 3] = [1, 2, 4];
 
-/// Best-of-3 edges/second for one full Random-partitioning pass.
-fn measure(graph: &gp_core::EdgeList, threads: u32) -> f64 {
+/// Best-of-3 edges/second for one full partitioning pass.
+fn measure(graph: &gp_core::EdgeList, strategy: Strategy, threads: u32) -> f64 {
     let ctx = PartitionContext::new(PARTITIONS)
         .with_seed(1)
         .with_threads(threads);
-    Strategy::Random.build().partition(graph, &ctx); // warm-up
+    strategy.build().partition(graph, &ctx); // warm-up
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let t0 = Instant::now();
-        let out = Strategy::Random.build().partition(graph, &ctx);
+        let out = strategy.build().partition(graph, &ctx);
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(out.assignment.num_edges(), graph.num_edges());
         best = best.min(dt);
@@ -37,23 +44,38 @@ fn measure(graph: &gp_core::EdgeList, threads: u32) -> f64 {
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let graph = gp_gen::barabasi_albert(VERTICES, EDGES_PER_VERTEX as u32, 1);
-    let mut results = Vec::new();
-    for threads in [1u32, 2, 4] {
-        let eps = measure(&graph, threads);
-        println!("{threads} thread(s): {eps:.0} edges/s");
-        results.push((threads, eps));
+    let strategies = [Strategy::Random, Strategy::Hdrf];
+    // sweeps[strategy_label] = [(threads, edges/s)]
+    let mut sweeps: Vec<(&str, Vec<(u32, f64)>)> = Vec::new();
+    for strategy in strategies {
+        let label = strategy.label();
+        let mut results = Vec::new();
+        for threads in THREAD_COUNTS {
+            let eps = measure(&graph, strategy, threads);
+            println!("{label:8} {threads} thread(s): {eps:.0} edges/s");
+            results.push((threads, eps));
+        }
+        sweeps.push((label, results));
     }
-    let rows: Vec<String> = results
+    let sweep_json: Vec<String> = sweeps
         .iter()
-        .map(|(t, eps)| format!("    {{\"threads\": {t}, \"edges_per_sec\": {eps:.0}}}"))
+        .map(|(label, results)| {
+            let rows: Vec<String> = results
+                .iter()
+                .map(|(t, eps)| format!("        {{\"threads\": {t}, \"edges_per_sec\": {eps:.0}}}"))
+                .collect();
+            format!(
+                "    {{\n      \"strategy\": \"{label}\",\n      \"results\": [\n{}\n      ]\n    }}",
+                rows.join(",\n")
+            )
+        })
         .collect();
     let json = format!(
         "{{\n  \"bench\": \"ingress-throughput\",\n  \"graph\": {{\"model\": \"barabasi-albert\", \
          \"vertices\": {VERTICES}, \"edges_per_vertex\": {EDGES_PER_VERTEX}}},\n  \
-         \"strategy\": \"Random\",\n  \"partitions\": {PARTITIONS},\n  \"edges\": {},\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
+         \"partitions\": {PARTITIONS},\n  \"edges\": {},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
         graph.num_edges(),
-        rows.join(",\n"),
+        sweep_json.join(",\n"),
     );
     std::fs::write("BENCH_ingress.json", json).expect("write BENCH_ingress.json");
     println!("wrote BENCH_ingress.json");
@@ -61,23 +83,38 @@ fn main() {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let one = results[0].1;
-        let two = results[1].1;
-        let (bound, label) = if cores >= 2 {
-            (1.10, "10%")
-        } else {
-            (2.0, "2x (single-core pathology bound)")
-        };
-        if two < one / bound {
-            eprintln!(
-                "par-smoke FAILED: 2-thread ingress ({two:.0} edges/s) is more than {label} \
-                 slower than 1-thread ({one:.0} edges/s) on {cores} core(s)"
-            );
+        let mut failed = false;
+        for (label, results) in &sweeps {
+            let one = results[0].1;
+            let two = results[1].1;
+            let four = results[2].1;
+            if cores >= 4 && four < one {
+                eprintln!(
+                    "par-smoke FAILED [{label}]: 4-thread ingress ({four:.0} edges/s) is slower \
+                     than 1-thread ({one:.0} edges/s) on {cores} cores"
+                );
+                failed = true;
+            }
+            let (bound, bound_label) = if cores >= 2 {
+                (1.10, "10%")
+            } else {
+                (2.0, "2x (single-core pathology bound)")
+            };
+            if two < one / bound {
+                eprintln!(
+                    "par-smoke FAILED [{label}]: 2-thread ingress ({two:.0} edges/s) is more than \
+                     {bound_label} slower than 1-thread ({one:.0} edges/s) on {cores} core(s)"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "par-smoke OK [{label}]: 2-thread ingress within {bound_label} of 1-thread \
+                     ({two:.0} vs {one:.0} edges/s, {cores} core(s))"
+                );
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        println!(
-            "par-smoke OK: 2-thread ingress within {label} of 1-thread \
-             ({two:.0} vs {one:.0} edges/s, {cores} core(s))"
-        );
     }
 }

@@ -205,11 +205,25 @@ impl DegreeTable {
     }
 
     /// Maximum total degree over all vertices (0 for an empty graph).
+    /// One linear pass over the two zipped degree slices — no index math,
+    /// no bounds checks.
     pub fn max_degree(&self) -> u32 {
-        (0..self.len())
-            .map(|i| self.out_deg[i] + self.in_deg[i])
+        self.out_deg
+            .iter()
+            .zip(&self.in_deg)
+            .map(|(o, i)| o + i)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Maximum in-degree over all vertices (0 for an empty graph).
+    pub fn max_in_degree(&self) -> u32 {
+        self.in_deg.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_out_degree(&self) -> u32 {
+        self.out_deg.iter().copied().max().unwrap_or(0)
     }
 
     /// Iterator over in-degrees in vertex order.

@@ -29,6 +29,7 @@ pub mod graph;
 pub mod hash;
 pub mod ids;
 pub mod io;
+pub mod pset;
 pub mod stats;
 pub mod transform;
 
@@ -36,6 +37,7 @@ pub use error::CoreError;
 pub use graph::{CsrGraph, DegreeTable, Edge, EdgeList};
 pub use hash::{hash_canonical_edge, hash_directed_edge, hash_u64, hash_vertex, Splitmix64};
 pub use ids::{MachineId, PartitionId, VertexId};
+pub use pset::PartitionSet;
 pub use stats::GraphStats;
 
 /// Convenient `Result` alias for fallible gp-core operations.

@@ -30,33 +30,32 @@ pub struct ReplicaTable {
 
 impl ReplicaTable {
     /// Build from a graph and its assignment.
+    ///
+    /// The per-edge slot lookup uses the assignment's replica bitsets:
+    /// `replica_slot` is a popcount *rank* over at most four words, O(1)
+    /// per endpoint, replacing the former double binary search. Counts land
+    /// directly in a flat image-indexed table (the assignment's frozen CSR
+    /// layout), so the build allocates three arrays total instead of one
+    /// `Vec` per vertex.
     pub fn build(graph: &EdgeList, assignment: &Assignment) -> Self {
         let n = graph.num_vertices() as usize;
-        // First pass: per (vertex, partition) in/out counts via the replica
-        // lists, which are sorted — index into them with binary search.
-        let mut counts: Vec<Vec<(u32, u32)>> = (0..n)
-            .map(|v| vec![(0u32, 0u32); assignment.replicas(VertexId(v as u64)).len()])
-            .collect();
+        // Per-image (local_in, local_out) counts, flat in CSR image order.
+        let mut counts = vec![(0u32, 0u32); assignment.total_images()];
         for (i, e) in graph.edges().iter().enumerate() {
-            let p = assignment.edge_partition(i).0;
-            let src_slot = assignment
-                .replicas(e.src)
-                .binary_search(&p)
-                .expect("edge partition must host src replica");
-            counts[e.src.index()][src_slot].1 += 1;
-            let dst_slot = assignment
-                .replicas(e.dst)
-                .binary_search(&p)
-                .expect("edge partition must host dst replica");
-            counts[e.dst.index()][dst_slot].0 += 1;
+            let p = assignment.edge_partition(i);
+            let src_slot = assignment.replica_offset(e.src) + assignment.replica_slot(e.src, p);
+            counts[src_slot].1 += 1;
+            let dst_slot = assignment.replica_offset(e.dst) + assignment.replica_slot(e.dst, p);
+            counts[dst_slot].0 += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut entries = Vec::new();
+        let mut entries = Vec::with_capacity(counts.len());
         offsets.push(0u64);
-        for (v, vertex_counts) in counts.iter().enumerate().take(n) {
-            let reps = assignment.replicas(VertexId(v as u64));
-            for (slot, &p) in reps.iter().enumerate() {
-                let (li, lo) = vertex_counts[slot];
+        for v in 0..n {
+            let v = VertexId(v as u64);
+            let base = assignment.replica_offset(v);
+            for (slot, &p) in assignment.replicas(v).iter().enumerate() {
+                let (li, lo) = counts[base + slot];
                 entries.push(ReplicaEntry {
                     partition: PartitionId(p),
                     local_in: li,
@@ -150,6 +149,56 @@ mod tests {
         for v in 0..g.num_vertices() {
             for r in table.replicas(VertexId(v)) {
                 assert!(r.local_in + r.local_out > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_slots_agree_with_binary_search_slots() {
+        // The popcount-rank slot lookup must agree with the classical
+        // binary-search slot on every (edge endpoint, partition) pair —
+        // including single-partition graphs and graphs with isolated
+        // vertices (which have empty replica sets and never appear as
+        // endpoints).
+        let mut cases: Vec<(gp_core::EdgeList, u32)> = vec![
+            (gp_gen::erdos_renyi(400, 3_000, 11), 9),
+            (gp_gen::barabasi_albert(1_000, 6, 13), 6),
+            // Single-partition graph: every slot is 0.
+            (gp_gen::erdos_renyi(100, 500, 17), 1),
+        ];
+        // Isolated trailing vertices on top of a small random core.
+        let sparse = gp_gen::erdos_renyi(50, 120, 19);
+        let padded = gp_core::EdgeList::with_vertex_count(sparse.edges().to_vec(), 200).unwrap();
+        cases.push((padded, 4));
+        for (g, parts) in cases {
+            let out = Strategy::Hdrf
+                .build()
+                .partition(&g, &PartitionContext::new(parts));
+            let a = &out.assignment;
+            for (i, e) in g.edges().iter().enumerate() {
+                let p = a.edge_partition(i);
+                for v in [e.src, e.dst] {
+                    let by_rank = a.replica_slot(v, p);
+                    let by_search = a
+                        .replicas(v)
+                        .binary_search(&p.0)
+                        .expect("edge partition must host an endpoint replica");
+                    assert_eq!(by_rank, by_search, "slot mismatch for {v} on {p}");
+                }
+            }
+            // Isolated vertices: empty replica slice, offsets collapse.
+            for v in 0..g.num_vertices() {
+                let v = VertexId(v);
+                if a.replica_count(v) == 0 {
+                    assert!(a.replicas(v).is_empty());
+                    assert!(a.replica_set(v).is_empty());
+                }
+            }
+            // The table built on top of the rank lookup still checks out.
+            let table = ReplicaTable::build(&g, a);
+            for v in 0..g.num_vertices() {
+                let v = VertexId(v);
+                assert_eq!(table.replica_count(v), a.replica_count(v));
             }
         }
     }

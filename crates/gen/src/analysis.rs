@@ -56,7 +56,7 @@ impl DegreeAnalysis {
     /// Analyze a graph's in-degree distribution.
     pub fn of(graph: &EdgeList) -> Self {
         let degrees = graph.degrees();
-        let max_in = degrees.in_degrees().max().unwrap_or(0);
+        let max_in = degrees.max_in_degree();
         let mut histogram = vec![0u64; max_in as usize + 1];
         for d in degrees.in_degrees() {
             histogram[d as usize] += 1;

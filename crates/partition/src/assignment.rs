@@ -6,8 +6,18 @@
 //! computation" — Figs 5.3–5.5 show the linear relationships, which our
 //! engine models reproduce because network/memory accounting is driven by
 //! the replica sets computed here.
+//!
+//! Replica storage is two-phase for speed. During the build, per-vertex
+//! replica sets are [`PartitionSet`] inline bitsets — O(1) insert per edge
+//! endpoint and a word-wise-OR shard merge on the parallel path (set union
+//! is exactly what the sequential build computes, so chunking cannot change
+//! the result). After the build the sets are **frozen** into a CSR-flattened
+//! view (`rep_offsets` + `rep_flat`): one offsets array and one contiguous
+//! sorted-id array instead of one heap `Vec` per vertex. All read paths
+//! (`replicas`, masters, RF, counts) serve from that view; the bitsets stay
+//! available for O(1) membership/rank queries (`replica_set`).
 
-use gp_core::{hash_u64, Edge, EdgeList, PartitionId, VertexId};
+use gp_core::{hash_u64, Edge, EdgeList, PartitionId, PartitionSet, VertexId};
 use gp_par::ParConfig;
 
 /// An edge→partition assignment plus derived replication structure.
@@ -17,8 +27,13 @@ pub struct Assignment {
     num_vertices: u64,
     /// Partition of each edge, aligned with the source edge stream.
     edge_partition: Vec<PartitionId>,
-    /// Sorted list of partitions each vertex is replicated on.
-    replicas: Vec<Vec<u32>>,
+    /// Per-vertex replica bitsets (the build-time structure, kept for O(1)
+    /// membership and popcount-rank slot lookups).
+    replica_sets: Vec<PartitionSet>,
+    /// Frozen CSR view: `rep_flat[rep_offsets[v]..rep_offsets[v+1]]` is the
+    /// sorted partition list of vertex `v`.
+    rep_offsets: Vec<u64>,
+    rep_flat: Vec<u32>,
     /// Master partition of each vertex (meaningless for isolated vertices).
     masters: Vec<PartitionId>,
     /// Edges per partition.
@@ -46,8 +61,8 @@ impl Assignment {
     }
 
     /// Multi-threaded [`Assignment::from_edge_partitions`]: workers build
-    /// thread-local replica/edge-count shards over disjoint edge chunks,
-    /// merged by an ordered reduction whose operators (sorted-set union,
+    /// thread-local replica-bitset/edge-count shards over disjoint edge
+    /// chunks, merged by an ordered reduction whose operators (word-wise OR,
     /// integer addition) are insensitive to chunk boundaries — so the result
     /// is byte-identical to the sequential build at any thread count.
     pub fn from_edge_partitions_par(
@@ -64,7 +79,7 @@ impl Assignment {
         );
         let n = graph.num_vertices() as usize;
         let build_shard = |range: std::ops::Range<usize>| {
-            let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut sets: Vec<PartitionSet> = vec![PartitionSet::new(); n];
             let mut edge_counts = vec![0u64; num_partitions as usize];
             for (e, &p) in graph.edges()[range.clone()]
                 .iter()
@@ -72,47 +87,45 @@ impl Assignment {
             {
                 debug_assert!(p.0 < num_partitions, "partition {p} out of range");
                 edge_counts[p.index()] += 1;
-                for v in [e.src, e.dst] {
-                    let list = &mut replicas[v.index()];
-                    if let Err(pos) = list.binary_search(&p.0) {
-                        list.insert(pos, p.0);
-                    }
-                }
+                sets[e.src.index()].insert(p.0);
+                sets[e.dst.index()].insert(p.0);
             }
-            (replicas, edge_counts)
+            (sets, edge_counts)
         };
-        let (replicas, edge_counts) = if par.is_parallel() {
+        let (replica_sets, edge_counts) = if par.is_parallel() {
             let shards = gp_par::map_chunks(par, graph.num_edges(), |_, range| build_shard(range));
-            let mut replicas: Vec<Vec<u32>> = vec![Vec::new(); n];
-            let mut edge_counts = vec![0u64; num_partitions as usize];
-            for (shard_replicas, shard_counts) in shards {
+            let mut iter = shards.into_iter();
+            // An empty edge stream yields no chunks; start from an empty shard.
+            let (mut sets, mut edge_counts) = iter.next().unwrap_or_else(|| build_shard(0..0));
+            for (shard_sets, shard_counts) in iter {
                 for (total, c) in edge_counts.iter_mut().zip(shard_counts) {
                     *total += c;
                 }
-                for (list, shard_list) in replicas.iter_mut().zip(shard_replicas) {
-                    if shard_list.is_empty() {
-                        continue;
-                    }
-                    if list.is_empty() {
-                        // First shard touching this vertex: take its sorted
-                        // list wholesale.
-                        *list = shard_list;
-                    } else {
-                        // Sorted-set union by linear merge (both inputs are
-                        // sorted and duplicate-free).
-                        let merged = merge_sorted_sets(list, &shard_list);
-                        *list = merged;
-                    }
+                // The merge kernel: one word-wise OR per vertex, no
+                // allocation, no per-element branching.
+                for (set, shard_set) in sets.iter_mut().zip(&shard_sets) {
+                    set.union_with(shard_set);
                 }
             }
-            (replicas, edge_counts)
+            (sets, edge_counts)
         } else {
             build_shard(0..graph.num_edges())
         };
-        let masters = replicas
-            .iter()
+        // Freeze the read side: one offsets array + one contiguous sorted-id
+        // array, in place of a heap Vec per vertex.
+        let total_images: usize = replica_sets.iter().map(|s| s.len() as usize).sum();
+        let mut rep_offsets = Vec::with_capacity(n + 1);
+        let mut rep_flat = Vec::with_capacity(total_images);
+        rep_offsets.push(0u64);
+        for set in &replica_sets {
+            rep_flat.extend(set.iter());
+            rep_offsets.push(rep_flat.len() as u64);
+        }
+        let masters = rep_offsets
+            .windows(2)
             .enumerate()
-            .map(|(v, list)| {
+            .map(|(v, w)| {
+                let list = &rep_flat[w[0] as usize..w[1] as usize];
                 if list.is_empty() {
                     PartitionId(0)
                 } else {
@@ -125,7 +138,9 @@ impl Assignment {
             num_partitions,
             num_vertices: graph.num_vertices(),
             edge_partition,
-            replicas,
+            replica_sets,
+            rep_offsets,
+            rep_flat,
             masters,
             edge_counts,
         }
@@ -162,16 +177,49 @@ impl Assignment {
     }
 
     /// Partitions holding a replica of `v` (sorted, possibly empty for
-    /// isolated vertices).
+    /// isolated vertices) — a slice of the frozen CSR view.
     #[inline]
     pub fn replicas(&self, v: VertexId) -> &[u32] {
-        &self.replicas[v.index()]
+        let lo = self.rep_offsets[v.index()] as usize;
+        let hi = self.rep_offsets[v.index() + 1] as usize;
+        &self.rep_flat[lo..hi]
+    }
+
+    /// The replica bitset of `v` — O(1) `contains` and popcount `rank`
+    /// queries (the engine's replica-slot lookup).
+    #[inline]
+    pub fn replica_set(&self, v: VertexId) -> &PartitionSet {
+        &self.replica_sets[v.index()]
+    }
+
+    /// Start of `v`'s slice in the flattened replica view; `replica_slot`
+    /// indexes are relative to this.
+    #[inline]
+    pub fn replica_offset(&self, v: VertexId) -> usize {
+        self.rep_offsets[v.index()] as usize
+    }
+
+    /// Slot of partition `p` within `v`'s sorted replica list, by popcount
+    /// rank over the bitset — O(1), replacing binary search. `p` must be a
+    /// replica of `v` (guaranteed for the partition of any edge incident to
+    /// `v`, by construction).
+    #[inline]
+    pub fn replica_slot(&self, v: VertexId, p: PartitionId) -> usize {
+        let set = &self.replica_sets[v.index()];
+        debug_assert!(set.contains(p.0), "{p} does not host a replica of {v}");
+        set.rank(p.0) as usize
+    }
+
+    /// Total number of vertex images (the length of the flattened view).
+    #[inline]
+    pub fn total_images(&self) -> usize {
+        self.rep_flat.len()
     }
 
     /// Number of images (master + mirrors) of `v`.
     #[inline]
     pub fn replica_count(&self, v: VertexId) -> u32 {
-        self.replicas[v.index()].len() as u32
+        (self.rep_offsets[v.index() + 1] - self.rep_offsets[v.index()]) as u32
     }
 
     /// Master partition of `v`.
@@ -184,11 +232,11 @@ impl Assignment {
     /// low-degree vertex's master with its in-edges, §6.2.1). Each master
     /// must be one of the vertex's replicas.
     pub fn set_masters(&mut self, masters: Vec<PartitionId>) {
-        assert_eq!(masters.len(), self.replicas.len());
+        assert_eq!(masters.len(), self.replica_sets.len());
         for (v, &m) in masters.iter().enumerate() {
-            if !self.replicas[v].is_empty() {
+            if !self.replica_sets[v].is_empty() {
                 assert!(
-                    self.replicas[v].binary_search(&m.0).is_ok(),
+                    self.replica_sets[v].contains(m.0),
                     "master {m} of v{v} is not a replica"
                 );
             }
@@ -200,10 +248,11 @@ impl Assignment {
     /// image — the paper's headline partitioning-quality metric.
     pub fn replication_factor(&self) -> f64 {
         let (total, present) = self
-            .replicas
-            .iter()
-            .filter(|r| !r.is_empty())
-            .fold((0u64, 0u64), |(t, c), r| (t + r.len() as u64, c + 1));
+            .rep_offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|&len| len > 0)
+            .fold((0u64, 0u64), |(t, c), len| (t + len, c + 1));
         if present == 0 {
             0.0
         } else {
@@ -213,10 +262,11 @@ impl Assignment {
 
     /// Total number of mirrors (images that are not masters).
     pub fn total_mirrors(&self) -> u64 {
-        self.replicas
-            .iter()
-            .filter(|r| !r.is_empty())
-            .map(|r| r.len() as u64 - 1)
+        self.rep_offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|&len| len > 0)
+            .map(|len| len - 1)
             .sum()
     }
 
@@ -226,13 +276,12 @@ impl Assignment {
         &self.edge_counts
     }
 
-    /// Vertex images per partition (masters + mirrors hosted).
+    /// Vertex images per partition (masters + mirrors hosted) — one pass
+    /// over the flattened view.
     pub fn replica_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.num_partitions as usize];
-        for r in &self.replicas {
-            for &p in r {
-                counts[p as usize] += 1;
-            }
+        for &p in &self.rep_flat {
+            counts[p as usize] += 1;
         }
         counts
     }
@@ -240,8 +289,8 @@ impl Assignment {
     /// Master vertices per partition.
     pub fn master_counts(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.num_partitions as usize];
-        for (v, &m) in self.masters.iter().enumerate() {
-            if !self.replicas[v].is_empty() {
+        for (w, &m) in self.rep_offsets.windows(2).zip(&self.masters) {
+            if w[1] > w[0] {
                 counts[m.index()] += 1;
             }
         }
@@ -286,33 +335,6 @@ impl BalanceReport {
             imbalance,
         }
     }
-}
-
-/// Union of two sorted duplicate-free lists, itself sorted and
-/// duplicate-free.
-fn merge_sorted_sets(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
 }
 
 /// Convenience: partition every edge with a pure function of the edge.
@@ -419,6 +441,20 @@ mod tests {
         let images: u64 = a.replica_counts().iter().sum();
         let direct: u64 = (0..4).map(|v| a.replica_count(VertexId(v)) as u64).sum();
         assert_eq!(images, direct);
+        assert_eq!(images, a.total_images() as u64);
+    }
+
+    #[test]
+    fn replica_set_agrees_with_flattened_view() {
+        let g = tiny();
+        let a = assign_round_robin(&g, 3);
+        for v in 0..g.num_vertices() {
+            let v = VertexId(v);
+            assert_eq!(a.replica_set(v).to_vec(), a.replicas(v));
+            for (slot, &p) in a.replicas(v).iter().enumerate() {
+                assert_eq!(a.replica_slot(v, PartitionId(p)), slot);
+            }
+        }
     }
 
     #[test]

@@ -21,8 +21,7 @@
 use crate::assignment::Assignment;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::oblivious::GreedyState;
-use gp_core::{Edge, EdgeList, PartitionId, VertexId};
-use std::collections::HashMap;
+use gp_core::{Edge, EdgeList, PartitionId};
 
 /// HDRF streaming partitioner with tunable balance weight `λ`.
 #[derive(Debug, Clone)]
@@ -53,39 +52,52 @@ impl Hdrf {
 
 struct HdrfLoader {
     greedy: GreedyState,
-    /// Partial degree counters δ (Appendix B).
-    partial_degree: HashMap<VertexId, u64>,
+    /// Partial degree counters δ (Appendix B), dense vertex-indexed — the
+    /// ids are `0..n` already, so a flat table beats hashing on every edge.
+    partial_degree: Vec<u64>,
+    /// Vertices with a nonzero counter (memory accounting parity with the
+    /// historical per-entry map accounting: 40 bytes per touched vertex).
+    touched: u64,
     lambda: f64,
+    /// Reusable tie buffer for the score loop (no per-edge allocation).
+    tied: Vec<u32>,
 }
 
 impl HdrfLoader {
-    fn new(num_partitions: u32, seed: u64, lambda: f64) -> Self {
+    fn new(num_partitions: u32, num_vertices: u64, seed: u64, lambda: f64) -> Self {
         HdrfLoader {
-            greedy: GreedyState::new(num_partitions, seed),
-            partial_degree: HashMap::new(),
+            greedy: GreedyState::new(num_partitions, num_vertices, seed),
+            partial_degree: vec![0; num_vertices as usize],
+            touched: 0,
             lambda,
+            tied: Vec::with_capacity(num_partitions as usize),
         }
     }
 
     fn choose(&mut self, e: Edge) -> PartitionId {
         // Update partial degrees first (Appendix B: counters are incremented
         // when the edge is processed, then used for θ).
-        *self.partial_degree.entry(e.src).or_insert(0) += 1;
-        *self.partial_degree.entry(e.dst).or_insert(0) += 1;
-        let du = self.partial_degree[&e.src] as f64;
-        let dv = self.partial_degree[&e.dst] as f64;
+        for v in [e.src, e.dst] {
+            let d = &mut self.partial_degree[v.index()];
+            if *d == 0 {
+                self.touched += 1;
+            }
+            *d += 1;
+        }
+        let du = self.partial_degree[e.src.index()] as f64;
+        let dv = self.partial_degree[e.dst.index()] as f64;
         let theta_u = du / (du + dv);
         let theta_v = dv / (du + dv);
 
-        let au = self.greedy.replicas(e.src).to_vec();
-        let av = self.greedy.replicas(e.dst).to_vec();
+        let au = self.greedy.replicas(e.src).clone();
+        let av = self.greedy.replicas(e.dst).clone();
         let loads = &self.greedy.load;
         let max_load = *loads.iter().max().expect("partitions > 0") as f64;
         let min_load = *loads.iter().min().expect("partitions > 0") as f64;
         const EPS: f64 = 1.0;
 
         let mut best_score = f64::NEG_INFINITY;
-        let mut tied: Vec<u32> = Vec::new();
+        self.tied.clear();
         let capacity = self.greedy.capacity();
         for m in 0..loads.len() as u32 {
             // Capacity constraint, as in PowerGraph's greedy ingress: a
@@ -93,12 +105,12 @@ impl HdrfLoader {
             if loads[m as usize] >= capacity {
                 continue;
             }
-            let g_u = if au.binary_search(&m).is_ok() {
+            let g_u = if au.contains(m) {
                 1.0 + (1.0 - theta_u)
             } else {
                 0.0
             };
-            let g_v = if av.binary_search(&m).is_ok() {
+            let g_v = if av.contains(m) {
                 1.0 + (1.0 - theta_v)
             } else {
                 0.0
@@ -108,23 +120,23 @@ impl HdrfLoader {
             let score = c_rep + self.lambda * c_bal;
             if score > best_score + 1e-12 {
                 best_score = score;
-                tied.clear();
-                tied.push(m);
+                self.tied.clear();
+                self.tied.push(m);
             } else if (score - best_score).abs() <= 1e-12 {
-                tied.push(m);
+                self.tied.push(m);
             }
         }
-        if tied.is_empty() {
+        if self.tied.is_empty() {
             // Everything at capacity (can only happen transiently at tiny
             // loads): fall back to least loaded.
-            return self.greedy.least_loaded(&[]);
+            return self.greedy.least_loaded_all();
         }
-        let pick = self.greedy.rng.next_below(tied.len() as u64) as usize;
-        PartitionId(tied[pick])
+        let pick = self.greedy.rng.next_below(self.tied.len() as u64) as usize;
+        PartitionId(self.tied[pick])
     }
 
     fn state_bytes(&self) -> u64 {
-        self.greedy.state_bytes() + 40 * self.partial_degree.len() as u64
+        self.greedy.state_bytes() + 40 * self.touched
     }
 }
 
@@ -146,8 +158,12 @@ impl Partitioner for Hdrf {
             .map(|(i, block)| {
                 let block = *block;
                 move || {
-                    let mut loader =
-                        HdrfLoader::new(ctx.num_partitions, ctx.seed ^ (0x4d5f + i as u64), lambda);
+                    let mut loader = HdrfLoader::new(
+                        ctx.num_partitions,
+                        graph.num_vertices(),
+                        ctx.seed ^ (0x4d5f + i as u64),
+                        lambda,
+                    );
                     let mut parts = Vec::with_capacity(block.len());
                     for &e in block {
                         let candidates = loader.greedy.replicas(e.src).len()
@@ -201,7 +217,7 @@ mod tests {
 
     #[test]
     fn repeated_edge_stays_put() {
-        let mut l = HdrfLoader::new(4, 1, 1.0);
+        let mut l = HdrfLoader::new(4, 128, 1, 1.0);
         let e = Edge::new(0u64, 1u64);
         let p1 = l.choose(e);
         l.greedy.commit(e, p1);
@@ -214,8 +230,8 @@ mod tests {
         // u is a hub (high partial degree), w is fresh. A new edge (u, w)
         // joining them where u lives on p0 and w on p1: HDRF should prefer
         // keeping LOW-degree w intact (place on p1, replicating hub u).
-        let mut l = HdrfLoader::new(2, 1, 0.0); // no balance term
-                                                // Build hub u = 0 on p0.
+        let mut l = HdrfLoader::new(2, 128, 1, 0.0); // no balance term
+                                                     // Build hub u = 0 on p0.
         for i in 10..30u64 {
             let e = Edge::new(0u64, i);
             l.choose(e);

@@ -21,9 +21,7 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
-use gp_core::{Edge, EdgeList, PartitionId, Splitmix64, VertexId};
-
-use std::collections::HashMap;
+use gp_core::{Edge, EdgeList, PartitionId, PartitionSet, Splitmix64, VertexId};
 
 /// Oblivious greedy vertex-cut partitioner.
 #[derive(Debug, Default, Clone)]
@@ -31,9 +29,14 @@ pub struct Oblivious;
 
 /// Per-loader greedy state shared by Oblivious and HDRF: replica sets known
 /// to this loader, per-partition edge loads, and a tie-break PRNG.
+///
+/// Replica sets are a dense vertex-indexed table of [`PartitionSet`]
+/// bitsets (vertex ids are `0..n` by construction), so the per-edge hot
+/// path does two O(1) bit inserts and O(1) membership probes — no hashing,
+/// no per-vertex heap lists.
 pub(crate) struct GreedyState {
-    /// `a[v]` = sorted partitions this loader has placed `v` on.
-    pub a: HashMap<VertexId, Vec<u32>>,
+    /// `a[v]` = partitions this loader has placed `v` on.
+    pub a: Vec<PartitionSet>,
     /// Edges this loader has assigned to each partition.
     pub load: Vec<u64>,
     /// Tie-break PRNG.
@@ -47,17 +50,22 @@ pub(crate) struct GreedyState {
     /// of capacity constraint ("partitions are balanced in order to avoid
     /// overloading individual servers", §1).
     pub balance_slack: f64,
+    /// Running replica-state memory estimate, kept formula-compatible with
+    /// the historical per-vertex-list accounting (32 bytes per touched
+    /// vertex + 4 per replica entry) so ingress memory reports are stable.
+    replica_bytes: u64,
 }
 
 impl GreedyState {
-    pub fn new(num_partitions: u32, seed: u64) -> Self {
+    pub fn new(num_partitions: u32, num_vertices: u64, seed: u64) -> Self {
         GreedyState {
-            a: HashMap::new(),
+            a: vec![PartitionSet::new(); num_vertices as usize],
             load: vec![0; num_partitions as usize],
             rng: Splitmix64::new(seed),
             work: 0.0,
             assigned: 0,
             balance_slack: 1.1,
+            replica_bytes: 0,
         }
     }
 
@@ -67,8 +75,10 @@ impl GreedyState {
         (self.balance_slack * self.assigned as f64 / self.load.len() as f64) as u64 + 4
     }
 
-    pub fn replicas(&self, v: VertexId) -> &[u32] {
-        self.a.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    /// Partitions this loader has placed `v` on.
+    #[inline]
+    pub fn replicas(&self, v: VertexId) -> &PartitionSet {
+        &self.a[v.index()]
     }
 
     /// Record that edge `e` was placed on `p`.
@@ -76,41 +86,61 @@ impl GreedyState {
         self.load[p.index()] += 1;
         self.assigned += 1;
         for v in [e.src, e.dst] {
-            let list = self.a.entry(v).or_default();
-            if let Err(pos) = list.binary_search(&p.0) {
-                list.insert(pos, p.0);
+            let set = &mut self.a[v.index()];
+            if set.insert(p.0) {
+                self.replica_bytes += if set.len() == 1 { 36 } else { 4 };
             }
         }
     }
 
-    /// Least-loaded partition among `candidates` (all partitions if empty),
-    /// ties broken uniformly at random.
-    pub fn least_loaded(&mut self, candidates: &[u32]) -> PartitionId {
-        let all: Vec<u32>;
-        let cands: &[u32] = if candidates.is_empty() {
-            all = (0..self.load.len() as u32).collect();
-            &all
-        } else {
-            candidates
-        };
-        let min = cands
+    /// Least-loaded partition over all partitions, ties broken uniformly at
+    /// random (one PRNG draw, matching the historical candidate-list code).
+    pub fn least_loaded_all(&mut self) -> PartitionId {
+        let min = *self.load.iter().min().expect("partitions > 0");
+        let tied = self.load.iter().filter(|&&l| l == min).count() as u64;
+        let pick = self.rng.next_below(tied);
+        let mut seen = 0;
+        for (c, &l) in self.load.iter().enumerate() {
+            if l == min {
+                if seen == pick {
+                    return PartitionId(c as u32);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("pick < tied count")
+    }
+
+    /// Least-loaded partition among the candidate set, ties broken
+    /// uniformly at random. Candidates iterate in ascending order (bit
+    /// scan), so tie-breaking is identical to the historical sorted-list
+    /// scan. The set must be non-empty.
+    pub fn least_loaded_in(&mut self, candidates: &PartitionSet) -> PartitionId {
+        let min = candidates
             .iter()
-            .map(|&c| self.load[c as usize])
+            .map(|c| self.load[c as usize])
             .min()
-            .expect("non-empty");
-        let tied: Vec<u32> = cands
+            .expect("non-empty candidate set");
+        let tied = candidates
             .iter()
-            .copied()
             .filter(|&c| self.load[c as usize] == min)
-            .collect();
-        let pick = self.rng.next_below(tied.len() as u64) as usize;
-        PartitionId(tied[pick])
+            .count() as u64;
+        let pick = self.rng.next_below(tied);
+        let mut seen = 0;
+        for c in candidates.iter() {
+            if self.load[c as usize] == min {
+                if seen == pick {
+                    return PartitionId(c);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("pick < tied count")
     }
 
     /// Approximate bytes of loader state (for ingress memory accounting).
     pub fn state_bytes(&self) -> u64 {
-        let replica_bytes: u64 = self.a.values().map(|l| 32 + 4 * l.len() as u64).sum();
-        replica_bytes + 8 * self.load.len() as u64
+        self.replica_bytes + 8 * self.load.len() as u64
     }
 }
 
@@ -118,35 +148,29 @@ impl GreedyState {
 /// The preferred candidate set is overridden by the global least-loaded
 /// machine when every preferred machine is at capacity.
 pub(crate) fn oblivious_choose(state: &mut GreedyState, e: Edge) -> PartitionId {
-    let au = state.replicas(e.src).to_vec();
-    let av = state.replicas(e.dst).to_vec();
-    let inter: Vec<u32> = au
-        .iter()
-        .copied()
-        .filter(|x| av.binary_search(x).is_ok())
-        .collect();
+    // Inline bitset copies (no heap traffic for ≤256 partitions); the
+    // intersection/union cases are word-wise AND/OR.
+    let au = state.replicas(e.src).clone();
+    let av = state.replicas(e.dst).clone();
+    let inter = au.intersection(&av);
     let choice = if !inter.is_empty() {
         // Case 1: replicas of both already co-located somewhere.
-        state.least_loaded(&inter)
+        state.least_loaded_in(&inter)
     } else if au.is_empty() && av.is_empty() {
         // Case 3: fresh edge.
-        state.least_loaded(&[])
+        state.least_loaded_all()
     } else if av.is_empty() {
         // Case 2: only u placed.
-        state.least_loaded(&au)
+        state.least_loaded_in(&au)
     } else if au.is_empty() {
         // Case 2 (symmetric): only v placed.
-        state.least_loaded(&av)
+        state.least_loaded_in(&av)
     } else {
         // Case 4: both placed, disjoint — least loaded in the union.
-        let mut union = au.clone();
-        union.extend_from_slice(&av);
-        union.sort_unstable();
-        union.dedup();
-        state.least_loaded(&union)
+        state.least_loaded_in(&au.union(&av))
     };
     if state.load[choice.index()] >= state.capacity() {
-        state.least_loaded(&[])
+        state.least_loaded_all()
     } else {
         choice
     }
@@ -170,8 +194,11 @@ impl Partitioner for Oblivious {
             .map(|(i, block)| {
                 let block = *block;
                 move || {
-                    let mut state =
-                        GreedyState::new(ctx.num_partitions, ctx.seed ^ (0x0b11 + i as u64));
+                    let mut state = GreedyState::new(
+                        ctx.num_partitions,
+                        graph.num_vertices(),
+                        ctx.seed ^ (0x0b11 + i as u64),
+                    );
                     let mut parts = Vec::with_capacity(block.len());
                     for &e in block {
                         let candidates = state.replicas(e.src).len() + state.replicas(e.dst).len();
@@ -226,7 +253,7 @@ mod tests {
 
     #[test]
     fn case1_places_in_intersection() {
-        let mut s = GreedyState::new(4, 1);
+        let mut s = GreedyState::new(4, 128, 1);
         s.commit(Edge::new(0u64, 1u64), PartitionId(2));
         // Both 0 and 1 live on p2 only; the next (0,1)-ish edge must go there.
         let p = oblivious_choose(&mut s, Edge::new(0u64, 1u64));
@@ -235,7 +262,7 @@ mod tests {
 
     #[test]
     fn case2_follows_the_placed_endpoint() {
-        let mut s = GreedyState::new(4, 1);
+        let mut s = GreedyState::new(4, 128, 1);
         s.commit(Edge::new(0u64, 1u64), PartitionId(3));
         let p = oblivious_choose(&mut s, Edge::new(0u64, 9u64));
         assert_eq!(p, PartitionId(3), "new edge should join u's only replica");
@@ -243,7 +270,7 @@ mod tests {
 
     #[test]
     fn case3_balances_fresh_edges() {
-        let mut s = GreedyState::new(2, 1);
+        let mut s = GreedyState::new(2, 128, 1);
         s.load = vec![5, 0];
         let p = oblivious_choose(&mut s, Edge::new(10u64, 11u64));
         assert_eq!(
@@ -255,7 +282,7 @@ mod tests {
 
     #[test]
     fn case4_uses_least_loaded_in_union() {
-        let mut s = GreedyState::new(4, 1);
+        let mut s = GreedyState::new(4, 128, 1);
         s.commit(Edge::new(0u64, 5u64), PartitionId(0));
         s.commit(Edge::new(1u64, 6u64), PartitionId(2));
         s.load[0] = 10; // make p2 the lighter of {0, 2}

@@ -1,0 +1,99 @@
+//! Prints a stable fingerprint of everything the ingress kernels can
+//! observably change: full assignment state (edge partitions, sorted
+//! replica lists, masters, counts) plus engine reports, over a spread of
+//! graphs × partitioners × thread counts. Diffing this output across
+//! commits proves (or refutes) kernel-level byte-identity.
+//!
+//! ```sh
+//! cargo run --release --example kernel_fingerprint > fingerprint.txt
+//! ```
+
+use distgraph::apps::PageRank;
+use distgraph::cluster::ClusterSpec;
+use distgraph::core::VertexId;
+use distgraph::engine::{EngineConfig, SyncGas};
+use distgraph::partition::strategies::{BiCut, Chunking};
+use distgraph::partition::{PartitionContext, Partitioner, Strategy};
+
+fn main() {
+    let graphs = vec![
+        ("er", distgraph::gen::erdos_renyi(800, 6_000, 3)),
+        ("ba", distgraph::gen::barabasi_albert(1_500, 6, 7)),
+        (
+            "road",
+            distgraph::gen::road_network(
+                &distgraph::gen::RoadNetworkParams {
+                    width: 30,
+                    height: 30,
+                    ..Default::default()
+                },
+                5,
+            ),
+        ),
+    ];
+    let mut partitioners: Vec<(String, Box<dyn Partitioner>, u32)> = Strategy::ALL
+        .into_iter()
+        .map(|s| {
+            let parts = if s == Strategy::Pds { 7 } else { 9 };
+            (s.label().to_string(), s.build(), parts)
+        })
+        .collect();
+    partitioners.push(("BiCut".into(), Box::new(BiCut::default()), 9));
+    partitioners.push(("Chunking".into(), Box::new(Chunking), 9));
+
+    for (gname, graph) in &graphs {
+        for (pname, partitioner, parts) in &mut partitioners {
+            for threads in [1u32, 2, 4] {
+                let ctx = PartitionContext::new(*parts)
+                    .with_seed(11)
+                    .with_threads(threads);
+                let out = partitioner.partition(graph, &ctx);
+                let a = &out.assignment;
+                // Cheap order-sensitive FNV-style digest over the full state.
+                let mut h: u64 = 0xcbf29ce484222325;
+                let mut mix = |x: u64| {
+                    h ^= x;
+                    h = h.wrapping_mul(0x100000001b3);
+                };
+                for p in a.edge_partitions() {
+                    mix(p.0 as u64);
+                }
+                for v in 0..graph.num_vertices() {
+                    let v = VertexId(v);
+                    mix(0xfeed);
+                    for &r in a.replicas(v) {
+                        mix(r as u64);
+                    }
+                    mix(a.master_of(v).0 as u64);
+                }
+                for &c in a.edge_counts() {
+                    mix(c);
+                }
+                mix((a.replication_factor() * 1e9) as u64);
+                mix(a.total_mirrors());
+                for c in a.replica_counts() {
+                    mix(c);
+                }
+                for c in a.master_counts() {
+                    mix(c);
+                }
+                println!(
+                    "{gname} {pname} t{threads} assign={h:016x} work={:.6} state_bytes={} passes={}",
+                    out.loader_work.iter().sum::<f64>(),
+                    out.state_bytes,
+                    out.passes
+                );
+                if threads == 1 {
+                    let config = EngineConfig::new(ClusterSpec::local_9()).with_threads(1);
+                    let (states, report) = SyncGas::new(config).run(graph, a, &PageRank::fixed(3));
+                    let mut h2: u64 = 0xcbf29ce484222325;
+                    for s in format!("{states:?}|{report:?}").bytes() {
+                        h2 ^= s as u64;
+                        h2 = h2.wrapping_mul(0x100000001b3);
+                    }
+                    println!("{gname} {pname} engine={h2:016x}");
+                }
+            }
+        }
+    }
+}
