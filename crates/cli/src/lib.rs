@@ -5,8 +5,13 @@
 //! ```text
 //! distgraph stats <graph.txt>                       # size, degrees, class
 //! distgraph classify <graph.txt>                    # degree-class only
-//! distgraph generate <dataset> --scale S --seed N -o out.txt
-//! distgraph partition <graph.txt> --strategy hdrf --parts 9 [-o parts.txt]
+//! distgraph generate <dataset> [--scale S | --edges N] --seed N -o out.txt
+//! distgraph store build powerlaw -o g.gps --edges 100M [--vertices N]
+//! distgraph store build <dataset> -o g.gps [--scale S | --edges N]
+//! distgraph store info <g.gps>                      # header + compression
+//! distgraph store verify <g.gps>                    # checksum + structure
+//! distgraph partition <graph.txt|graph.gps> --strategy hdrf --parts 9
+//!                     [-o parts.txt]
 //! distgraph recommend <graph.txt> --system powerlyra --machines 25 \
 //!     --compute-ingress 2.0 [--natural]
 //! distgraph run <graph.txt> --app pagerank --strategy grid --parts 9 \
@@ -25,11 +30,12 @@ use gp_apps::{PageRank, Sssp, Wcc};
 use gp_bench::{App, EngineKind, Pipeline};
 use gp_cluster::{ClusterSpec, CostRates, Table};
 use gp_core::io::read_edge_list;
-use gp_core::{EdgeList, GraphStats};
+use gp_core::{EdgeList, GraphStats, StreamingEdges};
 use gp_engine::{CommsConfig, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
 use gp_fault::{recovery_cost, CheckpointPolicy, FaultEvent, FaultKind, FaultPlan};
-use gp_gen::{classify, Dataset, DegreeAnalysis};
+use gp_gen::{classify, Dataset, DegreeAnalysis, PowerLawStreamParams};
 use gp_partition::{IngressReport, PartitionContext, Strategy};
+use gp_store::GraphStore;
 use gp_telemetry::TelemetrySink;
 use std::io::Write;
 
@@ -44,9 +50,27 @@ pub enum Command {
     Generate {
         dataset: Dataset,
         scale: f64,
+        /// Target edge count; overrides `scale` when present.
+        edges: Option<u64>,
         seed: u64,
         out: Option<String>,
     },
+    /// Build a compressed `.gps` store from a generator.
+    StoreBuild {
+        source: StoreSource,
+        out: String,
+        scale: f64,
+        /// Target edge count; overrides `scale` for datasets, sets the
+        /// exact edge count for `powerlaw`.
+        edges: Option<u64>,
+        /// Vertex-space size for `powerlaw` (default `edges / 16`).
+        vertices: Option<u64>,
+        seed: u64,
+    },
+    /// Print a store's header metadata and compression figures.
+    StoreInfo { path: String },
+    /// Full checksum + structural verification of a store file.
+    StoreVerify { path: String },
     /// Partition a graph and report quality; optionally save the assignment.
     Partition {
         path: String,
@@ -123,6 +147,40 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// What `store build` generates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoreSource {
+    /// Streaming power-law generator — out-of-core scale, edges go straight
+    /// to disk without an in-memory edge list.
+    PowerLaw,
+    /// A Table 4.2 analogue generated in memory, then written sorted.
+    Dataset(Dataset),
+}
+
+/// Parse a size like `250000`, `10M`, `1.5G` into a count (decimal units).
+fn parse_size(text: &str) -> Result<u64, String> {
+    let t = text.trim();
+    let split = t.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(t.len());
+    let (num, suffix) = t.split_at(split);
+    let mult = match suffix.to_ascii_uppercase().as_str() {
+        "" => 1.0,
+        "K" => 1e3,
+        "M" => 1e6,
+        "G" => 1e9,
+        _ => {
+            return Err(format!(
+                "bad size suffix {suffix:?} in {text:?} (use K/M/G)"
+            ))
+        }
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad size {text:?}"))?;
+    let total = v * mult;
+    if !total.is_finite() || !(1.0..=1e13).contains(&total) {
+        return Err(format!("size {text:?} out of range [1, 1e13]"));
+    }
+    Ok(total.round() as u64)
 }
 
 /// Which simulated cluster the `fault` command runs on.
@@ -340,6 +398,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
     };
 
+    let parse_size_flag = |name: &str| -> Result<Option<u64>, String> {
+        flag(name).map(|v| parse_size(v)).transpose()
+    };
+
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "stats" => Ok(Command::Stats { path: need_path()? }),
@@ -349,9 +411,51 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Generate {
                 dataset,
                 scale: parse_scale()?,
+                edges: parse_size_flag("edges")?,
                 seed: parse_u("seed", 42)?,
                 out: flag("out").cloned(),
             })
+        }
+        "store" => {
+            let action = positional
+                .first()
+                .cloned()
+                .ok_or("missing store action (build|info|verify)")?;
+            match action.as_str() {
+                "build" => {
+                    let src = positional
+                        .get(1)
+                        .ok_or("missing store source (powerlaw or a dataset name)")?;
+                    let source = if src.eq_ignore_ascii_case("powerlaw") {
+                        StoreSource::PowerLaw
+                    } else {
+                        StoreSource::Dataset(parse_dataset(src)?)
+                    };
+                    Ok(Command::StoreBuild {
+                        source,
+                        out: flag("out").cloned().ok_or("missing -o <out.gps>")?,
+                        scale: parse_scale()?,
+                        edges: parse_size_flag("edges")?,
+                        vertices: parse_size_flag("vertices")?,
+                        seed: parse_u("seed", 42)?,
+                    })
+                }
+                "info" => Ok(Command::StoreInfo {
+                    path: positional
+                        .get(1)
+                        .cloned()
+                        .ok_or("missing <store.gps> path")?,
+                }),
+                "verify" => Ok(Command::StoreVerify {
+                    path: positional
+                        .get(1)
+                        .cloned()
+                        .ok_or("missing <store.gps> path")?,
+                }),
+                other => Err(format!(
+                    "unknown store action {other:?} (build|info|verify)"
+                )),
+            }
         }
         "partition" => Ok(Command::Partition {
             path: need_path()?,
@@ -462,9 +566,13 @@ pub fn usage() -> &'static str {
 USAGE:
   distgraph stats <graph.txt>
   distgraph classify <graph.txt>
-  distgraph generate <dataset> [--scale S] [--seed N] [-o out.txt]
-  distgraph partition <graph.txt> --strategy <name> [--parts N] [--seed N]
-                      [--threads N] [-o parts.txt]
+  distgraph generate <dataset> [--scale S | --edges E] [--seed N] [-o out.txt]
+  distgraph partition <graph.txt|store.gps> --strategy <name> [--parts N]
+                      [--seed N] [--threads N] [-o parts.txt]
+  distgraph store build powerlaw|<dataset> -o store.gps [--edges E]
+                  [--vertices V] [--scale S] [--seed N]
+  distgraph store info <store.gps>
+  distgraph store verify <store.gps>
   distgraph recommend <graph.txt> [--system powergraph|powerlyra|graphx]
                       [--machines N] [--compute-ingress R] [--natural]
   distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
@@ -480,7 +588,11 @@ USAGE:
                   [--loss-rate P] [--speculate] [--scale S] [--seed N]
                   [--threads N] [-o DIR]
 
-Graphs are plain-text edge lists (one `src dst` pair per line, # comments).
+Graphs are plain-text edge lists (one `src dst` pair per line, # comments)
+or compressed `.gps` stores (see `store build`); `partition` streams `.gps`
+files off the memory mapping instead of materializing the edge list, so
+graphs far larger than RAM partition with bounded peak RSS.
+Size flags (`--edges`, `--vertices`) take decimal suffixes: 10K, 1.5M, 2G.
 Strategies: Random, Assym-Rand, Grid, PDS, Oblivious, HDRF, 1D, 1D-Target,
 2D, Hybrid, H-Ginger.
 Datasets: road-net-CA, road-net-USA, LiveJournal, Enwiki-2013, Twitter, UK-web.
@@ -543,10 +655,14 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
         Command::Generate {
             dataset,
             scale,
+            edges,
             seed,
             out: dest,
         } => {
-            let g = dataset.generate(*scale, *seed);
+            let g = match edges {
+                Some(target) => dataset.generate_with_edges(*target, *seed),
+                None => dataset.generate(*scale, *seed),
+            };
             writeln!(
                 out,
                 "generated {} analogue: {} vertices, {} edges",
@@ -563,6 +679,110 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             }
             Ok(0)
         }
+        Command::StoreBuild {
+            source,
+            out: dest,
+            scale,
+            edges,
+            vertices,
+            seed,
+        } => {
+            let result = match source {
+                StoreSource::PowerLaw => {
+                    let num_edges = edges.unwrap_or(1_000_000);
+                    let num_vertices = vertices.unwrap_or((num_edges / 16).max(2));
+                    gp_gen::build_powerlaw_store(
+                        dest,
+                        PowerLawStreamParams {
+                            num_vertices,
+                            num_edges,
+                            ..Default::default()
+                        },
+                        *seed,
+                    )
+                }
+                StoreSource::Dataset(dataset) => {
+                    let s = match edges {
+                        Some(target) => dataset.scale_for_edges(*target),
+                        None => *scale,
+                    };
+                    gp_gen::build_dataset_store(dest, *dataset, s, *seed)
+                }
+            };
+            let stats = match result {
+                Ok(s) => s,
+                Err(e) => return fail(out, &format!("cannot build {dest}: {e}")),
+            };
+            writeln!(
+                out,
+                "built {dest}: {} vertices, {} edges, {} ({:.2} bytes/edge vs 16 in memory)",
+                stats.num_vertices,
+                stats.num_edges,
+                gp_cluster::table::fmt_bytes(stats.file_len as f64),
+                stats.bytes_per_edge()
+            )?;
+            if let Some(rss) = gp_telemetry::peak_rss_bytes() {
+                writeln!(
+                    out,
+                    "peak RSS: {}",
+                    gp_cluster::table::fmt_bytes(rss as f64)
+                )?;
+            }
+            Ok(0)
+        }
+        Command::StoreInfo { path } => {
+            let store = match GraphStore::open(path) {
+                Ok(s) => s,
+                Err(e) => return fail(out, &format!("cannot open {path}: {e}")),
+            };
+            let info = store.info();
+            let mut t = Table::new(format!("store {path}"), &["field", "value"]);
+            t.row(vec!["vertices".into(), info.num_vertices.to_string()]);
+            t.row(vec!["edges".into(), info.num_edges.to_string()]);
+            t.row(vec![
+                "file size".into(),
+                gp_cluster::table::fmt_bytes(info.file_len as f64),
+            ]);
+            t.row(vec![
+                "adjacency blob".into(),
+                gp_cluster::table::fmt_bytes(info.data_len as f64),
+            ]);
+            t.row(vec![
+                "index entries".into(),
+                format!("{} (stride {})", info.index_entries, info.index_stride),
+            ]);
+            t.row(vec![
+                "bytes/edge".into(),
+                format!("{:.2}", info.bytes_per_edge()),
+            ]);
+            t.row(vec![
+                "vs in-memory edge list".into(),
+                format!("{:.1}x smaller", info.ratio_vs_edge_list()),
+            ]);
+            t.row(vec!["backing".into(), info.mapping.to_string()]);
+            writeln!(out, "{t}")?;
+            Ok(0)
+        }
+        Command::StoreVerify { path } => {
+            let store = match GraphStore::open(path) {
+                Ok(s) => s,
+                Err(e) => return fail(out, &format!("cannot open {path}: {e}")),
+            };
+            match store.verify() {
+                Ok(report) => {
+                    writeln!(
+                        out,
+                        "ok: {} vertices, {} edges, max degree {}, {} empty vertices",
+                        report.num_vertices,
+                        report.num_edges,
+                        report.max_degree,
+                        report.empty_vertices
+                    )?;
+                    Ok(0)
+                }
+                Err(e) => fail(out, &format!("store {path} is corrupt: {e}")),
+            }
+        }
         Command::Partition {
             path,
             strategy,
@@ -571,9 +791,24 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             threads,
             out: dest,
         } => {
-            let loaded = match read_edge_list(path) {
-                Ok(l) => l,
-                Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+            // `.gps` stores stream straight off the mapping; text edge
+            // lists load into memory. Both feed the same `StreamingEdges`
+            // ingress and produce identical assignments for the same edge
+            // sequence.
+            let store;
+            let loaded;
+            let graph: &dyn StreamingEdges = if path.ends_with(".gps") {
+                store = match GraphStore::open(path) {
+                    Ok(s) => s,
+                    Err(e) => return fail(out, &format!("cannot open {path}: {e}")),
+                };
+                &store
+            } else {
+                loaded = match read_edge_list(path) {
+                    Ok(l) => l,
+                    Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+                };
+                &loaded.graph
             };
             if !strategy.supports_partition_count(*parts) {
                 return fail(
@@ -584,7 +819,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             let ctx = PartitionContext::new(*parts)
                 .with_seed(*seed)
                 .with_threads(*threads);
-            let outcome = strategy.build().partition(&loaded.graph, &ctx);
+            let outcome = strategy.build().partition(graph, &ctx);
             let report = IngressReport::from_outcome(strategy.label(), &outcome, *parts);
             let mut t = Table::new(
                 format!("{} over {parts} partitions", strategy.label()),
@@ -603,6 +838,22 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                 report.volumes.mirrors_created.to_string(),
             ]);
             t.row(vec!["ingress passes".into(), report.passes.to_string()]);
+            if graph.source_kind() != "memory" {
+                t.row(vec![
+                    "source".into(),
+                    format!(
+                        "{} ({})",
+                        graph.source_kind(),
+                        gp_cluster::table::fmt_bytes(graph.storage_bytes().unwrap_or(0) as f64)
+                    ),
+                ]);
+                if let Some(rss) = gp_telemetry::peak_rss_bytes() {
+                    t.row(vec![
+                        "peak RSS".into(),
+                        gp_cluster::table::fmt_bytes(rss as f64),
+                    ]);
+                }
+            }
             writeln!(out, "{t}")?;
             if let Some(dest) = dest {
                 if let Err(e) = gp_partition::save_assignment(&outcome.assignment, dest) {
@@ -1180,6 +1431,7 @@ mod tests {
         let (code, text) = run_to_string(&Command::Generate {
             dataset: Dataset::RoadNetCa,
             scale: 0.05,
+            edges: None,
             seed: 3,
             out: Some(dest.clone()),
         });
@@ -1534,5 +1786,182 @@ mod tests {
         });
         assert_eq!(code, 2);
         assert!(text.contains("cannot run on 9 partitions"), "{text}");
+    }
+
+    #[test]
+    fn parse_size_accepts_decimal_suffixes() {
+        assert_eq!(parse_size("100"), Ok(100));
+        assert_eq!(parse_size("10K"), Ok(10_000));
+        assert_eq!(parse_size("10M"), Ok(10_000_000));
+        assert_eq!(parse_size("1.5M"), Ok(1_500_000));
+        assert_eq!(parse_size("2G"), Ok(2_000_000_000));
+        assert_eq!(parse_size("0.5k"), Ok(500));
+        assert!(parse_size("0").is_err());
+        assert!(parse_size("-5M").is_err());
+        assert!(parse_size("nope").is_err());
+        assert!(parse_size("99999G").is_err());
+    }
+
+    #[test]
+    fn parse_generate_with_edges() {
+        let cmd = parse_ok(&["generate", "LiveJournal", "--edges", "10K", "--seed", "5"]);
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: Dataset::LiveJournal,
+                scale: 1.0,
+                edges: Some(10_000),
+                seed: 5,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_store_commands() {
+        let cmd = parse_ok(&[
+            "store",
+            "build",
+            "powerlaw",
+            "-o",
+            "s.gps",
+            "--edges",
+            "1M",
+            "--vertices",
+            "50K",
+            "--seed",
+            "9",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::StoreBuild {
+                source: StoreSource::PowerLaw,
+                out: "s.gps".into(),
+                scale: 1.0,
+                edges: Some(1_000_000),
+                vertices: Some(50_000),
+                seed: 9,
+            }
+        );
+        let cmd = parse_ok(&["store", "build", "road-net-CA", "-o", "ca.gps"]);
+        assert_eq!(
+            cmd,
+            Command::StoreBuild {
+                source: StoreSource::Dataset(Dataset::RoadNetCa),
+                out: "ca.gps".into(),
+                scale: 1.0,
+                edges: None,
+                vertices: None,
+                seed: 42,
+            }
+        );
+        assert_eq!(
+            parse_ok(&["store", "info", "s.gps"]),
+            Command::StoreInfo {
+                path: "s.gps".into()
+            }
+        );
+        assert_eq!(
+            parse_ok(&["store", "verify", "s.gps"]),
+            Command::StoreVerify {
+                path: "s.gps".into()
+            }
+        );
+        let parse_strs = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse(&v)
+        };
+        assert!(
+            parse_strs(&["store", "build", "powerlaw"]).is_err(),
+            "-o required"
+        );
+        assert!(parse_strs(&["store", "explode", "s.gps"]).is_err());
+        assert!(parse_strs(&["store"]).is_err());
+    }
+
+    #[test]
+    fn store_build_info_verify_round_trip() {
+        let dir = std::env::temp_dir().join("distgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.gps").to_string_lossy().to_string();
+        let (code, text) = run_to_string(&Command::StoreBuild {
+            source: StoreSource::PowerLaw,
+            out: path.clone(),
+            scale: 1.0,
+            edges: Some(20_000),
+            vertices: Some(2_000),
+            seed: 7,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("20000 edges"), "{text}");
+
+        let (code, text) = run_to_string(&Command::StoreInfo { path: path.clone() });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("bytes/edge"), "{text}");
+
+        let (code, text) = run_to_string(&Command::StoreVerify { path: path.clone() });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.starts_with("ok:"), "{text}");
+
+        // Corrupt one adjacency byte: verify must fail with exit code 2.
+        let broken = dir
+            .join("roundtrip-broken.gps")
+            .to_string_lossy()
+            .to_string();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&broken, bytes).unwrap();
+        let (code, text) = run_to_string(&Command::StoreVerify { path: broken });
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("corrupt"), "{text}");
+    }
+
+    #[test]
+    fn gps_partition_matches_in_memory() {
+        let dir = std::env::temp_dir().join("distgraph-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gps = dir.join("stream-eq.gps").to_string_lossy().to_string();
+        let (code, text) = run_to_string(&Command::StoreBuild {
+            source: StoreSource::Dataset(Dataset::LiveJournal),
+            out: gps.clone(),
+            scale: 0.05,
+            edges: None,
+            vertices: None,
+            seed: 11,
+        });
+        assert_eq!(code, 0, "{text}");
+
+        // CLI partition of the .gps store, assignment saved to disk.
+        let streamed_out = dir
+            .join("stream-eq-parts.txt")
+            .to_string_lossy()
+            .to_string();
+        let (code, text) = run_to_string(&Command::Partition {
+            path: gps.clone(),
+            strategy: Strategy::Hdrf,
+            parts: 8,
+            seed: 3,
+            threads: 2,
+            out: Some(streamed_out.clone()),
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("store"), "source row expected: {text}");
+
+        // Same edges partitioned from memory must agree byte-for-byte.
+        let store = GraphStore::open(&gps).unwrap();
+        let in_memory = store.to_edge_list();
+        let ctx = PartitionContext::new(8).with_seed(3).with_threads(2);
+        let outcome = Strategy::Hdrf.build().partition(&in_memory, &ctx);
+        let memory_out = dir
+            .join("memory-eq-parts.txt")
+            .to_string_lossy()
+            .to_string();
+        gp_partition::save_assignment(&outcome.assignment, &memory_out).unwrap();
+        assert_eq!(
+            std::fs::read(&streamed_out).unwrap(),
+            std::fs::read(&memory_out).unwrap(),
+            "streamed .gps partition must match the in-memory assignment"
+        );
     }
 }

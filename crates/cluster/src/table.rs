@@ -120,16 +120,33 @@ pub fn fmt_bytes(bytes: f64) -> String {
     format!("{v:.2} {}", UNITS[u])
 }
 
-/// Parse a [`fmt_bytes`]-formatted string back into a byte count. Returns
-/// `None` for anything that isn't `<number> <unit>` with a known unit.
+/// Parse a byte-count string back into a byte count. Accepts both the
+/// spaced [`fmt_bytes`] forms (`"1.50 GiB"`) and compact short forms with a
+/// fractional value (`"1.5G"`, `"0.5M"`, `"512K"`, `"100"`, `"2TB"`).
+/// Returns `None` for unknown units or malformed numbers.
 pub fn parse_bytes(text: &str) -> Option<f64> {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
-    let (value, unit) = text.trim().rsplit_once(' ')?;
-    let scale = UNITS
-        .iter()
-        .position(|u| *u == unit)
-        .map(|p| 1024.0f64.powi(p as i32))?;
-    value.parse::<f64>().ok().map(|v| v * scale)
+    let t = text.trim();
+    if let Some((value, unit)) = t.rsplit_once(' ') {
+        let scale = UNITS
+            .iter()
+            .position(|u| *u == unit)
+            .map(|p| 1024.0f64.powi(p as i32))?;
+        return value.parse::<f64>().ok().map(|v| v * scale);
+    }
+    // Compact form: number with an optional single-letter (or `XB`) suffix.
+    let split = t.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(t.len());
+    let (num, suffix) = t.split_at(split);
+    let v = num.parse::<f64>().ok()?;
+    let scale = match suffix.to_ascii_uppercase().as_str() {
+        "" | "B" => 1.0,
+        "K" | "KB" | "KIB" => 1024.0,
+        "M" | "MB" | "MIB" => 1024.0f64.powi(2),
+        "G" | "GB" | "GIB" => 1024.0f64.powi(3),
+        "T" | "TB" | "TIB" => 1024.0f64.powi(4),
+        _ => return None,
+    };
+    Some(v * scale)
 }
 
 /// Format seconds adaptively (ms below 1 s).
@@ -190,6 +207,32 @@ mod tests {
         }
         assert_eq!(parse_bytes("12.00 QiB"), None);
         assert_eq!(parse_bytes("garbage"), None);
+    }
+
+    #[test]
+    fn parse_bytes_accepts_fractional_short_forms() {
+        assert_eq!(parse_bytes("1.5G"), Some(1.5 * 1024.0 * 1024.0 * 1024.0));
+        assert_eq!(parse_bytes("0.5M"), Some(512.0 * 1024.0));
+        assert_eq!(parse_bytes("512K"), Some(512.0 * 1024.0));
+        assert_eq!(parse_bytes("100"), Some(100.0));
+        assert_eq!(parse_bytes("100B"), Some(100.0));
+        assert_eq!(parse_bytes("2TB"), Some(2.0 * 1024.0f64.powi(4)));
+        assert_eq!(parse_bytes(" 1.5g "), Some(1.5 * 1024.0f64.powi(3)));
+        assert_eq!(parse_bytes("1.5Q"), None);
+        assert_eq!(parse_bytes("G"), None);
+        assert_eq!(parse_bytes("1..5G"), None);
+    }
+
+    #[test]
+    fn short_forms_round_trip_through_fmt_bytes() {
+        for text in ["1.5G", "0.5M", "512K", "3T"] {
+            let v = parse_bytes(text).unwrap();
+            let reparsed = parse_bytes(&fmt_bytes(v)).unwrap();
+            assert!(
+                (reparsed - v).abs() <= v * 0.005,
+                "{text}: {v} -> {reparsed}"
+            );
+        }
     }
 
     #[test]

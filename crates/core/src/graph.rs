@@ -290,6 +290,45 @@ impl CsrGraph {
         }
     }
 
+    /// Build from any edge source in two streaming counting passes —
+    /// identical layout to [`CsrGraph::from_edges`] over the same edges
+    /// (insertion order within each adjacency row), but never holds a
+    /// `Vec<Edge>`: peak extra memory is the CSR arrays themselves.
+    pub fn from_source(source: &dyn crate::source::StreamingEdges) -> Self {
+        let num_vertices = source.num_vertices();
+        let num_edges = source.num_edges();
+        let n = num_vertices as usize;
+        let mut out_counts = vec![0u64; n + 1];
+        let mut in_counts = vec![0u64; n + 1];
+        crate::source::for_each_edge(source, 0..num_edges, |e| {
+            out_counts[e.src.index() + 1] += 1;
+            in_counts[e.dst.index() + 1] += 1;
+        });
+        for i in 0..n {
+            out_counts[i + 1] += out_counts[i];
+            in_counts[i + 1] += in_counts[i];
+        }
+        let mut out_targets = vec![VertexId(0); num_edges];
+        let mut in_sources = vec![VertexId(0); num_edges];
+        let mut out_cursor = out_counts.clone();
+        let mut in_cursor = in_counts.clone();
+        crate::source::for_each_edge(source, 0..num_edges, |e| {
+            let oc = &mut out_cursor[e.src.index()];
+            out_targets[*oc as usize] = e.dst;
+            *oc += 1;
+            let ic = &mut in_cursor[e.dst.index()];
+            in_sources[*ic as usize] = e.src;
+            *ic += 1;
+        });
+        CsrGraph {
+            num_vertices,
+            out_offsets: out_counts,
+            out_targets,
+            in_offsets: in_counts,
+            in_sources,
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> u64 {

@@ -30,6 +30,7 @@ pub mod hash;
 pub mod ids;
 pub mod io;
 pub mod pset;
+pub mod source;
 pub mod stats;
 pub mod transform;
 
@@ -38,6 +39,7 @@ pub use graph::{CsrGraph, DegreeTable, Edge, EdgeList};
 pub use hash::{hash_canonical_edge, hash_directed_edge, hash_u64, hash_vertex, Splitmix64};
 pub use ids::{MachineId, PartitionId, VertexId};
 pub use pset::PartitionSet;
+pub use source::{collect_edge_list, for_each_edge, EdgeStreamIter, StreamingEdges};
 pub use stats::GraphStats;
 
 /// Convenient `Result` alias for fallible gp-core operations.

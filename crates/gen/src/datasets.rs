@@ -123,6 +123,36 @@ impl Dataset {
         }
     }
 
+    /// Approximate analogue edge count at `scale = 1.0`. The anchor for
+    /// [`scale_for_edges`]: asking for this many edges yields scale 1.
+    ///
+    /// [`scale_for_edges`]: Dataset::scale_for_edges
+    pub fn analogue_base_edges(self) -> u64 {
+        match self {
+            Dataset::RoadNetCa => 170_000,
+            Dataset::RoadNetUsa => 560_000,
+            Dataset::LiveJournal => 750_000,
+            Dataset::Enwiki2013 => 1_000_000,
+            Dataset::Twitter => 1_500_000,
+            Dataset::UkWeb => 1_200_000,
+        }
+    }
+
+    /// The `scale` value that makes `generate` produce roughly
+    /// `target_edges` edges (sizes are approximate: generators round lattice
+    /// sides and attachment counts).
+    pub fn scale_for_edges(self, target_edges: u64) -> f64 {
+        assert!(target_edges > 0, "target edge count must be positive");
+        target_edges as f64 / self.analogue_base_edges() as f64
+    }
+
+    /// Generate an analogue sized by edge count instead of abstract scale —
+    /// the `--edges` CLI knob. Equivalent to
+    /// `generate(scale_for_edges(target_edges), seed)`.
+    pub fn generate_with_edges(self, target_edges: u64, seed: u64) -> EdgeList {
+        self.generate(self.scale_for_edges(target_edges), seed)
+    }
+
     /// Generate the synthetic analogue at `scale` (1.0 = default mini sizes;
     /// 0.1 = smoke-test sizes). Deterministic per (dataset, scale, seed).
     ///
@@ -230,6 +260,20 @@ mod tests {
         let a = Dataset::Twitter.generate(0.1, 9);
         let b = Dataset::Twitter.generate(0.1, 9);
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn edge_targeting_lands_near_the_request() {
+        for d in [Dataset::LiveJournal, Dataset::RoadNetCa, Dataset::UkWeb] {
+            for target in [50_000u64, 300_000] {
+                let got = d.generate_with_edges(target, 2).num_edges() as f64;
+                let ratio = got / target as f64;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "{d}: asked {target}, got {got} (ratio {ratio:.2})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,8 @@
 pub mod analysis;
 pub mod datasets;
 pub mod generators;
+pub mod store_build;
+pub mod stream;
 
 pub use analysis::{classify, DegreeAnalysis, GraphClass};
 pub use datasets::{Dataset, DatasetSpec};
@@ -30,3 +32,5 @@ pub use generators::{
     barabasi_albert, barabasi_albert_reciprocal, bipartite, chung_lu, erdos_renyi, rmat,
     road_network, web_graph, BipartiteParams, RmatParams, RoadNetworkParams, WebGraphParams,
 };
+pub use store_build::{build_dataset_store, build_powerlaw_store};
+pub use stream::{PowerLawStream, PowerLawStreamParams};

@@ -17,7 +17,7 @@
 //! (`replicas`, masters, RF, counts) serve from that view; the bitsets stay
 //! available for O(1) membership/rank queries (`replica_set`).
 
-use gp_core::{hash_u64, Edge, EdgeList, PartitionId, PartitionSet, VertexId};
+use gp_core::{for_each_edge, hash_u64, Edge, PartitionId, PartitionSet, StreamingEdges, VertexId};
 use gp_par::ParConfig;
 
 /// An edge→partition assignment plus derived replication structure.
@@ -46,7 +46,7 @@ impl Assignment {
     /// §5.1.1) unless a strategy overrides them via
     /// [`Assignment::set_masters`].
     pub fn from_edge_partitions(
-        graph: &EdgeList,
+        graph: &dyn StreamingEdges,
         edge_partition: Vec<PartitionId>,
         num_partitions: u32,
         seed: u64,
@@ -66,7 +66,7 @@ impl Assignment {
     /// integer addition) are insensitive to chunk boundaries — so the result
     /// is byte-identical to the sequential build at any thread count.
     pub fn from_edge_partitions_par(
-        graph: &EdgeList,
+        graph: &dyn StreamingEdges,
         edge_partition: Vec<PartitionId>,
         num_partitions: u32,
         seed: u64,
@@ -81,15 +81,15 @@ impl Assignment {
         let build_shard = |range: std::ops::Range<usize>| {
             let mut sets: Vec<PartitionSet> = vec![PartitionSet::new(); n];
             let mut edge_counts = vec![0u64; num_partitions as usize];
-            for (e, &p) in graph.edges()[range.clone()]
-                .iter()
-                .zip(&edge_partition[range])
-            {
+            let mut i = range.start;
+            for_each_edge(graph, range, |e| {
+                let p = edge_partition[i];
+                i += 1;
                 debug_assert!(p.0 < num_partitions, "partition {p} out of range");
                 edge_counts[p.index()] += 1;
                 sets[e.src.index()].insert(p.0);
                 sets[e.dst.index()].insert(p.0);
-            }
+            });
             (sets, edge_counts)
         };
         let (replica_sets, edge_counts) = if par.is_parallel() {
@@ -340,12 +340,13 @@ impl BalanceReport {
 /// Convenience: partition every edge with a pure function of the edge.
 /// Used by the stateless hash strategies.
 pub fn assign_stateless(
-    graph: &EdgeList,
+    graph: &dyn StreamingEdges,
     num_partitions: u32,
     seed: u64,
     mut f: impl FnMut(Edge) -> PartitionId,
 ) -> Assignment {
-    let parts: Vec<PartitionId> = graph.edges().iter().map(|&e| f(e)).collect();
+    let mut parts: Vec<PartitionId> = Vec::with_capacity(graph.num_edges());
+    for_each_edge(graph, 0..graph.num_edges(), |e| parts.push(f(e)));
     Assignment::from_edge_partitions(graph, parts, num_partitions, seed)
 }
 
@@ -353,7 +354,7 @@ pub fn assign_stateless(
 /// chunk through the pure assignment function; per-chunk results concatenate
 /// in chunk order, reproducing the sequential stream exactly.
 pub fn assign_stateless_par(
-    graph: &EdgeList,
+    graph: &dyn StreamingEdges,
     num_partitions: u32,
     seed: u64,
     par: &ParConfig,
@@ -361,9 +362,11 @@ pub fn assign_stateless_par(
 ) -> Assignment {
     let mut parts: Vec<PartitionId> = vec![PartitionId(0); graph.num_edges()];
     gp_par::fill_chunks(par, &mut parts, |_, range, out| {
-        for (slot, &e) in out.iter_mut().zip(&graph.edges()[range]) {
-            *slot = f(e);
-        }
+        let mut slot = 0usize;
+        for_each_edge(graph, range, |e| {
+            out[slot] = f(e);
+            slot += 1;
+        });
     });
     Assignment::from_edge_partitions_par(graph, parts, num_partitions, seed, par)
 }
@@ -371,6 +374,7 @@ pub fn assign_stateless_par(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gp_core::EdgeList;
 
     fn tiny() -> EdgeList {
         EdgeList::from_pairs(vec![(0, 1), (1, 2), (2, 0), (0, 3)])

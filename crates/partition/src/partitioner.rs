@@ -9,7 +9,7 @@
 //! that: stateless strategies ignore it, stateful ones shard their state.
 
 use crate::assignment::Assignment;
-use gp_core::EdgeList;
+use gp_core::StreamingEdges;
 use gp_par::ParConfig;
 use gp_telemetry::TelemetrySink;
 
@@ -141,17 +141,39 @@ pub trait Partitioner {
     /// Short name as used in the paper's figures (e.g. `"HDRF"`).
     fn name(&self) -> &'static str;
 
-    /// Partition the graph's edges into `ctx.num_partitions` parts.
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome;
+    /// Partition the source's edges into `ctx.num_partitions` parts. Any
+    /// [`StreamingEdges`] source works — an in-memory `EdgeList` (which
+    /// coerces at every historical call site) or a mapped `gp-store` file —
+    /// and the outcome depends only on the edge sequence, never on how it
+    /// is stored.
+    fn partition(&mut self, graph: &dyn StreamingEdges, ctx: &PartitionContext)
+        -> PartitionOutcome;
 }
 
 /// Split `total` items into per-loader chunk lengths (mirrors
-/// [`EdgeList::blocks`]); used by strategies to attribute work to loaders.
+/// `EdgeList::blocks`); used by strategies to attribute work to loaders and
+/// to bound each simulated loader's slice of the stream.
 pub fn loader_chunks(total: usize, loaders: u32) -> Vec<usize> {
     let l = loaders as usize;
     let base = total / l;
     let rem = total % l;
     (0..l).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// The same split as [`loader_chunks`], as edge-index ranges into the
+/// stream. Block boundaries are a pure function of `(total, loaders)` — the
+/// determinism anchor that makes loader-shard results independent of both
+/// thread count and edge storage.
+pub fn loader_ranges(total: usize, loaders: u32) -> Vec<std::ops::Range<usize>> {
+    let mut start = 0usize;
+    loader_chunks(total, loaders)
+        .into_iter()
+        .map(|len| {
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .collect()
 }
 
 #[cfg(test)]

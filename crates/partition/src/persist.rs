@@ -20,7 +20,7 @@
 //! ```
 
 use crate::assignment::Assignment;
-use gp_core::{CoreError, EdgeList, PartitionId, Result, VertexId};
+use gp_core::{CoreError, PartitionId, Result, StreamingEdges, VertexId};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -54,7 +54,7 @@ pub fn save_assignment(assignment: &Assignment, path: impl AsRef<Path>) -> Resul
 
 /// Deserialize an assignment against the edge stream it was computed for.
 /// Fails if the stream's shape (edge/vertex counts) does not match.
-pub fn read_assignment<R: Read>(graph: &EdgeList, reader: R) -> Result<Assignment> {
+pub fn read_assignment<R: Read>(graph: &dyn StreamingEdges, reader: R) -> Result<Assignment> {
     let mut lines = BufReader::new(reader).lines();
     let header = lines.next().transpose()?.unwrap_or_default();
     if header.trim() != MAGIC {
@@ -170,7 +170,7 @@ pub fn read_assignment<R: Read>(graph: &EdgeList, reader: R) -> Result<Assignmen
 }
 
 /// Load an assignment from a file.
-pub fn load_assignment(graph: &EdgeList, path: impl AsRef<Path>) -> Result<Assignment> {
+pub fn load_assignment(graph: &dyn StreamingEdges, path: impl AsRef<Path>) -> Result<Assignment> {
     read_assignment(graph, std::fs::File::open(path)?)
 }
 
@@ -179,6 +179,7 @@ mod tests {
     use super::*;
     use crate::partitioner::{PartitionContext, Partitioner};
     use crate::strategies::{Hybrid, Random};
+    use gp_core::EdgeList;
 
     fn graph() -> EdgeList {
         gp_gen::erdos_renyi(200, 1_500, 3)

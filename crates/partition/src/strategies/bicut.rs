@@ -14,7 +14,7 @@
 use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
-use gp_core::{hash_vertex, EdgeList, PartitionId, VertexId};
+use gp_core::{for_each_edge, hash_vertex, PartitionId, StreamingEdges, VertexId};
 use gp_par::ParConfig;
 
 /// Which side of the bipartite graph to co-locate (the "favorite" side).
@@ -52,15 +52,15 @@ impl BiCut {
     /// Auto-detection: count distinct sources vs distinct destinations.
     /// Parallel chunks produce per-chunk endpoint bitsets merged by OR —
     /// order-independent, so the verdict never depends on the thread count.
-    fn detect(graph: &EdgeList, par: &ParConfig) -> FavoriteSide {
+    fn detect(graph: &dyn StreamingEdges, par: &ParConfig) -> FavoriteSide {
         let n = graph.num_vertices() as usize;
         let shards = gp_par::map_chunks(par, graph.num_edges(), |_, range| {
             let mut is_src = vec![false; n];
             let mut is_dst = vec![false; n];
-            for e in &graph.edges()[range] {
+            for_each_edge(graph, range, |e| {
                 is_src[e.src.index()] = true;
                 is_dst[e.dst.index()] = true;
-            }
+            });
             (is_src, is_dst)
         });
         let mut is_src = vec![false; n];
@@ -88,7 +88,11 @@ impl Partitioner for BiCut {
         "BiCut"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let side = match self.favorite {
             FavoriteSide::Auto => Self::detect(graph, &ctx.par),
             explicit => explicit,
@@ -133,7 +137,7 @@ impl Partitioner for BiCut {
                 0
             },
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -142,6 +146,7 @@ impl Partitioner for BiCut {
 mod tests {
     use super::*;
     use crate::strategies::{Grid, Hybrid, Random};
+    use gp_core::EdgeList;
     use gp_gen::{bipartite, BipartiteParams};
 
     fn graph() -> EdgeList {

@@ -13,7 +13,7 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome, Partitioner};
-use gp_core::{EdgeList, PartitionId};
+use gp_core::{PartitionId, StreamingEdges};
 
 /// Gemini-style chunking partitioner.
 #[derive(Debug, Default, Clone)]
@@ -24,7 +24,11 @@ impl Partitioner for Chunking {
         "Chunking"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let m = graph.num_edges();
         let p = ctx.num_partitions as usize;
         let parts: Vec<PartitionId> = gp_par::map_chunks(&ctx.par, m, |_, range| {
@@ -54,7 +58,7 @@ impl Partitioner for Chunking {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -63,7 +67,7 @@ impl Partitioner for Chunking {
 mod tests {
     use super::*;
     use crate::strategies::{Grid, Random};
-    use gp_core::VertexId;
+    use gp_core::{EdgeList, VertexId};
 
     fn ctx(p: u32) -> PartitionContext {
         PartitionContext::new(p)

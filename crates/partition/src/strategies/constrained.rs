@@ -17,7 +17,7 @@
 use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
-use gp_core::{hash_canonical_edge, hash_vertex, EdgeList, PartitionId};
+use gp_core::{hash_canonical_edge, hash_vertex, PartitionId, StreamingEdges};
 
 /// Grid (constrained) partitioning.
 #[derive(Debug, Clone, Default)]
@@ -66,7 +66,11 @@ impl Partitioner for Grid {
         "Grid"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         if !self.resilient {
             assert!(
@@ -97,7 +101,7 @@ impl Partitioner for Grid {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -203,7 +207,11 @@ impl Partitioner for Pds {
         "PDS"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let n = ctx.num_partitions;
         let p = Pds::order_for(n).unwrap_or_else(|| {
             panic!("PDS requires p^2+p+1 machines for prime p (7, 13, 31, 57, ...), got {n}")
@@ -227,7 +235,7 @@ impl Partitioner for Pds {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }

@@ -9,7 +9,7 @@
 use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
-use gp_core::{hash_canonical_edge, hash_directed_edge, hash_vertex, EdgeList, PartitionId};
+use gp_core::{hash_canonical_edge, hash_directed_edge, hash_vertex, PartitionId, StreamingEdges};
 
 /// PowerGraph's `Random` / GraphX's `CanonicalRandomVertexCut` (§5.2.1,
 /// §7.2.1): hash of the edge ignoring direction, so `(u,v)` and `(v,u)`
@@ -22,7 +22,11 @@ impl Partitioner for Random {
         "Random"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_canonical_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
@@ -33,7 +37,7 @@ impl Partitioner for Random {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -50,7 +54,11 @@ impl Partitioner for AsymmetricRandom {
         "Assym-Rand"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_directed_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
@@ -61,7 +69,7 @@ impl Partitioner for AsymmetricRandom {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -76,7 +84,11 @@ impl Partitioner for OneD {
         "1D"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_vertex(e.src, ctx.seed) % p as u64) as u32)
@@ -87,7 +99,7 @@ impl Partitioner for OneD {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -104,7 +116,11 @@ impl Partitioner for OneDTarget {
         "1D-Target"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
             PartitionId((hash_vertex(e.dst, ctx.seed) % p as u64) as u32)
@@ -115,7 +131,7 @@ impl Partitioner for OneDTarget {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -140,7 +156,11 @@ impl Partitioner for TwoD {
         "2D"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let side = Self::side(p) as u64;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
@@ -154,7 +174,7 @@ impl Partitioner for TwoD {
             passes: 1,
             state_bytes: 0,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -162,7 +182,7 @@ impl Partitioner for TwoD {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gp_core::{Edge, VertexId};
+    use gp_core::{Edge, EdgeList, VertexId};
 
     fn graph_with_reversals() -> EdgeList {
         // Every edge and its reversal.

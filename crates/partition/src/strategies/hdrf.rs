@@ -19,9 +19,9 @@
 //! Like Oblivious, distributed ingress gives each loader its own state.
 
 use crate::assignment::Assignment;
-use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
+use crate::partitioner::{loader_ranges, PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::oblivious::GreedyState;
-use gp_core::{Edge, EdgeList, PartitionId};
+use gp_core::{for_each_edge, Edge, PartitionId, StreamingEdges};
 
 /// HDRF streaming partitioner with tunable balance weight `λ`.
 #[derive(Debug, Clone)]
@@ -145,18 +145,21 @@ impl Partitioner for Hdrf {
         "HDRF"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
-        let blocks = graph.blocks(ctx.num_loaders as usize);
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
+        let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
         let lambda = self.lambda;
         // Per-loader state is independent; run the loaders on the bounded
         // ordered pool. As with Oblivious, block boundaries and per-block
         // seeds depend only on `num_loaders`, so any `--threads N` yields
         // byte-identical placements.
         let tasks: Vec<_> = blocks
-            .iter()
+            .into_iter()
             .enumerate()
             .map(|(i, block)| {
-                let block = *block;
                 move || {
                     let mut loader = HdrfLoader::new(
                         ctx.num_partitions,
@@ -165,7 +168,7 @@ impl Partitioner for Hdrf {
                         lambda,
                     );
                     let mut parts = Vec::with_capacity(block.len());
-                    for &e in block {
+                    for_each_edge(graph, block, |e| {
                         let candidates = loader.greedy.replicas(e.src).len()
                             + loader.greedy.replicas(e.dst).len();
                         loader.greedy.work += ctx.cost.parse_edge
@@ -174,7 +177,7 @@ impl Partitioner for Hdrf {
                         let p = loader.choose(e);
                         loader.greedy.commit(e, p);
                         parts.push(p);
-                    }
+                    });
                     (parts, loader.greedy.work, loader.state_bytes())
                 }
             })
@@ -200,7 +203,7 @@ impl Partitioner for Hdrf {
             passes: 1,
             state_bytes,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }

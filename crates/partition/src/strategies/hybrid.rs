@@ -22,7 +22,7 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome, Partitioner};
-use gp_core::{hash_vertex, CsrGraph, EdgeList, PartitionId, VertexId};
+use gp_core::{for_each_edge, hash_vertex, CsrGraph, PartitionId, StreamingEdges, VertexId};
 
 /// The default high-degree threshold (θ) used by the paper (§6.2.1).
 pub const DEFAULT_THRESHOLD: u32 = 100;
@@ -53,7 +53,7 @@ impl Hybrid {
     /// Hybrid-Ginger (which then perturbs the homes).
     fn assign(
         &self,
-        graph: &EdgeList,
+        graph: &dyn StreamingEdges,
         ctx: &PartitionContext,
     ) -> (Vec<PartitionId>, Vec<PartitionId>, Vec<u32>) {
         let p = ctx.num_partitions as u64;
@@ -64,9 +64,9 @@ impl Hybrid {
         let mut in_deg = vec![0u32; n];
         for shard in gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
             let mut counts = vec![0u32; n];
-            for e in &graph.edges()[range] {
+            for_each_edge(graph, range, |e| {
                 counts[e.dst.index()] += 1;
-            }
+            });
             counts
         }) {
             for (total, c) in in_deg.iter_mut().zip(shard) {
@@ -86,16 +86,15 @@ impl Hybrid {
         // Pass 2: final placement using actual degrees (pure per-edge map).
         let parts: Vec<PartitionId> =
             gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
-                graph.edges()[range]
-                    .iter()
-                    .map(|e| {
-                        if in_deg[e.dst.index()] > self.threshold {
-                            PartitionId((hash_vertex(e.src, ctx.seed) % p) as u32)
-                        } else {
-                            homes[e.dst.index()]
-                        }
-                    })
-                    .collect::<Vec<_>>()
+                let mut out = Vec::with_capacity(range.len());
+                for_each_edge(graph, range, |e| {
+                    out.push(if in_deg[e.dst.index()] > self.threshold {
+                        PartitionId((hash_vertex(e.src, ctx.seed) % p) as u32)
+                    } else {
+                        homes[e.dst.index()]
+                    });
+                });
+                out
             })
             .into_iter()
             .flatten()
@@ -121,7 +120,7 @@ impl Hybrid {
             .collect()
     }
 
-    fn two_pass_work(graph: &EdgeList, ctx: &PartitionContext) -> Vec<f64> {
+    fn two_pass_work(graph: &dyn StreamingEdges, ctx: &PartitionContext) -> Vec<f64> {
         // Pass 1 (count) + pass 2 (reassign): both stream every edge.
         loader_chunks(graph.num_edges(), ctx.num_loaders)
             .into_iter()
@@ -129,7 +128,7 @@ impl Hybrid {
             .collect()
     }
 
-    fn base_state_bytes(graph: &EdgeList, ctx: &PartitionContext) -> u64 {
+    fn base_state_bytes(graph: &dyn StreamingEdges, ctx: &PartitionContext) -> u64 {
         // Per-machine overhead of the multi-pass ingress (§6.4.2): the full
         // degree-counter table plus this loader's share of the edge stream,
         // buffered across the reassignment pass.
@@ -142,7 +141,11 @@ impl Partitioner for Hybrid {
         "Hybrid"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let (parts, homes, _) = self.assign(graph, ctx);
         let mut assignment = Assignment::from_edge_partitions_par(
             graph,
@@ -159,7 +162,7 @@ impl Partitioner for Hybrid {
             passes: 2,
             state_bytes: Self::base_state_bytes(graph, ctx),
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -191,7 +194,11 @@ impl Partitioner for HybridGinger {
         "H-Ginger"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
         let hybrid = Hybrid::with_threshold(self.threshold);
         let (_, mut homes, in_deg) = hybrid.assign(graph, ctx);
         let p = ctx.num_partitions as usize;
@@ -199,7 +206,7 @@ impl Partitioner for HybridGinger {
         let m = graph.num_edges() as f64;
 
         // Phase 3: Ginger refinement of low-degree vertex homes.
-        let csr = CsrGraph::from_edge_list(graph);
+        let csr = CsrGraph::from_source(graph);
         let mut vcount = vec![0u64; p]; // vertices per partition
         let mut ecount = vec![0u64; p]; // in-edges homed per partition
         for v in 0..n {
@@ -251,16 +258,15 @@ impl Partitioner for HybridGinger {
         let p64 = ctx.num_partitions as u64;
         let parts: Vec<PartitionId> =
             gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
-                graph.edges()[range]
-                    .iter()
-                    .map(|e| {
-                        if in_deg[e.dst.index()] > self.threshold {
-                            PartitionId((hash_vertex(e.src, ctx.seed) % p64) as u32)
-                        } else {
-                            homes[e.dst.index()]
-                        }
-                    })
-                    .collect::<Vec<_>>()
+                let mut out = Vec::with_capacity(range.len());
+                for_each_edge(graph, range, |e| {
+                    out.push(if in_deg[e.dst.index()] > self.threshold {
+                        PartitionId((hash_vertex(e.src, ctx.seed) % p64) as u32)
+                    } else {
+                        homes[e.dst.index()]
+                    });
+                });
+                out
             })
             .into_iter()
             .flatten()
@@ -299,7 +305,7 @@ impl Partitioner for HybridGinger {
             passes: 3,
             state_bytes,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }
@@ -309,6 +315,7 @@ mod tests {
     use super::*;
     use crate::strategies::hash::Random;
     use crate::strategies::oblivious::Oblivious;
+    use gp_core::EdgeList;
 
     fn ctx(p: u32) -> PartitionContext {
         PartitionContext::new(p)

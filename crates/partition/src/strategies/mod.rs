@@ -18,6 +18,7 @@ pub use oblivious::Oblivious;
 
 use crate::ingress::IngressReport;
 use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome};
+use gp_core::StreamingEdges;
 
 /// Per-loader work for a single-pass stateless hash strategy: every loader
 /// parses and hash-assigns its block.
@@ -36,12 +37,20 @@ pub(crate) fn stateless_loader_work(total_edges: usize, ctx: &PartitionContext) 
 /// so untraced runs pay nothing.
 pub(crate) fn record_ingress_telemetry(
     strategy: &'static str,
+    graph: &dyn StreamingEdges,
     outcome: &PartitionOutcome,
     ctx: &PartitionContext,
 ) {
     let sink = &ctx.telemetry;
     if !sink.is_enabled() {
         return;
+    }
+    // Storage-source observability: only emitted for non-memory sources, so
+    // traces of in-memory runs (the golden files) stay byte-identical.
+    if graph.source_kind() != "memory" {
+        if let Some(bytes) = graph.storage_bytes() {
+            sink.counter_add("ingress.source_bytes", bytes);
+        }
     }
     let report = IngressReport::from_outcome(strategy, outcome, ctx.num_loaders);
     sink.counter_add(

@@ -20,8 +20,10 @@
 //! variant.
 
 use crate::assignment::Assignment;
-use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
-use gp_core::{Edge, EdgeList, PartitionId, PartitionSet, Splitmix64, VertexId};
+use crate::partitioner::{loader_ranges, PartitionContext, PartitionOutcome, Partitioner};
+use gp_core::{
+    for_each_edge, Edge, PartitionId, PartitionSet, Splitmix64, StreamingEdges, VertexId,
+};
 
 /// Oblivious greedy vertex-cut partitioner.
 #[derive(Debug, Default, Clone)]
@@ -181,18 +183,21 @@ impl Partitioner for Oblivious {
         "Oblivious"
     }
 
-    fn partition(&mut self, graph: &EdgeList, ctx: &PartitionContext) -> PartitionOutcome {
-        let blocks = graph.blocks(ctx.num_loaders as usize);
+    fn partition(
+        &mut self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
+        let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
         // Loaders are independent by design (each is "oblivious" to the
         // others), so they can run on real parallel threads. The determinism
         // unit is the *block* — block boundaries and per-block seeds depend
         // only on `num_loaders`, never on the thread count — so the bounded
         // ordered pool returns byte-identical results at any `--threads N`.
         let tasks: Vec<_> = blocks
-            .iter()
+            .into_iter()
             .enumerate()
             .map(|(i, block)| {
-                let block = *block;
                 move || {
                     let mut state = GreedyState::new(
                         ctx.num_partitions,
@@ -200,7 +205,7 @@ impl Partitioner for Oblivious {
                         ctx.seed ^ (0x0b11 + i as u64),
                     );
                     let mut parts = Vec::with_capacity(block.len());
-                    for &e in block {
+                    for_each_edge(graph, block, |e| {
                         let candidates = state.replicas(e.src).len() + state.replicas(e.dst).len();
                         state.work += ctx.cost.parse_edge
                             + ctx.cost.heuristic_base
@@ -208,7 +213,7 @@ impl Partitioner for Oblivious {
                         let p = oblivious_choose(&mut state, e);
                         state.commit(e, p);
                         parts.push(p);
-                    }
+                    });
                     (parts, state.work, state.state_bytes())
                 }
             })
@@ -234,7 +239,7 @@ impl Partitioner for Oblivious {
             passes: 1,
             state_bytes,
         };
-        super::record_ingress_telemetry(self.name(), &outcome, ctx);
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
         outcome
     }
 }

@@ -1,0 +1,42 @@
+//! # gp-store — compressed, memory-mapped graph storage
+//!
+//! A webgraph-style on-disk format (`.gps`) that lets the partitioning
+//! testbed work at the paper's scale regime on one machine: adjacency lists
+//! are gap-coded with LEB128 varints into a sorted compressed CSR blob, a
+//! sampled offset index gives O(1) vertex *and edge-index* seek, a fixed
+//! binary header carries magic/version/counts/checksums, and the whole file
+//! is memory-mapped read-only so loading is zero-copy and peak RSS during
+//! ingress stays bounded by the consumer's buffers — not the edge count.
+//!
+//! [`GraphStore`] implements `gp_core::StreamingEdges`, so every partitioner
+//! consumes a store through the same chunked parallel ingress as an
+//! in-memory `EdgeList`, byte-identically (the store's canonical `(src,
+//! dst)` order is the stream order).
+//!
+//! ```
+//! use gp_core::{EdgeList, StreamingEdges};
+//! use gp_store::{builder, GraphStore};
+//!
+//! let graph = EdgeList::from_pairs(vec![(2, 0), (0, 1), (1, 2), (2, 3)]);
+//! let mut bytes = Vec::new();
+//! builder::write_edge_list(std::io::Cursor::new(&mut bytes), &graph).unwrap();
+//! let store = GraphStore::open_bytes(bytes).unwrap();
+//! store.verify().unwrap();
+//! assert_eq!(store.num_edges(), 4);
+//! // Canonical order: sorted by (src, dst).
+//! assert_eq!(store.to_edge_list().edges()[0], gp_core::Edge::new(0u64, 1u64));
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod format;
+pub mod mmap;
+pub mod store;
+pub mod varint;
+
+pub use builder::{
+    write_edge_list, write_edge_list_to_path, write_sorted_edges, StoreBuilder, StoreStats,
+};
+pub use error::StoreError;
+pub use format::{Header, DEFAULT_INDEX_STRIDE, HEADER_LEN, MAGIC, VERSION};
+pub use store::{GraphStore, StoreInfo, VerifyReport};

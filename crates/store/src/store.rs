@@ -1,0 +1,307 @@
+//! The store reader: zero-copy view over a `.gps` file implementing
+//! [`StreamingEdges`], plus `info`/`verify` inspection used by the CLI.
+
+use crate::error::{corrupt, StoreError};
+use crate::format::{Fnv64, Header, HEADER_LEN, INDEX_ENTRY_LEN};
+use crate::mmap::Mapping;
+use crate::varint;
+use gp_core::{Edge, EdgeList, StreamingEdges, VertexId};
+use std::path::Path;
+
+/// Cheap metadata summary, printed by `store info`.
+#[derive(Debug, Clone)]
+pub struct StoreInfo {
+    /// Dense vertex-space size.
+    pub num_vertices: u64,
+    /// Total edges.
+    pub num_edges: u64,
+    /// Adjacency blob bytes.
+    pub data_len: u64,
+    /// Offset-index entries.
+    pub index_entries: u64,
+    /// Vertices per index entry.
+    pub index_stride: u32,
+    /// Total file length.
+    pub file_len: u64,
+    /// `"mmap"` or `"heap"` backing.
+    pub mapping: &'static str,
+}
+
+impl StoreInfo {
+    /// Compressed bytes per edge over the whole file.
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            return 0.0;
+        }
+        self.file_len as f64 / self.num_edges as f64
+    }
+
+    /// Compression ratio against an in-memory `Vec<Edge>` (16 bytes/edge).
+    pub fn ratio_vs_edge_list(&self) -> f64 {
+        if self.file_len == 0 {
+            return 0.0;
+        }
+        (self.num_edges as f64 * std::mem::size_of::<Edge>() as f64) / self.file_len as f64
+    }
+}
+
+/// Full-scan verification result, printed by `store verify`.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Vertices decoded.
+    pub num_vertices: u64,
+    /// Edges decoded (must match the header).
+    pub num_edges: u64,
+    /// Largest out-degree seen.
+    pub max_degree: u64,
+    /// Vertices with empty adjacency.
+    pub empty_vertices: u64,
+}
+
+/// A read-only `.gps` graph store. The adjacency blob stays on disk behind a
+/// private mapping; reads decode through it on demand, so opening a
+/// multi-gigabyte store costs a header parse, and ingress peak RSS is the
+/// consumer's buffers plus whatever pages the kernel keeps warm.
+pub struct GraphStore {
+    map: Mapping,
+    header: Header,
+}
+
+impl GraphStore {
+    /// Open and map a store file. Validates the header (magic, version,
+    /// header checksum, structural consistency with the file length); the
+    /// payload checksum is left to [`verify`](GraphStore::verify).
+    pub fn open(path: impl AsRef<Path>) -> Result<GraphStore, StoreError> {
+        let file = std::fs::File::open(path)?;
+        Self::from_mapping(Mapping::map_file(&file)?)
+    }
+
+    /// Open a store from an owned byte buffer — the in-memory form used by
+    /// tests and round-trip suites.
+    pub fn open_bytes(bytes: Vec<u8>) -> Result<GraphStore, StoreError> {
+        Self::from_mapping(Mapping::Heap(bytes))
+    }
+
+    fn from_mapping(map: Mapping) -> Result<GraphStore, StoreError> {
+        let header = Header::parse(&map)?;
+        if map.len() as u64 != header.file_len() {
+            return Err(corrupt(format!(
+                "file is {} bytes but the header implies {} (truncated or padded)",
+                map.len(),
+                header.file_len()
+            )));
+        }
+        if header.num_edges > 0 && header.index_entries == 0 {
+            return Err(corrupt("edges present but the offset index is empty"));
+        }
+        Ok(GraphStore { map, header })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    #[inline]
+    fn blob(&self) -> &[u8] {
+        &self.map[HEADER_LEN..HEADER_LEN + self.header.data_len as usize]
+    }
+
+    #[inline]
+    fn index_entry(&self, i: usize) -> (u64, u64) {
+        let base = HEADER_LEN + self.header.data_len as usize + i * INDEX_ENTRY_LEN;
+        let off = u64::from_le_bytes(self.map[base..base + 8].try_into().unwrap());
+        let first = u64::from_le_bytes(self.map[base + 8..base + 16].try_into().unwrap());
+        (off, first)
+    }
+
+    /// Metadata summary without touching the blob.
+    pub fn info(&self) -> StoreInfo {
+        StoreInfo {
+            num_vertices: self.header.num_vertices,
+            num_edges: self.header.num_edges,
+            data_len: self.header.data_len,
+            index_entries: self.header.index_entries,
+            index_stride: self.header.index_stride,
+            file_len: self.map.len() as u64,
+            mapping: self.map.kind(),
+        }
+    }
+
+    /// Full integrity scan: payload checksum, then a structural decode of
+    /// every adjacency record checking sortedness, target bounds, offset
+    /// index agreement, exact blob consumption, and the header edge count.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let payload = &self.map[HEADER_LEN..];
+        let mut fnv = Fnv64::new();
+        fnv.update(payload);
+        if fnv.finish() != self.header.checksum {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        let blob = self.blob();
+        let stride = u64::from(self.header.index_stride);
+        let mut pos = 0usize;
+        let mut edges = 0u64;
+        let mut max_degree = 0u64;
+        let mut empty_vertices = 0u64;
+        for v in 0..self.header.num_vertices {
+            if v % stride == 0 {
+                let (off, first) = self.index_entry((v / stride) as usize);
+                if off != pos as u64 || first != edges {
+                    return Err(corrupt(format!(
+                        "index entry for vertex {v} points at (byte {off}, edge {first}) \
+                         but decode reached (byte {pos}, edge {edges})"
+                    )));
+                }
+            }
+            let d = varint::decode(blob, &mut pos)?;
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                empty_vertices += 1;
+                continue;
+            }
+            let mut t = varint::decode(blob, &mut pos)?;
+            for _ in 1..d {
+                t = t
+                    .checked_add(varint::decode(blob, &mut pos)?)
+                    .ok_or_else(|| corrupt(format!("target overflow in vertex {v}")))?;
+            }
+            if t >= self.header.num_vertices {
+                return Err(corrupt(format!(
+                    "vertex {v} has target {t} outside vertex space 0..{}",
+                    self.header.num_vertices
+                )));
+            }
+            edges += d;
+        }
+        if pos != blob.len() {
+            return Err(corrupt(format!(
+                "adjacency blob has {} trailing bytes after the last record",
+                blob.len() - pos
+            )));
+        }
+        if edges != self.header.num_edges {
+            return Err(corrupt(format!(
+                "decoded {edges} edges but the header declares {}",
+                self.header.num_edges
+            )));
+        }
+        Ok(VerifyReport {
+            num_vertices: self.header.num_vertices,
+            num_edges: edges,
+            max_degree,
+            empty_vertices,
+        })
+    }
+
+    /// Decode the adjacency of one vertex into `out` (cleared first).
+    /// O(stride) seek plus the record decode.
+    pub fn adjacency(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        assert!(v.0 < self.header.num_vertices, "vertex {v} out of range");
+        let blob = self.blob();
+        let stride = u64::from(self.header.index_stride);
+        let (off, _) = self.index_entry((v.0 / stride) as usize);
+        let mut pos = off as usize;
+        let mut cur = v.0 / stride * stride;
+        loop {
+            let d = varint::decode(blob, &mut pos).expect("corrupt store (run `store verify`)")
+                as usize;
+            if cur == v.0 {
+                let mut t = 0u64;
+                for k in 0..d {
+                    let delta =
+                        varint::decode(blob, &mut pos).expect("corrupt store (run `store verify`)");
+                    t = if k == 0 { delta } else { t + delta };
+                    out.push(VertexId(t));
+                }
+                return;
+            }
+            varint::skip(blob, &mut pos, d).expect("corrupt store (run `store verify`)");
+            cur += 1;
+        }
+    }
+
+    /// Materialize the full edge list in canonical `(src, dst)` order — the
+    /// in-memory reference for byte-identity tests against streamed ingress.
+    pub fn to_edge_list(&self) -> EdgeList {
+        gp_core::collect_edge_list(self)
+    }
+}
+
+impl StreamingEdges for GraphStore {
+    fn num_vertices(&self) -> u64 {
+        self.header.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.header.num_edges as usize
+    }
+
+    /// Seek to edge index `start` via the offset index (binary search on the
+    /// `first_edge` column, then at most `stride` record skips) and decode
+    /// forward. Stateless and thread-safe: concurrent loaders decode
+    /// disjoint ranges of the same mapping.
+    fn read_edges(&self, start: usize, buf: &mut [Edge]) -> usize {
+        if buf.is_empty() || start >= self.num_edges() {
+            return 0;
+        }
+        let blob = self.blob();
+        let entries = self.header.index_entries as usize;
+        // Greatest index entry whose first_edge <= start; entry 0 always
+        // qualifies (first_edge == 0).
+        let mut lo = 0usize;
+        let mut hi = entries;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.index_entry(mid).1 as usize <= start {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let entry = lo - 1;
+        let (off, first_edge) = self.index_entry(entry);
+        let mut pos = off as usize;
+        let mut edge_cursor = first_edge as usize;
+        let mut v = entry as u64 * u64::from(self.header.index_stride);
+        let mut filled = 0usize;
+        let corrupt_msg = "corrupt store (run `store verify`)";
+        while filled < buf.len() && v < self.header.num_vertices {
+            let d = varint::decode(blob, &mut pos).expect(corrupt_msg) as usize;
+            if d == 0 {
+                v += 1;
+                continue;
+            }
+            if edge_cursor + d <= start {
+                varint::skip(blob, &mut pos, d).expect(corrupt_msg);
+                edge_cursor += d;
+                v += 1;
+                continue;
+            }
+            let mut t = 0u64;
+            for k in 0..d {
+                let delta = varint::decode(blob, &mut pos).expect(corrupt_msg);
+                t = if k == 0 { delta } else { t + delta };
+                if edge_cursor + k >= start {
+                    if filled == buf.len() {
+                        return filled;
+                    }
+                    buf[filled] = Edge::new(v, t);
+                    filled += 1;
+                }
+            }
+            edge_cursor += d;
+            v += 1;
+        }
+        filled
+    }
+
+    fn source_kind(&self) -> &'static str {
+        "store"
+    }
+
+    fn storage_bytes(&self) -> Option<u64> {
+        Some(self.map.len() as u64)
+    }
+}

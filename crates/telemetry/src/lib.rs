@@ -76,3 +76,36 @@ macro_rules! machine_span {
         }
     };
 }
+
+/// Peak resident-set size of this process in bytes, read from the kernel's
+/// `VmHWM` high-water mark in `/proc/self/status`. This is *real* memory,
+/// not simulated — the out-of-core experiments use it to prove a streamed
+/// ingress run stayed within its budget. Returns `None` on platforms
+/// without procfs.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod rss_tests {
+    #[test]
+    fn peak_rss_is_positive_and_plausible() {
+        let rss = super::peak_rss_bytes().expect("procfs available on linux");
+        assert!(rss > 1024 * 1024, "peak RSS {rss} below 1 MiB?");
+        assert!(rss < 1 << 40, "peak RSS {rss} above 1 TiB?");
+    }
+}

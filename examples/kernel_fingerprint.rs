@@ -10,10 +10,49 @@
 
 use distgraph::apps::PageRank;
 use distgraph::cluster::ClusterSpec;
-use distgraph::core::VertexId;
+use distgraph::core::{StreamingEdges, VertexId};
 use distgraph::engine::{EngineConfig, SyncGas};
 use distgraph::partition::strategies::{BiCut, Chunking};
-use distgraph::partition::{PartitionContext, Partitioner, Strategy};
+use distgraph::partition::{PartitionContext, PartitionOutcome, Partitioner, Strategy};
+
+/// Order-sensitive FNV-style digest over the full observable assignment
+/// state: edge partitions, sorted replica lists, masters, counts, RF,
+/// mirrors, loader work, and state bytes.
+fn assignment_digest(out: &PartitionOutcome, num_vertices: u64) -> u64 {
+    let a = &out.assignment;
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for p in a.edge_partitions() {
+        mix(p.0 as u64);
+    }
+    for v in 0..num_vertices {
+        let v = VertexId(v);
+        mix(0xfeed);
+        for &r in a.replicas(v) {
+            mix(r as u64);
+        }
+        mix(a.master_of(v).0 as u64);
+    }
+    for &c in a.edge_counts() {
+        mix(c);
+    }
+    mix((a.replication_factor() * 1e9) as u64);
+    mix(a.total_mirrors());
+    for c in a.replica_counts() {
+        mix(c);
+    }
+    for c in a.master_counts() {
+        mix(c);
+    }
+    for &w in &out.loader_work {
+        mix((w * 1e9) as u64);
+    }
+    mix(out.state_bytes);
+    h
+}
 
 fn main() {
     let graphs = vec![
@@ -42,50 +81,41 @@ fn main() {
     partitioners.push(("Chunking".into(), Box::new(Chunking), 9));
 
     for (gname, graph) in &graphs {
+        // The same edges as a compressed in-memory `.gps` store. Streamed
+        // ingress consumes them in (src, dst)-sorted order, so its in-memory
+        // reference is `store.to_edge_list()`, not the generator's order.
+        let mut bytes = std::io::Cursor::new(Vec::new());
+        distgraph::store::write_edge_list(&mut bytes, graph).expect("build store");
+        let store =
+            distgraph::store::GraphStore::open_bytes(bytes.into_inner()).expect("reopen store");
+        let sorted = store.to_edge_list();
         for (pname, partitioner, parts) in &mut partitioners {
             for threads in [1u32, 2, 4] {
                 let ctx = PartitionContext::new(*parts)
                     .with_seed(11)
                     .with_threads(threads);
                 let out = partitioner.partition(graph, &ctx);
-                let a = &out.assignment;
-                // Cheap order-sensitive FNV-style digest over the full state.
-                let mut h: u64 = 0xcbf29ce484222325;
-                let mut mix = |x: u64| {
-                    h ^= x;
-                    h = h.wrapping_mul(0x100000001b3);
-                };
-                for p in a.edge_partitions() {
-                    mix(p.0 as u64);
-                }
-                for v in 0..graph.num_vertices() {
-                    let v = VertexId(v);
-                    mix(0xfeed);
-                    for &r in a.replicas(v) {
-                        mix(r as u64);
-                    }
-                    mix(a.master_of(v).0 as u64);
-                }
-                for &c in a.edge_counts() {
-                    mix(c);
-                }
-                mix((a.replication_factor() * 1e9) as u64);
-                mix(a.total_mirrors());
-                for c in a.replica_counts() {
-                    mix(c);
-                }
-                for c in a.master_counts() {
-                    mix(c);
-                }
+                let h = assignment_digest(&out, graph.num_vertices());
+                let streamed = partitioner.partition(&store, &ctx);
+                let stream_h = assignment_digest(&streamed, store.num_vertices());
+                let sorted_h =
+                    assignment_digest(&partitioner.partition(&sorted, &ctx), sorted.num_vertices());
+                assert_eq!(
+                    stream_h, sorted_h,
+                    "{gname} {pname} t{threads}: streamed store ingress diverges from the \
+                     in-memory partition of the same sorted edges"
+                );
                 println!(
-                    "{gname} {pname} t{threads} assign={h:016x} work={:.6} state_bytes={} passes={}",
+                    "{gname} {pname} t{threads} assign={h:016x} stream={stream_h:016x} \
+                     work={:.6} state_bytes={} passes={}",
                     out.loader_work.iter().sum::<f64>(),
                     out.state_bytes,
                     out.passes
                 );
                 if threads == 1 {
                     let config = EngineConfig::new(ClusterSpec::local_9()).with_threads(1);
-                    let (states, report) = SyncGas::new(config).run(graph, a, &PageRank::fixed(3));
+                    let (states, report) =
+                        SyncGas::new(config).run(graph, &out.assignment, &PageRank::fixed(3));
                     let mut h2: u64 = 0xcbf29ce484222325;
                     for s in format!("{states:?}|{report:?}").bytes() {
                         h2 ^= s as u64;

@@ -15,6 +15,7 @@
 //! * [`net`] (gp-net) — unreliable network model: retry/backoff, speculation.
 //! * [`par`] (gp-par) — deterministic bounded parallelism (`--threads`).
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
+//! * [`store`] (gp-store) — compressed on-disk graphs + streaming ingress.
 //! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
 //! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
 //! * [`telemetry`] (gp-telemetry) — spans, metrics, Chrome-trace profiling.
@@ -29,6 +30,7 @@ pub use gp_gen as gen;
 pub use gp_net as net;
 pub use gp_par as par;
 pub use gp_partition as partition;
+pub use gp_store as store;
 pub use gp_telemetry as telemetry;
 
 /// Crate version of the umbrella package.

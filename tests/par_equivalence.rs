@@ -12,7 +12,7 @@
 
 use distgraph::apps::{PageRank, Wcc};
 use distgraph::cluster::ClusterSpec;
-use distgraph::core::{Edge, EdgeList, VertexId};
+use distgraph::core::{Edge, EdgeList, StreamingEdges, VertexId};
 use distgraph::engine::{AsyncGas, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
 use distgraph::partition::strategies::{BiCut, Chunking};
 use distgraph::partition::{write_assignment, PartitionContext, Partitioner, Strategy};
@@ -56,7 +56,7 @@ fn all_partitioners() -> Vec<(String, Box<dyn Partitioner>, u32)> {
 /// observable — sorted replica lists, bitset/CSR agreement, edge counts,
 /// replica/master counts, RF, mirrors, and ingress accounting.
 fn assignment_bytes(
-    graph: &EdgeList,
+    graph: &dyn StreamingEdges,
     partitioner: &mut dyn Partitioner,
     parts: u32,
     seed: u64,
@@ -109,6 +109,33 @@ proptest! {
                 prop_assert_eq!(
                     &seq, &par,
                     "{} diverges at {} threads", name, threads
+                );
+            }
+        }
+    }
+
+    // Same guarantee from the storage layer: partitioning a compressed
+    // `.gps` store by streaming it must match partitioning the identical
+    // edge sequence held in memory, for every partitioner, at every thread
+    // count. The store sorts edges by (src, dst), so the in-memory
+    // reference is `store.to_edge_list()` — the same canonical order.
+    #[test]
+    fn streamed_ingress_matches_in_memory_for_every_partitioner(
+        graph in arb_graph(),
+        seed in 0u64..1000,
+    ) {
+        let mut bytes = std::io::Cursor::new(Vec::new());
+        distgraph::store::write_edge_list(&mut bytes, &graph).expect("build store");
+        let store = distgraph::store::GraphStore::open_bytes(bytes.into_inner())
+            .expect("reopen store");
+        let in_memory = store.to_edge_list();
+        for (name, mut partitioner, parts) in all_partitioners() {
+            for threads in [1u32, 2, 4] {
+                let mem = assignment_bytes(&in_memory, &mut *partitioner, parts, seed, threads);
+                let streamed = assignment_bytes(&store, &mut *partitioner, parts, seed, threads);
+                prop_assert_eq!(
+                    &mem, &streamed,
+                    "{} streamed ingress diverges from memory at {} threads", name, threads
                 );
             }
         }
