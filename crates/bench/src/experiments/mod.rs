@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod ch10;
 pub mod ch11;
+pub mod ch12;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
@@ -189,6 +190,16 @@ pub fn registry() -> Vec<Experiment> {
             run: ch11::ch11_speculation,
         },
         Experiment {
+            id: "ch12-churn",
+            title: "Query latency vs churn rate under serving (beyond the paper)",
+            run: ch12::ch12_churn,
+        },
+        Experiment {
+            id: "ch12-rebalance",
+            title: "Rebalance-threshold cost curve under serving (beyond the paper)",
+            run: ch12::ch12_rebalance,
+        },
+        Experiment {
             id: "ablation-hdrf-lambda",
             title: "HDRF lambda sweep (beyond the paper)",
             run: ablations::ablation_hdrf_lambda,
@@ -269,7 +280,7 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         // 3 front-matter tables + 8 ch5 + 6 ch6 + 2 ch7 + 4 ch8 + 4 ch9
-        // + 2 ch10 + 2 ch11 + 9 ablations.
-        assert_eq!(registry().len(), 40);
+        // + 2 ch10 + 2 ch11 + 2 ch12 + 9 ablations.
+        assert_eq!(registry().len(), 42);
     }
 }

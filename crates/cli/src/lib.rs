@@ -16,6 +16,8 @@
 //!     --compute-ingress 2.0 [--natural]
 //! distgraph run <graph.txt> --app pagerank --strategy grid --parts 9 \
 //!     [--system powergraph] [--partition-file parts.txt]
+//! distgraph serve <graph.txt|store.gps> --strategy hdrf --cluster local-9 \
+//!     [--horizon S] [--sessions N] [--churn-scale F] [--threads N]
 //! distgraph fault <dataset> --strategies random,hybrid --cluster ec2-16 \
 //!     --crash-at 10 --machine 0 --interval 4 [--async]
 //! distgraph trace <dataset> --strategy hdrf --app pagerank --cluster ec2-16 \
@@ -35,6 +37,7 @@ use gp_engine::{CommsConfig, EngineConfig, HybridGas, Pregel, PregelConfig, Sync
 use gp_fault::{recovery_cost, CheckpointPolicy, FaultEvent, FaultKind, FaultPlan};
 use gp_gen::{classify, Dataset, DegreeAnalysis, PowerLawStreamParams};
 use gp_partition::{IngressReport, PartitionContext, Strategy};
+use gp_serve::{DriftPolicy, ServeConfig, TrafficPlan, TrafficRates};
 use gp_store::GraphStore;
 use gp_telemetry::TelemetrySink;
 use std::io::Write;
@@ -103,6 +106,28 @@ pub enum Command {
         /// cores). Reports are byte-identical at any value.
         threads: u32,
     },
+    /// Long-running serve: streaming updates, query traffic, drift repair.
+    Serve {
+        path: String,
+        strategy: Strategy,
+        parts: u32,
+        seed: u64,
+        cluster: ClusterChoice,
+        /// Serving horizon in simulated seconds.
+        horizon_s: f64,
+        /// Concurrent user sessions in the traffic plan.
+        sessions: u32,
+        /// Multiplier on the insert/delete rates (query rates fixed).
+        churn_scale: f64,
+        /// Edge-imbalance threshold that triggers a rebalance.
+        rebalance_threshold: f64,
+        /// RF-growth factor over the post-ingress baseline that triggers a
+        /// full repartition.
+        rf_threshold: f64,
+        /// Batch (re)partitioning threads; report byte-identical at any
+        /// value.
+        threads: u32,
+    },
     /// Crash a machine mid-job and compare recovery cost across strategies.
     Fault {
         dataset: Dataset,
@@ -159,25 +184,12 @@ pub enum StoreSource {
     Dataset(Dataset),
 }
 
-/// Parse a size like `250000`, `10M`, `1.5G` into a count (decimal units).
+/// Parse a size like `250000`, `10M`, `1.5G` into a count. Counts are
+/// *decimal* (`K = 1000`); byte quantities elsewhere in the workspace parse
+/// through the same helper with `SizeUnit::Binary`.
 fn parse_size(text: &str) -> Result<u64, String> {
-    let t = text.trim();
-    let split = t.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(t.len());
-    let (num, suffix) = t.split_at(split);
-    let mult = match suffix.to_ascii_uppercase().as_str() {
-        "" => 1.0,
-        "K" => 1e3,
-        "M" => 1e6,
-        "G" => 1e9,
-        _ => {
-            return Err(format!(
-                "bad size suffix {suffix:?} in {text:?} (use K/M/G)"
-            ))
-        }
-    };
-    let v: f64 = num.parse().map_err(|_| format!("bad size {text:?}"))?;
-    let total = v * mult;
-    if !total.is_finite() || !(1.0..=1e13).contains(&total) {
+    let total = gp_core::units::parse_scaled(text, gp_core::units::SizeUnit::Decimal)?;
+    if !(1.0..=1e13).contains(&total) {
         return Err(format!("size {text:?} out of range [1, 1e13]"));
     }
     Ok(total.round() as u64)
@@ -476,6 +488,55 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             compute_ingress: parse_flag("compute-ingress", 1.0)?,
             natural: has("natural"),
         }),
+        "serve" => {
+            let cluster = flag("cluster")
+                .map(|s| s.parse())
+                .unwrap_or(Ok(ClusterChoice::Local9))?;
+            let parts = if has("parts") {
+                parse_count("parts", 9)?
+            } else {
+                cluster.spec().machines
+            };
+            let horizon_s = parse_flag("horizon", 60.0)?;
+            if !(horizon_s > 0.0 && horizon_s <= 86_400.0) {
+                return Err(format!(
+                    "--horizon must be in (0, 86400] seconds, got {horizon_s}"
+                ));
+            }
+            let churn_scale = parse_flag("churn-scale", 1.0)?;
+            if !(0.0..=1000.0).contains(&churn_scale) {
+                return Err(format!(
+                    "--churn-scale must be in [0, 1000], got {churn_scale}"
+                ));
+            }
+            let rebalance_threshold = parse_flag("rebalance-threshold", 1.5)?;
+            if rebalance_threshold <= 1.0 {
+                return Err(format!(
+                    "--rebalance-threshold must exceed 1.0, got {rebalance_threshold}"
+                ));
+            }
+            let rf_threshold = parse_flag("rf-threshold", 1.25)?;
+            if rf_threshold < 1.0 {
+                return Err(format!(
+                    "--rf-threshold must be at least 1.0, got {rf_threshold}"
+                ));
+            }
+            Ok(Command::Serve {
+                path: need_path()?,
+                strategy: flag("strategy")
+                    .map(|s| s.parse())
+                    .unwrap_or(Ok(Strategy::Hdrf))?,
+                parts,
+                seed: parse_u("seed", 42)?,
+                cluster,
+                horizon_s,
+                sessions: parse_count("sessions", 4)?,
+                churn_scale,
+                rebalance_threshold,
+                rf_threshold,
+                threads: parse_threads()?,
+            })
+        }
         "fault" => {
             let dataset = parse_dataset(&need_path()?)?;
             let strategies = flag("strategies")
@@ -578,6 +639,10 @@ USAGE:
   distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
                 [--parts N] [--system ...] [--partition-file parts.txt]
                 [--threads N]
+  distgraph serve <graph.txt|store.gps> [--strategy hdrf] [--cluster local-9]
+                  [--parts N] [--horizon S] [--sessions N] [--churn-scale F]
+                  [--rebalance-threshold F] [--rf-threshold F] [--seed N]
+                  [--threads N]
   distgraph fault <dataset> [--strategies random,hybrid] [--cluster ec2-16]
                   [--crash-at 10] [--machine 0] [--interval 4] [--async]
                   [--steps 20] [--loss-rate P] [--speculate]
@@ -601,6 +666,14 @@ Clusters: local-9, local-10, ec2-16, ec2-25.
 `trace` runs one job with telemetry recording and writes `trace.json`
 (Chrome trace-event format — load it in https://ui.perfetto.dev or
 chrome://tracing), `metrics.csv` and `summary.txt` into DIR.
+
+`serve` holds the partitioned graph resident and replays a seeded stream of
+edge inserts/deletes interleaved with k-hop and vertex-state reads. Replica
+sets are maintained incrementally by the strategy's own streaming rule; when
+edge balance or replication factor drifts past the thresholds, the server
+pays for a rebalance or full repartition through the cluster cost model and
+serves degraded until it clears. The report gives p50/p99/p999 latency per
+query class and phase, and is byte-identical for the same seed.
 
 `fault` crashes one machine mid-PageRank, rolls back to the last checkpoint,
 and compares recovery cost (refetch traffic, replayed supersteps, wall-clock
@@ -861,6 +934,62 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                 }
                 writeln!(out, "saved assignment to {dest}")?;
             }
+            Ok(0)
+        }
+        Command::Serve {
+            path,
+            strategy,
+            parts,
+            seed,
+            cluster,
+            horizon_s,
+            sessions,
+            churn_scale,
+            rebalance_threshold,
+            rf_threshold,
+            threads,
+        } => {
+            let store;
+            let loaded;
+            let graph: &dyn StreamingEdges = if path.ends_with(".gps") {
+                store = match GraphStore::open(path) {
+                    Ok(s) => s,
+                    Err(e) => return fail(out, &format!("cannot open {path}: {e}")),
+                };
+                &store
+            } else {
+                loaded = match read_edge_list(path) {
+                    Ok(l) => l,
+                    Err(e) => return fail(out, &format!("cannot load {path}: {e}")),
+                };
+                &loaded.graph
+            };
+            if !strategy.supports_partition_count(*parts) {
+                return fail(
+                    out,
+                    &format!("{} cannot run on {parts} partitions", strategy.label()),
+                );
+            }
+            if graph.num_vertices() < 2 {
+                return fail(out, "serve needs a graph with at least two vertices");
+            }
+            let cfg = ServeConfig {
+                strategy: *strategy,
+                num_partitions: *parts,
+                seed: *seed,
+                spec: cluster.spec(),
+                policy: DriftPolicy {
+                    max_imbalance: *rebalance_threshold,
+                    max_rf_growth: *rf_threshold,
+                    ..DriftPolicy::default()
+                },
+                threads: *threads,
+            };
+            let rates = TrafficRates::default().with_churn_scale(*churn_scale);
+            let plan =
+                TrafficPlan::generate(*seed, graph.num_vertices(), *sessions, *horizon_s, &rates);
+            let report = gp_serve::serve(graph, &plan, &cfg);
+            write!(out, "{}", report.render())?;
             Ok(0)
         }
         Command::Recommend {
@@ -1276,6 +1405,102 @@ mod tests {
                 out: Some("p.txt".into()),
             }
         );
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        // Defaults: HDRF on local-9, parts = cluster machines.
+        assert_eq!(
+            parse_ok(&["serve", "g.txt"]),
+            Command::Serve {
+                path: "g.txt".into(),
+                strategy: Strategy::Hdrf,
+                parts: 9,
+                seed: 42,
+                cluster: ClusterChoice::Local9,
+                horizon_s: 60.0,
+                sessions: 4,
+                churn_scale: 1.0,
+                rebalance_threshold: 1.5,
+                rf_threshold: 1.25,
+                threads: 1,
+            }
+        );
+        let cmd = parse_ok(&[
+            "serve",
+            "g.gps",
+            "--strategy",
+            "random",
+            "--cluster",
+            "ec2-16",
+            "--horizon",
+            "30",
+            "--sessions",
+            "2",
+            "--churn-scale",
+            "4",
+            "--rebalance-threshold",
+            "1.2",
+            "--rf-threshold",
+            "1.1",
+            "--seed",
+            "7",
+            "--threads",
+            "3",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                path: "g.gps".into(),
+                strategy: Strategy::Random,
+                parts: 16,
+                seed: 7,
+                cluster: ClusterChoice::Ec2x16,
+                horizon_s: 30.0,
+                sessions: 2,
+                churn_scale: 4.0,
+                rebalance_threshold: 1.2,
+                rf_threshold: 1.1,
+                threads: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_serve_rejects_bad_thresholds() {
+        let parse_strs = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse(&v)
+        };
+        assert!(parse_strs(&["serve", "g.txt", "--horizon", "0"]).is_err());
+        assert!(parse_strs(&["serve", "g.txt", "--rebalance-threshold", "1.0"]).is_err());
+        assert!(parse_strs(&["serve", "g.txt", "--rf-threshold", "0.9"]).is_err());
+        assert!(parse_strs(&["serve", "g.txt", "--churn-scale", "-1"]).is_err());
+    }
+
+    #[test]
+    fn serve_runs_and_reports_deterministically() {
+        let path = temp_graph_named("serve-basic");
+        let mk = |threads: u32| Command::Serve {
+            path: path.clone(),
+            strategy: Strategy::Random,
+            parts: 9,
+            seed: 7,
+            cluster: ClusterChoice::Local9,
+            horizon_s: 3.0,
+            sessions: 2,
+            churn_scale: 1.0,
+            rebalance_threshold: 1.5,
+            rf_threshold: 1.25,
+            threads,
+        };
+        let (code, text) = run_to_string(&mk(1));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("serve report"), "{text}");
+        assert!(text.contains("rebalances triggered:"), "{text}");
+        let (code2, text2) = run_to_string(&mk(3));
+        assert_eq!(code2, 0);
+        assert_eq!(text, text2, "thread count leaked into the serve report");
     }
 
     #[test]
@@ -1800,6 +2025,24 @@ mod tests {
         assert!(parse_size("-5M").is_err());
         assert!(parse_size("nope").is_err());
         assert!(parse_size("99999G").is_err());
+    }
+
+    #[test]
+    fn size_parsers_share_one_helper_across_crates() {
+        // Decimal counts and binary bytes disagree on the same text by
+        // design: 10K items vs 10 KiB.
+        assert_eq!(parse_size("10K"), Ok(10_000));
+        assert_eq!(gp_cluster::table::parse_bytes("10K"), Some(10_240.0));
+        // Byte-flavoured suffixes are a unit error for counts.
+        assert!(parse_size("10KiB").is_err());
+        assert!(parse_size("10MB").is_err());
+        // The cluster's byte exports round-trip through the shared helper.
+        let text = gp_cluster::table::fmt_bytes(1_500_000.0);
+        let bytes = gp_cluster::table::parse_bytes(&text).unwrap();
+        assert!(
+            (bytes - 1_500_000.0).abs() / 1_500_000.0 < 0.005,
+            "{text} -> {bytes}"
+        );
     }
 
     #[test]

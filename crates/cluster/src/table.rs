@@ -124,29 +124,11 @@ pub fn fmt_bytes(bytes: f64) -> String {
 /// spaced [`fmt_bytes`] forms (`"1.50 GiB"`) and compact short forms with a
 /// fractional value (`"1.5G"`, `"0.5M"`, `"512K"`, `"100"`, `"2TB"`).
 /// Returns `None` for unknown units or malformed numbers.
+///
+/// Byte quantities are *binary* (`K = KiB = 1024`); the CLI's decimal count
+/// parser is the same `gp_core::units` helper with `SizeUnit::Decimal`.
 pub fn parse_bytes(text: &str) -> Option<f64> {
-    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
-    let t = text.trim();
-    if let Some((value, unit)) = t.rsplit_once(' ') {
-        let scale = UNITS
-            .iter()
-            .position(|u| *u == unit)
-            .map(|p| 1024.0f64.powi(p as i32))?;
-        return value.parse::<f64>().ok().map(|v| v * scale);
-    }
-    // Compact form: number with an optional single-letter (or `XB`) suffix.
-    let split = t.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(t.len());
-    let (num, suffix) = t.split_at(split);
-    let v = num.parse::<f64>().ok()?;
-    let scale = match suffix.to_ascii_uppercase().as_str() {
-        "" | "B" => 1.0,
-        "K" | "KB" | "KIB" => 1024.0,
-        "M" | "MB" | "MIB" => 1024.0f64.powi(2),
-        "G" | "GB" | "GIB" => 1024.0f64.powi(3),
-        "T" | "TB" | "TIB" => 1024.0f64.powi(4),
-        _ => return None,
-    };
-    Some(v * scale)
+    gp_core::units::parse_scaled(text, gp_core::units::SizeUnit::Binary).ok()
 }
 
 /// Format seconds adaptively (ms below 1 s).
@@ -221,6 +203,22 @@ mod tests {
         assert_eq!(parse_bytes("1.5Q"), None);
         assert_eq!(parse_bytes("G"), None);
         assert_eq!(parse_bytes("1..5G"), None);
+    }
+
+    #[test]
+    fn parse_bytes_delegates_to_the_shared_units_helper() {
+        use gp_core::units::{parse_scaled, SizeUnit};
+        for text in ["1.5G", "0.5M", "512K", "100", "2TB", "1.50 GiB"] {
+            assert_eq!(
+                parse_bytes(text),
+                parse_scaled(text, SizeUnit::Binary).ok(),
+                "{text}"
+            );
+        }
+        // Cross-family check: the same suffix scales by 1000 for counts and
+        // by 1024 for bytes — one helper, two declared families.
+        assert_eq!(parse_scaled("10K", SizeUnit::Decimal).unwrap(), 10_000.0);
+        assert_eq!(parse_bytes("10K"), Some(10_240.0));
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod pset;
 pub mod source;
 pub mod stats;
 pub mod transform;
+pub mod units;
 
 pub use error::CoreError;
 pub use graph::{CsrGraph, DegreeTable, Edge, EdgeList};

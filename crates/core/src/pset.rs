@@ -103,6 +103,26 @@ impl PartitionSet {
         }
     }
 
+    /// Remove `p`; returns `true` if it was present. The representation
+    /// never shrinks back from spill to inline — removal is the serving-time
+    /// refcount-decay path, where sets oscillate and re-inserts are likely.
+    #[inline]
+    pub fn remove(&mut self, p: u32) -> bool {
+        let (word, bit) = (p as usize / 64, p as usize % 64);
+        let mask = 1u64 << bit;
+        let w = match &mut self.repr {
+            Repr::Inline(w) if word < INLINE_WORDS => &mut w[word],
+            Repr::Inline(_) => return false,
+            Repr::Spill(v) => match v.get_mut(word) {
+                Some(w) => w,
+                None => return false,
+            },
+        };
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
     /// True if `p` is in the set.
     #[inline]
     pub fn contains(&self, p: u32) -> bool {
@@ -330,6 +350,24 @@ mod tests {
         assert!(s.insert(300)); // forces a spill
         assert!(!s.insert(300));
         assert!(!s.insert(7), "spill must preserve inline bits");
+    }
+
+    #[test]
+    fn remove_reports_presence_and_clears_bits() {
+        let mut s = PartitionSet::new();
+        assert!(!s.remove(3), "removing from empty set is a no-op");
+        s.insert(3);
+        s.insert(300); // forces a spill
+        assert!(s.remove(3));
+        assert!(!s.contains(3));
+        assert!(!s.remove(3), "double remove reports absence");
+        assert!(s.remove(300));
+        assert!(s.is_empty());
+        assert!(!s.remove(10_000), "beyond-width remove is a no-op");
+        let mut inline = PartitionSet::singleton(5);
+        assert!(!inline.remove(999), "inline set ignores beyond-width ids");
+        assert!(inline.remove(5));
+        assert!(inline.is_empty());
     }
 
     #[test]

@@ -126,12 +126,7 @@ impl Assignment {
             .enumerate()
             .map(|(v, w)| {
                 let list = &rep_flat[w[0] as usize..w[1] as usize];
-                if list.is_empty() {
-                    PartitionId(0)
-                } else {
-                    let pick = hash_u64(v as u64, seed ^ 0x5EED_0F0A) as usize % list.len();
-                    PartitionId(list[pick])
-                }
+                default_master(VertexId(v as u64), seed, list)
             })
             .collect();
         Assignment {
@@ -334,6 +329,22 @@ impl BalanceReport {
             mean,
             imbalance,
         }
+    }
+}
+
+/// PowerGraph's default master policy (§5.1.1): a pseudo-random pick among
+/// the vertex's **sorted** replica list, keyed by vertex id and seed.
+///
+/// This is the exact formula the batch build uses, exported so the
+/// serving-time incremental maintenance re-derives byte-identical masters
+/// from its own replica sets. Vertices with no replicas report partition 0
+/// (meaningless, matching the batch convention for isolated vertices).
+pub fn default_master(v: VertexId, seed: u64, replicas: &[u32]) -> PartitionId {
+    if replicas.is_empty() {
+        PartitionId(0)
+    } else {
+        let pick = hash_u64(v.0, seed ^ 0x5EED_0F0A) as usize % replicas.len();
+        PartitionId(replicas[pick])
     }
 }
 

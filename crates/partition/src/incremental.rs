@@ -1,0 +1,572 @@
+//! Incremental (serving-time) edge assignment.
+//!
+//! A long-running service (`gp-serve`) cannot re-run batch ingress for every
+//! streamed edge insert; it needs a per-edge *assign step* that maintains the
+//! same placement policy the batch partitioner would have used. This module
+//! gives every strategy in the catalog such a step behind one trait:
+//!
+//! * **Stateless hash strategies** (Random, Assym-Rand, 1D, 1D-Target, 2D,
+//!   Grid, PDS, BiCut with a resolved favorite side) call the *same* per-edge
+//!   function as the batch path, so incremental placement is byte-identical
+//!   to batch by construction — [`IncrementalPartitioner::is_exact`] returns
+//!   `true` and the equivalence is locked by tests here and by the
+//!   churn-replay suite.
+//! * **Stateful heuristics** (Oblivious, HDRF, Hybrid, H-Ginger, Chunking)
+//!   depend on the order and sharding of the batch stream, which a live
+//!   stream cannot reproduce. Their incremental variants run the loader-0
+//!   decision rule over the live stream — the same scoring code, single
+//!   shard — and are *quality-parity* approximations: `is_exact()` is
+//!   `false`, and the serve-level tests gate replication factor and edge
+//!   balance to within 5% of a batch re-partition instead of demanding
+//!   byte equality.
+//!
+//! Deletes call [`IncrementalPartitioner::retire`], which decays whatever
+//! running state the heuristic keeps (partition loads, degree counters).
+//! Replica *sets* never shrink here — mirror teardown is an assignment-level
+//! concern handled by the serving layer's refcounts, mirroring how deployed
+//! systems keep mirrors warm until a rebalance reclaims them.
+
+use crate::strategies::bicut::bicut_edge;
+use crate::strategies::constrained::{grid_edge, pds_edge};
+use crate::strategies::hash::{
+    asym_random_edge, one_d_edge, one_d_target_edge, random_edge, two_d_edge,
+};
+use crate::strategies::hdrf::HdrfLoader;
+use crate::strategies::hybrid::hybrid_edge;
+use crate::strategies::oblivious::{oblivious_choose, GreedyState};
+use crate::strategies::{FavoriteSide, Pds, TwoD};
+use crate::strategy::Strategy;
+use gp_core::{Edge, PartitionId};
+
+/// A partitioner that assigns one edge at a time and can unwind deletes.
+///
+/// `assign` takes the edge's position in the lifetime stream (`index`,
+/// counting every insert since serving began — only Chunking uses it) and
+/// must be called in stream order for the stateful heuristics to be
+/// meaningful. Implementations are `Send` so a serving loop can live on a
+/// worker thread.
+pub trait IncrementalPartitioner: Send {
+    /// Short name matching the batch partitioner's figure label.
+    fn name(&self) -> &'static str;
+
+    /// Place the `index`-th streamed edge. Stateful implementations also
+    /// record the placement (load counters, replica bitsets) before
+    /// returning.
+    fn assign(&mut self, index: u64, e: Edge) -> PartitionId;
+
+    /// Unwind a delete of edge `e` previously placed on `p`: decay running
+    /// load/degree state so later placements see the smaller graph. The
+    /// default is a no-op (stateless strategies have nothing to decay).
+    fn retire(&mut self, e: Edge, p: PartitionId) {
+        let _ = (e, p);
+    }
+
+    /// Absorb a base-snapshot edge already placed on `p` by batch ingress,
+    /// advancing running state (loads, replica sets, degree counters)
+    /// without making a decision. Serving calls this once per base edge
+    /// before the live stream starts. Default: no-op (stateless strategies
+    /// carry no state).
+    fn warm(&mut self, e: Edge, p: PartitionId) {
+        let _ = (e, p);
+    }
+
+    /// `true` if replaying a batch run's edge sequence through [`assign`]
+    /// reproduces the batch placements byte-for-byte.
+    ///
+    /// [`assign`]: IncrementalPartitioner::assign
+    fn is_exact(&self) -> bool;
+
+    /// Approximate bytes of incremental state held (0 for stateless).
+    fn state_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// Stateless wrapper: a pure per-edge function shared with the batch path.
+struct Stateless {
+    name: &'static str,
+    f: Box<dyn Fn(Edge) -> PartitionId + Send>,
+}
+
+impl IncrementalPartitioner for Stateless {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn assign(&mut self, _index: u64, e: Edge) -> PartitionId {
+        (self.f)(e)
+    }
+
+    fn is_exact(&self) -> bool {
+        true
+    }
+}
+
+/// Incremental Oblivious: the loader-0 greedy state fed by the live stream.
+struct IncrementalOblivious {
+    state: GreedyState,
+}
+
+impl IncrementalPartitioner for IncrementalOblivious {
+    fn name(&self) -> &'static str {
+        "Oblivious"
+    }
+
+    fn assign(&mut self, _index: u64, e: Edge) -> PartitionId {
+        let p = oblivious_choose(&mut self.state, e);
+        self.state.commit(e, p);
+        p
+    }
+
+    fn retire(&mut self, _e: Edge, p: PartitionId) {
+        let load = &mut self.state.load[p.index()];
+        *load = load.saturating_sub(1);
+        self.state.assigned = self.state.assigned.saturating_sub(1);
+    }
+
+    fn warm(&mut self, e: Edge, p: PartitionId) {
+        self.state.commit(e, p);
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.state.state_bytes()
+    }
+}
+
+/// Incremental HDRF: the loader-0 HDRF scorer fed by the live stream.
+struct IncrementalHdrf {
+    loader: HdrfLoader,
+}
+
+impl IncrementalPartitioner for IncrementalHdrf {
+    fn name(&self) -> &'static str {
+        "HDRF"
+    }
+
+    fn assign(&mut self, _index: u64, e: Edge) -> PartitionId {
+        let p = self.loader.choose(e);
+        self.loader.greedy.commit(e, p);
+        p
+    }
+
+    fn retire(&mut self, e: Edge, p: PartitionId) {
+        let load = &mut self.loader.greedy.load[p.index()];
+        *load = load.saturating_sub(1);
+        self.loader.greedy.assigned = self.loader.greedy.assigned.saturating_sub(1);
+        // Partial degrees shrink with the graph so θ keeps tracking the
+        // live degree distribution.
+        for v in [e.src, e.dst] {
+            let d = &mut self.loader.partial_degree[v.index()];
+            *d = d.saturating_sub(1);
+        }
+    }
+
+    fn warm(&mut self, e: Edge, p: PartitionId) {
+        self.loader.warm(e, p);
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.loader.state_bytes()
+    }
+}
+
+/// Incremental Hybrid (and H-Ginger, which degenerates to Hybrid at serve
+/// time — the Ginger refinement is a whole-graph pass with no per-edge
+/// form). Batch Hybrid uses *actual* in-degrees from a counting pass; the
+/// incremental variant feeds *running* in-degrees into the same placement
+/// rule, so a destination flips from edge-cut to vertex-cut treatment the
+/// moment its live in-degree crosses the threshold.
+struct IncrementalHybrid {
+    name: &'static str,
+    in_deg: Vec<u32>,
+    threshold: u32,
+    seed: u64,
+    p: u64,
+}
+
+impl IncrementalPartitioner for IncrementalHybrid {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn assign(&mut self, _index: u64, e: Edge) -> PartitionId {
+        let slot = &mut self.in_deg[e.dst.index()];
+        *slot += 1;
+        hybrid_edge(e, *slot, self.threshold, self.seed, self.p)
+    }
+
+    fn retire(&mut self, e: Edge, _p: PartitionId) {
+        let slot = &mut self.in_deg[e.dst.index()];
+        *slot = slot.saturating_sub(1);
+    }
+
+    fn warm(&mut self, e: Edge, _p: PartitionId) {
+        self.in_deg[e.dst.index()] += 1;
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+
+    fn state_bytes(&self) -> u64 {
+        4 * self.in_deg.len() as u64
+    }
+}
+
+/// Incremental Chunking: fixed-width chunks derived from the *base* edge
+/// count. Batch Chunking computes `(i * p) / m` with the final `m`, which a
+/// live stream cannot know, so the incremental variant freezes the chunk
+/// width at `ceil(base / p)` and lets the stream spill into the last
+/// partition — approximate (`is_exact() == false`), with the serve layer's
+/// drift watcher responsible for re-chunking when the spill skews balance.
+struct IncrementalChunking {
+    chunk: u64,
+    p: u32,
+}
+
+impl IncrementalPartitioner for IncrementalChunking {
+    fn name(&self) -> &'static str {
+        "Chunking"
+    }
+
+    fn assign(&mut self, index: u64, _e: Edge) -> PartitionId {
+        PartitionId(((index / self.chunk).min(self.p as u64 - 1)) as u32)
+    }
+
+    fn is_exact(&self) -> bool {
+        false
+    }
+}
+
+/// Incremental Chunking for a stream that began as `base_edges` batch edges
+/// split over `num_partitions` contiguous chunks.
+pub fn chunking_incremental(
+    base_edges: u64,
+    num_partitions: u32,
+) -> Box<dyn IncrementalPartitioner> {
+    assert!(num_partitions > 0, "need at least one partition");
+    let chunk = base_edges.div_ceil(num_partitions as u64).max(1);
+    Box::new(IncrementalChunking {
+        chunk,
+        p: num_partitions,
+    })
+}
+
+/// Incremental BiCut for a **resolved** favorite side. `Auto` must be
+/// resolved against the base snapshot (via `BiCut`'s detection pass) before
+/// serving starts; a live stream would make the verdict time-dependent.
+pub fn bicut_incremental(
+    side: FavoriteSide,
+    num_partitions: u32,
+    seed: u64,
+) -> Box<dyn IncrementalPartitioner> {
+    assert!(
+        side != FavoriteSide::Auto,
+        "resolve FavoriteSide::Auto against the base snapshot before serving"
+    );
+    assert!(num_partitions > 0, "need at least one partition");
+    let p = num_partitions as u64;
+    Box::new(Stateless {
+        name: "BiCut",
+        f: Box::new(move |e| bicut_edge(e, side, seed, p)),
+    })
+}
+
+impl Strategy {
+    /// The incremental (serving-time) form of this strategy, with the same
+    /// default parameters as [`Strategy::build`]. `num_vertices` bounds the
+    /// vertex-id space (stateful heuristics size dense tables with it);
+    /// `seed` must match the batch seed for the exact strategies to
+    /// reproduce batch placements.
+    pub fn incremental(
+        self,
+        num_partitions: u32,
+        num_vertices: u64,
+        seed: u64,
+    ) -> Box<dyn IncrementalPartitioner> {
+        assert!(num_partitions > 0, "need at least one partition");
+        let p = num_partitions;
+        let stateless = |name: &'static str, f: Box<dyn Fn(Edge) -> PartitionId + Send>| {
+            Box::new(Stateless { name, f }) as Box<dyn IncrementalPartitioner>
+        };
+        match self {
+            Strategy::Random => stateless("Random", Box::new(move |e| random_edge(e, seed, p))),
+            Strategy::AsymmetricRandom => stateless(
+                "Assym-Rand",
+                Box::new(move |e| asym_random_edge(e, seed, p)),
+            ),
+            Strategy::OneD => stateless("1D", Box::new(move |e| one_d_edge(e, seed, p))),
+            Strategy::OneDTarget => stateless(
+                "1D-Target",
+                Box::new(move |e| one_d_target_edge(e, seed, p)),
+            ),
+            Strategy::TwoD => {
+                let side = TwoD::side(p) as u64;
+                stateless("2D", Box::new(move |e| two_d_edge(e, seed, p, side)))
+            }
+            // The catalog's Grid is the resilient variant (any count), same
+            // as `Strategy::build`.
+            Strategy::Grid => {
+                let side = (p as f64).sqrt().ceil() as u64;
+                let virtual_n = side * side;
+                stateless(
+                    "Grid",
+                    Box::new(move |e| grid_edge(e, seed, p, side, virtual_n)),
+                )
+            }
+            Strategy::Pds => {
+                let order = Pds::order_for(p).unwrap_or_else(|| {
+                    panic!(
+                        "PDS requires p^2+p+1 machines for prime p (7, 13, 31, 57, ...), got {p}"
+                    )
+                });
+                let ds = Pds::difference_set(order).expect("difference set exists for prime order");
+                stateless("PDS", Box::new(move |e| pds_edge(e, seed, &ds, p)))
+            }
+            // Stateful heuristics run the loader-0 decision rule (same
+            // seed derivation as batch loader 0) over the live stream.
+            Strategy::Oblivious => Box::new(IncrementalOblivious {
+                state: GreedyState::new(p, num_vertices, seed ^ 0x0b11),
+            }),
+            Strategy::Hdrf => Box::new(IncrementalHdrf {
+                loader: HdrfLoader::new(p, num_vertices, seed ^ 0x4d5f, 1.0),
+            }),
+            Strategy::Hybrid => Box::new(IncrementalHybrid {
+                name: "Hybrid",
+                in_deg: vec![0; num_vertices as usize],
+                threshold: crate::strategies::hybrid::DEFAULT_THRESHOLD,
+                seed,
+                p: p as u64,
+            }),
+            Strategy::HybridGinger => Box::new(IncrementalHybrid {
+                name: "H-Ginger",
+                in_deg: vec![0; num_vertices as usize],
+                threshold: crate::strategies::hybrid::DEFAULT_THRESHOLD,
+                seed,
+                p: p as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{PartitionContext, Partitioner};
+    use crate::strategies::BiCut;
+    use gp_core::VertexId;
+
+    const SEED: u64 = 7;
+
+    fn graph() -> gp_core::EdgeList {
+        gp_gen::barabasi_albert(2_000, 6, 3)
+    }
+
+    /// The exactness contract: replaying the batch stream through the
+    /// incremental form reproduces batch placements byte-for-byte for every
+    /// strategy that claims `is_exact()`.
+    #[test]
+    fn exact_strategies_reproduce_batch_placements() {
+        let g = graph();
+        for s in Strategy::ALL {
+            let p = if s == Strategy::Pds { 13 } else { 9 };
+            let mut inc = s.incremental(p, g.num_vertices(), SEED);
+            if !inc.is_exact() {
+                continue;
+            }
+            let batch = s
+                .build()
+                .partition(&g, &PartitionContext::new(p).with_seed(SEED));
+            for (i, e) in g.edges().iter().enumerate() {
+                assert_eq!(
+                    inc.assign(i as u64, *e),
+                    batch.assignment.edge_partition(i),
+                    "{s}: edge {i} diverged from batch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_flags_match_the_strategy_taxonomy() {
+        let exact: Vec<Strategy> = Strategy::ALL
+            .into_iter()
+            .filter(|s| {
+                let p = if *s == Strategy::Pds { 13 } else { 9 };
+                s.incremental(p, 100, SEED).is_exact()
+            })
+            .collect();
+        assert_eq!(
+            exact,
+            vec![
+                Strategy::OneD,
+                Strategy::TwoD,
+                Strategy::AsymmetricRandom,
+                Strategy::Grid,
+                Strategy::Random,
+                Strategy::OneDTarget,
+                Strategy::Pds,
+            ]
+        );
+    }
+
+    /// Grid's resilient fold-back for non-square counts is part of the
+    /// shared per-edge function, so exactness holds there too.
+    #[test]
+    fn grid_is_exact_for_non_square_counts() {
+        let g = graph();
+        let p = 10;
+        let mut inc = Strategy::Grid.incremental(p, g.num_vertices(), SEED);
+        let batch = Strategy::Grid
+            .build()
+            .partition(&g, &PartitionContext::new(p).with_seed(SEED));
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(inc.assign(i as u64, *e), batch.assignment.edge_partition(i));
+        }
+    }
+
+    /// The stateful heuristics sequentially replayed match a single-loader
+    /// batch run exactly: both run the loader-0 rule over the same stream.
+    /// (Multi-loader batch shards state and diverges — that gap is what the
+    /// serve-level 5% quality-parity gates cover.)
+    #[test]
+    fn stateful_replay_matches_single_loader_batch() {
+        let g = graph();
+        for s in [Strategy::Oblivious, Strategy::Hdrf] {
+            let mut inc = s.incremental(9, g.num_vertices(), SEED);
+            let batch = s.build().partition(
+                &g,
+                &PartitionContext::new(9).with_seed(SEED).with_loaders(1),
+            );
+            for (i, e) in g.edges().iter().enumerate() {
+                assert_eq!(
+                    inc.assign(i as u64, *e),
+                    batch.assignment.edge_partition(i),
+                    "{s}: edge {i} diverged from 1-loader batch"
+                );
+            }
+        }
+    }
+
+    /// Hybrid's incremental form uses running degrees, so after the full
+    /// replay only edges whose destination was still cold at assign time can
+    /// differ from batch (which used final degrees). Every divergent edge
+    /// must involve a destination that ended above the threshold.
+    #[test]
+    fn hybrid_divergence_is_confined_to_threshold_crossers() {
+        let g = graph();
+        let mut inc = Strategy::Hybrid.incremental(9, g.num_vertices(), SEED);
+        let batch = Strategy::Hybrid
+            .build()
+            .partition(&g, &PartitionContext::new(9).with_seed(SEED));
+        let mut final_in_deg = vec![0u32; g.num_vertices() as usize];
+        for e in g.edges() {
+            final_in_deg[e.dst.index()] += 1;
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            let got = inc.assign(i as u64, *e);
+            if got != batch.assignment.edge_partition(i) {
+                assert!(
+                    final_in_deg[e.dst.index()] > crate::strategies::hybrid::DEFAULT_THRESHOLD,
+                    "edge {i} diverged but dst degree {} never crossed the threshold",
+                    final_in_deg[e.dst.index()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oblivious_retire_decays_load() {
+        let g = graph();
+        let mut inc = Strategy::Oblivious.incremental(9, g.num_vertices(), SEED);
+        let mut placed = Vec::new();
+        for (i, e) in g.edges().iter().enumerate().take(500) {
+            placed.push((*e, inc.assign(i as u64, *e)));
+        }
+        let before = inc.state_bytes();
+        assert!(before > 0, "oblivious keeps state");
+        for (e, p) in &placed {
+            inc.retire(*e, *p);
+        }
+        // Loads are back to zero: the next placement sees an empty cluster
+        // and the tie-break picks among all partitions.
+        let refilled = inc.assign(500, placed[0].0);
+        assert!(refilled.0 < 9);
+    }
+
+    #[test]
+    fn hybrid_retire_reverses_assign() {
+        // Degree counters return to their pre-insert value, so a delete
+        // followed by the same insert reproduces the same placement.
+        let g = graph();
+        let n = g.num_vertices();
+        let mut inc = Strategy::Hybrid.incremental(9, n, SEED);
+        let e = g.edges()[0];
+        let first = inc.assign(0, e);
+        inc.retire(e, first);
+        let again = inc.assign(1, e);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn warming_seeds_stateful_decisions() {
+        // After warming an edge onto partition 2, both endpoints have their
+        // only replica there, so the greedy intersection case must keep the
+        // next copy of that edge co-located on 2.
+        for s in [Strategy::Oblivious, Strategy::Hdrf] {
+            let mut inc = s.incremental(9, 100, SEED);
+            let e = Edge {
+                src: VertexId(3),
+                dst: VertexId(4),
+            };
+            inc.warm(e, PartitionId(2));
+            assert_eq!(inc.assign(0, e), PartitionId(2), "{s}");
+        }
+    }
+
+    #[test]
+    fn chunking_spills_into_the_last_partition() {
+        let mut inc = chunking_incremental(100, 4);
+        assert!(!inc.is_exact());
+        let e = Edge {
+            src: VertexId(0),
+            dst: VertexId(1),
+        };
+        assert_eq!(inc.assign(0, e), PartitionId(0));
+        assert_eq!(inc.assign(99, e), PartitionId(3));
+        // Stream growth past the base count spills into the last chunk.
+        assert_eq!(inc.assign(1_000, e), PartitionId(3));
+    }
+
+    #[test]
+    fn bicut_incremental_matches_batch_explicit_side() {
+        let g = gp_gen::bipartite(&gp_gen::BipartiteParams::default(), 3);
+        let mut inc = bicut_incremental(FavoriteSide::Source, 9, SEED);
+        assert!(inc.is_exact());
+        let batch = BiCut::new(FavoriteSide::Source)
+            .partition(&g, &PartitionContext::new(9).with_seed(SEED));
+        for (i, e) in g.edges().iter().enumerate() {
+            assert_eq!(inc.assign(i as u64, *e), batch.assignment.edge_partition(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve FavoriteSide::Auto")]
+    fn bicut_incremental_rejects_auto() {
+        bicut_incremental(FavoriteSide::Auto, 9, SEED);
+    }
+
+    #[test]
+    #[should_panic(expected = "PDS requires")]
+    fn pds_incremental_rejects_invalid_counts() {
+        Strategy::Pds.incremental(9, 100, SEED);
+    }
+}

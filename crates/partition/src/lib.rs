@@ -37,6 +37,7 @@
 //! ```
 
 pub mod assignment;
+pub mod incremental;
 pub mod ingress;
 pub mod partitioner;
 pub mod persist;
@@ -45,6 +46,7 @@ pub mod strategy;
 
 pub use assignment::{Assignment, BalanceReport};
 pub use gp_par::ParConfig;
+pub use incremental::{bicut_incremental, chunking_incremental, IncrementalPartitioner};
 pub use ingress::{ingress_chunks, IngressReport, IngressVolumes};
 pub use partitioner::{CostModel, PartitionContext, PartitionOutcome, Partitioner};
 pub use persist::{load_assignment, read_assignment, save_assignment, write_assignment};

@@ -43,6 +43,18 @@ impl Default for BiCut {
     }
 }
 
+/// BiCut's per-edge assignment for a **resolved** favorite side (not
+/// `Auto`) — shared by the batch path and the incremental serving path,
+/// which resolves `Auto` against the base snapshot once and freezes it.
+pub(crate) fn bicut_edge(e: gp_core::Edge, side: FavoriteSide, seed: u64, p: u64) -> PartitionId {
+    let key = match side {
+        FavoriteSide::Source => e.src,
+        FavoriteSide::Target => e.dst,
+        FavoriteSide::Auto => unreachable!("favorite side must be resolved before assignment"),
+    };
+    PartitionId((hash_vertex(key, seed) % p) as u32)
+}
+
 impl BiCut {
     /// BiCut with an explicit favorite side.
     pub fn new(favorite: FavoriteSide) -> Self {
@@ -100,12 +112,7 @@ impl Partitioner for BiCut {
         let p = ctx.num_partitions as u64;
         let mut assignment =
             assign_stateless_par(graph, ctx.num_partitions, ctx.seed, &ctx.par, |e| {
-                let key = match side {
-                    FavoriteSide::Source => e.src,
-                    FavoriteSide::Target => e.dst,
-                    FavoriteSide::Auto => unreachable!("resolved above"),
-                };
-                PartitionId((hash_vertex(key, ctx.seed) % p) as u32)
+                bicut_edge(e, side, ctx.seed, p)
             });
         // Favorite-side vertices have exactly one replica; pin their master
         // there so the engine gathers locally.

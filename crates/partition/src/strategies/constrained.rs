@@ -17,7 +17,40 @@
 use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
-use gp_core::{hash_canonical_edge, hash_vertex, PartitionId, StreamingEdges};
+use gp_core::{hash_canonical_edge, hash_vertex, Edge, PartitionId, StreamingEdges};
+
+/// Grid's per-edge assignment — shared by the batch path and the incremental
+/// (serving) path. `side` and `virtual_n` must come from the same partition
+/// count: `side = ceil(sqrt(p))`, `virtual_n = side²`.
+pub(crate) fn grid_edge(e: Edge, seed: u64, p: u32, side: u64, virtual_n: u64) -> PartitionId {
+    let mu = hash_vertex(e.src, seed) % virtual_n;
+    let mv = hash_vertex(e.dst, seed) % virtual_n;
+    let su = Grid::constraint_set(mu, side);
+    let sv = Grid::constraint_set(mv, side);
+    let inter: Vec<u64> = su
+        .iter()
+        .copied()
+        .filter(|x| sv.binary_search(x).is_ok())
+        .collect();
+    debug_assert!(!inter.is_empty(), "grid constraint sets always intersect");
+    let pick = hash_canonical_edge(e.src, e.dst, seed ^ 0x6161) as usize % inter.len();
+    PartitionId((inter[pick] % p as u64) as u32)
+}
+
+/// PDS's per-edge assignment — shared by the batch and incremental paths.
+/// `ds` is the difference set for the order whose `p² + p + 1 = n`.
+pub(crate) fn pds_edge(e: Edge, seed: u64, ds: &[u32], n: u32) -> PartitionId {
+    let su = Pds::constraint_set(hash_vertex(e.src, seed), ds, n);
+    let sv = Pds::constraint_set(hash_vertex(e.dst, seed), ds, n);
+    let inter: Vec<u64> = su
+        .iter()
+        .copied()
+        .filter(|x| sv.binary_search(x).is_ok())
+        .collect();
+    debug_assert!(!inter.is_empty(), "PDS lines always intersect");
+    let pick = hash_canonical_edge(e.src, e.dst, seed ^ 0x9d5) as usize % inter.len();
+    PartitionId(inter[pick] as u32)
+}
 
 /// Grid (constrained) partitioning.
 #[derive(Debug, Clone, Default)]
@@ -82,18 +115,7 @@ impl Partitioner for Grid {
         let side = (p as f64).sqrt().ceil() as u64;
         let virtual_n = side * side;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
-            let mu = hash_vertex(e.src, ctx.seed) % virtual_n;
-            let mv = hash_vertex(e.dst, ctx.seed) % virtual_n;
-            let su = Grid::constraint_set(mu, side);
-            let sv = Grid::constraint_set(mv, side);
-            let inter: Vec<u64> = su
-                .iter()
-                .copied()
-                .filter(|x| sv.binary_search(x).is_ok())
-                .collect();
-            debug_assert!(!inter.is_empty(), "grid constraint sets always intersect");
-            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x6161) as usize % inter.len();
-            PartitionId((inter[pick] % p as u64) as u32)
+            grid_edge(e, ctx.seed, p, side, virtual_n)
         });
         let outcome = PartitionOutcome {
             assignment,
@@ -218,16 +240,7 @@ impl Partitioner for Pds {
         });
         let ds = Pds::difference_set(p).expect("difference set exists for prime order");
         let assignment = assign_stateless_par(graph, n, ctx.seed, &ctx.par, |e| {
-            let su = Pds::constraint_set(hash_vertex(e.src, ctx.seed), &ds, n);
-            let sv = Pds::constraint_set(hash_vertex(e.dst, ctx.seed), &ds, n);
-            let inter: Vec<u64> = su
-                .iter()
-                .copied()
-                .filter(|x| sv.binary_search(x).is_ok())
-                .collect();
-            debug_assert!(!inter.is_empty(), "PDS lines always intersect");
-            let pick = hash_canonical_edge(e.src, e.dst, ctx.seed ^ 0x9d5) as usize % inter.len();
-            PartitionId(inter[pick] as u32)
+            pds_edge(e, ctx.seed, &ds, n)
         });
         let outcome = PartitionOutcome {
             assignment,

@@ -9,7 +9,42 @@
 use crate::assignment::assign_stateless_par;
 use crate::partitioner::{PartitionContext, PartitionOutcome, Partitioner};
 use crate::strategies::stateless_loader_work;
-use gp_core::{hash_canonical_edge, hash_directed_edge, hash_vertex, PartitionId, StreamingEdges};
+use gp_core::{
+    hash_canonical_edge, hash_directed_edge, hash_vertex, Edge, PartitionId, StreamingEdges,
+};
+
+// Per-edge assignment formulas, shared by the batch partitioners below and
+// the incremental (serving-time) path in `crate::incremental` — one function
+// per strategy, so batch and incremental placements are identical by
+// construction rather than by parallel maintenance.
+
+/// Canonical Random: hash of the undirected edge.
+pub(crate) fn random_edge(e: Edge, seed: u64, p: u32) -> PartitionId {
+    PartitionId((hash_canonical_edge(e.src, e.dst, seed) % p as u64) as u32)
+}
+
+/// Asymmetric Random: hash of the directed edge.
+pub(crate) fn asym_random_edge(e: Edge, seed: u64, p: u32) -> PartitionId {
+    PartitionId((hash_directed_edge(e.src, e.dst, seed) % p as u64) as u32)
+}
+
+/// 1D: hash of the source vertex.
+pub(crate) fn one_d_edge(e: Edge, seed: u64, p: u32) -> PartitionId {
+    PartitionId((hash_vertex(e.src, seed) % p as u64) as u32)
+}
+
+/// 1D-Target: hash of the destination vertex.
+pub(crate) fn one_d_target_edge(e: Edge, seed: u64, p: u32) -> PartitionId {
+    PartitionId((hash_vertex(e.dst, seed) % p as u64) as u32)
+}
+
+/// 2D: source hash picks the column, destination hash the row, folded back
+/// modulo `p` for non-square counts. `side` must be `TwoD::side(p)`.
+pub(crate) fn two_d_edge(e: Edge, seed: u64, p: u32, side: u64) -> PartitionId {
+    let col = hash_vertex(e.src, seed) % side;
+    let row = hash_vertex(e.dst, seed ^ 0x2D2D) % side;
+    PartitionId(((col * side + row) % p as u64) as u32)
+}
 
 /// PowerGraph's `Random` / GraphX's `CanonicalRandomVertexCut` (§5.2.1,
 /// §7.2.1): hash of the edge ignoring direction, so `(u,v)` and `(v,u)`
@@ -29,7 +64,7 @@ impl Partitioner for Random {
     ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
-            PartitionId((hash_canonical_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
+            random_edge(e, ctx.seed, p)
         });
         let outcome = PartitionOutcome {
             assignment,
@@ -61,7 +96,7 @@ impl Partitioner for AsymmetricRandom {
     ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
-            PartitionId((hash_directed_edge(e.src, e.dst, ctx.seed) % p as u64) as u32)
+            asym_random_edge(e, ctx.seed, p)
         });
         let outcome = PartitionOutcome {
             assignment,
@@ -90,9 +125,8 @@ impl Partitioner for OneD {
         ctx: &PartitionContext,
     ) -> PartitionOutcome {
         let p = ctx.num_partitions;
-        let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
-            PartitionId((hash_vertex(e.src, ctx.seed) % p as u64) as u32)
-        });
+        let assignment =
+            assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| one_d_edge(e, ctx.seed, p));
         let outcome = PartitionOutcome {
             assignment,
             loader_work: stateless_loader_work(graph.num_edges(), ctx),
@@ -123,7 +157,7 @@ impl Partitioner for OneDTarget {
     ) -> PartitionOutcome {
         let p = ctx.num_partitions;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
-            PartitionId((hash_vertex(e.dst, ctx.seed) % p as u64) as u32)
+            one_d_target_edge(e, ctx.seed, p)
         });
         let outcome = PartitionOutcome {
             assignment,
@@ -164,9 +198,7 @@ impl Partitioner for TwoD {
         let p = ctx.num_partitions;
         let side = Self::side(p) as u64;
         let assignment = assign_stateless_par(graph, p, ctx.seed, &ctx.par, |e| {
-            let col = hash_vertex(e.src, ctx.seed) % side;
-            let row = hash_vertex(e.dst, ctx.seed ^ 0x2D2D) % side;
-            PartitionId(((col * side + row) % p as u64) as u32)
+            two_d_edge(e, ctx.seed, p, side)
         });
         let outcome = PartitionOutcome {
             assignment,

@@ -50,11 +50,11 @@ impl Hdrf {
     }
 }
 
-struct HdrfLoader {
-    greedy: GreedyState,
+pub(crate) struct HdrfLoader {
+    pub(crate) greedy: GreedyState,
     /// Partial degree counters δ (Appendix B), dense vertex-indexed — the
     /// ids are `0..n` already, so a flat table beats hashing on every edge.
-    partial_degree: Vec<u64>,
+    pub(crate) partial_degree: Vec<u64>,
     /// Vertices with a nonzero counter (memory accounting parity with the
     /// historical per-entry map accounting: 40 bytes per touched vertex).
     touched: u64,
@@ -64,7 +64,7 @@ struct HdrfLoader {
 }
 
 impl HdrfLoader {
-    fn new(num_partitions: u32, num_vertices: u64, seed: u64, lambda: f64) -> Self {
+    pub(crate) fn new(num_partitions: u32, num_vertices: u64, seed: u64, lambda: f64) -> Self {
         HdrfLoader {
             greedy: GreedyState::new(num_partitions, num_vertices, seed),
             partial_degree: vec![0; num_vertices as usize],
@@ -74,7 +74,7 @@ impl HdrfLoader {
         }
     }
 
-    fn choose(&mut self, e: Edge) -> PartitionId {
+    pub(crate) fn choose(&mut self, e: Edge) -> PartitionId {
         // Update partial degrees first (Appendix B: counters are incremented
         // when the edge is processed, then used for θ).
         for v in [e.src, e.dst] {
@@ -135,7 +135,21 @@ impl HdrfLoader {
         PartitionId(self.tied[pick])
     }
 
-    fn state_bytes(&self) -> u64 {
+    /// Absorb an already-placed edge without making a decision: degree
+    /// counters and greedy state advance exactly as if `choose` had picked
+    /// `p`. Used to warm serving-time state from a batch-partitioned base.
+    pub(crate) fn warm(&mut self, e: Edge, p: PartitionId) {
+        for v in [e.src, e.dst] {
+            let d = &mut self.partial_degree[v.index()];
+            if *d == 0 {
+                self.touched += 1;
+            }
+            *d += 1;
+        }
+        self.greedy.commit(e, p);
+    }
+
+    pub(crate) fn state_bytes(&self) -> u64 {
         self.greedy.state_bytes() + 40 * self.touched
     }
 }

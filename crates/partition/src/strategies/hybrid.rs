@@ -22,10 +22,29 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome, Partitioner};
-use gp_core::{for_each_edge, hash_vertex, CsrGraph, PartitionId, StreamingEdges, VertexId};
+use gp_core::{for_each_edge, hash_vertex, CsrGraph, Edge, PartitionId, StreamingEdges, VertexId};
 
 /// The default high-degree threshold (θ) used by the paper (§6.2.1).
 pub const DEFAULT_THRESHOLD: u32 = 100;
+
+/// Hybrid's per-edge placement given the destination's in-degree: hash the
+/// source for high-degree destinations (vertex-cut), hash the destination
+/// for low-degree ones (edge-cut "home"). Shared by the batch second pass
+/// (which uses *actual* degrees) and the incremental serving path (which
+/// feeds *running* degrees — the documented approximation).
+pub(crate) fn hybrid_edge(
+    e: Edge,
+    dst_in_degree: u32,
+    threshold: u32,
+    seed: u64,
+    p: u64,
+) -> PartitionId {
+    if dst_in_degree > threshold {
+        PartitionId((hash_vertex(e.src, seed) % p) as u32)
+    } else {
+        PartitionId((hash_vertex(e.dst, seed) % p) as u32)
+    }
+}
 
 /// PowerLyra's Hybrid partitioner.
 #[derive(Debug, Clone)]
@@ -83,16 +102,19 @@ impl Hybrid {
         .into_iter()
         .flatten()
         .collect();
-        // Pass 2: final placement using actual degrees (pure per-edge map).
+        // Pass 2: final placement using actual degrees (pure per-edge map;
+        // `homes[dst]` is exactly `hash(dst) % p`, so this is `hybrid_edge`).
         let parts: Vec<PartitionId> =
             gp_par::map_chunks(&ctx.par, graph.num_edges(), |_, range| {
                 let mut out = Vec::with_capacity(range.len());
                 for_each_edge(graph, range, |e| {
-                    out.push(if in_deg[e.dst.index()] > self.threshold {
-                        PartitionId((hash_vertex(e.src, ctx.seed) % p) as u32)
-                    } else {
-                        homes[e.dst.index()]
-                    });
+                    out.push(hybrid_edge(
+                        e,
+                        in_deg[e.dst.index()],
+                        self.threshold,
+                        ctx.seed,
+                        p,
+                    ));
                 });
                 out
             })

@@ -1,0 +1,34 @@
+//! Long-running graph serving over a partitioned graph.
+//!
+//! The batch pipeline answers "how well does a strategy partition a
+//! snapshot?"; this crate asks what happens *after* ingress, when the graph
+//! keeps changing and queries keep arriving. A serve run holds the
+//! partitioned graph resident, applies a deterministic [`TrafficPlan`] of
+//! edge inserts/deletes interleaved with k-hop and vertex-state reads,
+//! maintains replica sets incrementally through the strategy's own
+//! [`IncrementalPartitioner`](gp_partition::IncrementalPartitioner), and
+//! watches the two quality signals the paper measures — replication factor
+//! and edge balance — for drift. When a [`DriftPolicy`] threshold trips, the
+//! server pays for a repair (edge moves or a full repartition) through the
+//! gp-cluster cost model and serves degraded until the repair clears.
+//!
+//! Everything is a pure function of `(snapshot, plan, config)`: reports are
+//! byte-identical across runs and across thread counts.
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod graph;
+pub mod latency;
+pub mod policy;
+pub mod report;
+pub mod server;
+pub mod traffic;
+
+pub use delta::IncrementalAssignment;
+pub use graph::LiveGraph;
+pub use latency::{LatencyModel, LATENCY_BOUNDS_S};
+pub use policy::{DriftAction, DriftPolicy};
+pub use report::{RepairRecord, ServeReport};
+pub use server::{serve, ServeConfig, KHOP_CAP};
+pub use traffic::{EventKind, TrafficEvent, TrafficPlan, TrafficRates};

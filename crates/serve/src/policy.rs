@@ -1,0 +1,150 @@
+//! Drift policy: when does a serving process stop tolerating churn damage
+//! and pay for a repair?
+//!
+//! Churn degrades a partitioning along the paper's two quality axes. Edge
+//! balance drifts because inserts land wherever the strategy's hash or
+//! greedy rule says, not where capacity is; replication factor drifts
+//! because streamed placements lack the global view batch ingress had. The
+//! policy watches both and picks the cheaper adequate repair: a *rebalance*
+//! (move the overload off the most-skewed partition) for balance drift, a
+//! full *repartition* for replication drift — the former costs a few edge
+//! moves, the latter a whole re-ingress.
+
+use crate::delta::IncrementalAssignment;
+use gp_core::PartitionId;
+
+/// What the drift check decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftAction {
+    /// Both signals within bounds; keep serving.
+    None,
+    /// Edge balance drifted: shed load from `from` onto the least-loaded
+    /// partition.
+    Rebalance {
+        /// The overloaded partition.
+        from: PartitionId,
+    },
+    /// Replication factor drifted past repair-by-moves: re-partition the
+    /// live edge multiset from scratch.
+    Repartition,
+}
+
+/// Thresholds and pacing for drift checks.
+#[derive(Debug, Clone)]
+pub struct DriftPolicy {
+    /// Trigger a rebalance when max/mean edge load exceeds this.
+    pub max_imbalance: f64,
+    /// Trigger a repartition when the live replication factor exceeds
+    /// `rf_growth` x the post-ingress baseline.
+    pub max_rf_growth: f64,
+    /// Minimum simulated seconds between repairs (cooldown).
+    pub min_gap_s: f64,
+    /// Evaluate the signals only every this many churn events — drift is
+    /// slow, and checking per-event would just burn cycles.
+    pub check_every: u64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            max_imbalance: 1.5,
+            max_rf_growth: 1.25,
+            min_gap_s: 5.0,
+            check_every: 64,
+        }
+    }
+}
+
+impl DriftPolicy {
+    /// Evaluate the drift signals at simulated time `now_s`.
+    ///
+    /// `base_rf` is the replication factor right after (re)partitioning —
+    /// the baseline growth is measured against. `last_repair_s` is the time
+    /// of the previous repair (or serving start). Repartition outranks
+    /// rebalance when both trip: moving edges cannot shrink RF.
+    pub fn evaluate(
+        &self,
+        delta: &IncrementalAssignment,
+        base_rf: f64,
+        now_s: f64,
+        last_repair_s: f64,
+    ) -> DriftAction {
+        if now_s - last_repair_s < self.min_gap_s {
+            return DriftAction::None;
+        }
+        if base_rf > 0.0 && delta.replication_factor() > base_rf * self.max_rf_growth {
+            return DriftAction::Repartition;
+        }
+        if delta.edge_imbalance() > self.max_imbalance {
+            return DriftAction::Rebalance {
+                from: delta.most_loaded(),
+            };
+        }
+        DriftAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::Edge;
+
+    fn skewed_delta() -> IncrementalAssignment {
+        // loads [8,1,1,0]: imbalance 8/2.5 = 3.2.
+        let mut delta = IncrementalAssignment::new(64, 4, 7);
+        for i in 0..8u64 {
+            delta.add(Edge::new(2 * i, 2 * i + 1), PartitionId(0));
+        }
+        delta.add(Edge::new(20u64, 21u64), PartitionId(1));
+        delta.add(Edge::new(22u64, 23u64), PartitionId(2));
+        delta
+    }
+
+    #[test]
+    fn balanced_state_holds_steady() {
+        let mut delta = IncrementalAssignment::new(64, 4, 7);
+        for p in 0..4u32 {
+            delta.add(Edge::new(2 * p as u64, 2 * p as u64 + 1), PartitionId(p));
+        }
+        let policy = DriftPolicy::default();
+        assert_eq!(
+            policy.evaluate(&delta, delta.replication_factor(), 100.0, 0.0),
+            DriftAction::None
+        );
+    }
+
+    #[test]
+    fn imbalance_triggers_rebalance_from_the_hot_partition() {
+        let delta = skewed_delta();
+        let policy = DriftPolicy::default();
+        assert_eq!(
+            policy.evaluate(&delta, delta.replication_factor(), 100.0, 0.0),
+            DriftAction::Rebalance {
+                from: PartitionId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn rf_growth_outranks_imbalance() {
+        let delta = skewed_delta();
+        let policy = DriftPolicy::default();
+        // Baseline so low that the current RF reads as >25% growth.
+        let tiny_base = delta.replication_factor() / 2.0;
+        assert_eq!(
+            policy.evaluate(&delta, tiny_base, 100.0, 0.0),
+            DriftAction::Repartition
+        );
+    }
+
+    #[test]
+    fn cooldown_suppresses_repairs() {
+        let delta = skewed_delta();
+        let policy = DriftPolicy::default();
+        assert_eq!(
+            policy.evaluate(&delta, delta.replication_factor(), 3.0, 0.0),
+            DriftAction::None,
+            "inside the 5 s cooldown"
+        );
+    }
+}

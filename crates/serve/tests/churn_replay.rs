@@ -1,0 +1,198 @@
+//! Churn-replay equivalence: streaming a graph edge-by-edge through a
+//! strategy's incremental rule must land where batch ingress would have put
+//! it.
+//!
+//! For the *exact* (stateless) strategies this is a per-edge byte-for-byte
+//! guarantee, property-tested over random edge streams. For the stateful
+//! heuristics, whose batch form shards state across loaders, the guarantee
+//! is quality parity: replication factor and edge balance within 5% of a
+//! from-scratch batch partitioning of the same final edge multiset.
+
+use gp_core::{Edge, EdgeList, PartitionId};
+use gp_partition::{PartitionContext, Strategy};
+use gp_serve::{serve, DriftPolicy, EventKind, LiveGraph, ServeConfig, TrafficPlan, TrafficRates};
+use proptest::prelude::*;
+
+/// Strategies whose incremental rule reproduces batch placements exactly
+/// and that run on 9 partitions (PDS needs p²+p+1 and is covered below).
+const EXACT_ON_9: [Strategy; 6] = [
+    Strategy::OneD,
+    Strategy::TwoD,
+    Strategy::AsymmetricRandom,
+    Strategy::Grid,
+    Strategy::Random,
+    Strategy::OneDTarget,
+];
+
+const STATEFUL: [Strategy; 4] = [
+    Strategy::Oblivious,
+    Strategy::Hdrf,
+    Strategy::Hybrid,
+    Strategy::HybridGinger,
+];
+
+fn never_repair() -> DriftPolicy {
+    DriftPolicy {
+        max_imbalance: f64::INFINITY,
+        max_rf_growth: f64::INFINITY,
+        min_gap_s: 0.0,
+        check_every: u64::MAX,
+    }
+}
+
+fn batch_partitions(strategy: Strategy, el: &EdgeList, p: u32, seed: u64) -> Vec<PartitionId> {
+    let ctx = PartitionContext::new(p).with_seed(seed);
+    strategy
+        .build()
+        .partition(el, &ctx)
+        .assignment
+        .edge_partitions()
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_stream_matches_batch_for_exact_strategies(
+        pairs in proptest::collection::vec((0u64..64, 0u64..64), 1..300),
+        seed in 0u64..1_000,
+    ) {
+        let edges: Vec<Edge> = pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect();
+        let el = EdgeList::with_vertex_count(edges.clone(), 64).expect("ids in range");
+        for strategy in EXACT_ON_9 {
+            let batch = batch_partitions(strategy, &el, 9, seed);
+            let mut incr = strategy.incremental(9, 64, seed);
+            for (i, &e) in edges.iter().enumerate() {
+                prop_assert_eq!(
+                    incr.assign(i as u64, e),
+                    batch[i],
+                    "{} diverged at edge {} of {}",
+                    strategy,
+                    i,
+                    edges.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_pds_matches_batch_on_a_pds_machine_count(
+        pairs in proptest::collection::vec((0u64..64, 0u64..64), 1..150),
+        seed in 0u64..1_000,
+    ) {
+        // 7 = 2² + 2 + 1 is the smallest PDS-admissible partition count.
+        let edges: Vec<Edge> = pairs.iter().map(|&(s, d)| Edge::new(s, d)).collect();
+        let el = EdgeList::with_vertex_count(edges.clone(), 64).expect("ids in range");
+        let batch = batch_partitions(Strategy::Pds, &el, 7, seed);
+        let mut incr = Strategy::Pds.incremental(7, 64, seed);
+        for (i, &e) in edges.iter().enumerate() {
+            prop_assert_eq!(incr.assign(i as u64, e), batch[i]);
+        }
+    }
+}
+
+#[test]
+fn insert_only_serving_freezes_to_the_batch_partitioning() {
+    // Drive a serve run with inserts only, no repairs. For exact strategies
+    // the frozen end state must carry exactly the statistics of batch
+    // ingress over (base edges ++ inserted edges) — the same multiset the
+    // server accumulated.
+    let g = gp_gen::barabasi_albert(1_000, 4, 5);
+    let rates = TrafficRates {
+        inserts_per_s: 80.0,
+        deletes_per_s: 0.0,
+        khop_per_s: 0.0,
+        reads_per_s: 0.0,
+        max_hops: 1,
+    };
+    let plan = TrafficPlan::generate(3, g.num_vertices(), 2, 5.0, &rates);
+    let mut all = g.edges().to_vec();
+    for ev in &plan.events {
+        if let EventKind::Insert(e) = ev.kind {
+            all.push(e);
+        }
+    }
+    let el = EdgeList::with_vertex_count(all, g.num_vertices()).expect("ids in range");
+    for strategy in EXACT_ON_9 {
+        let mut cfg = ServeConfig::new(strategy);
+        cfg.seed = 11;
+        cfg.policy = never_repair();
+        let report = serve(&g, &plan, &cfg);
+        assert!(report.inserts > 0, "plan produced no inserts");
+        let ctx = PartitionContext::new(cfg.num_partitions).with_seed(cfg.seed);
+        let batch = strategy.build().partition(&el, &ctx);
+        assert_eq!(
+            report.final_rf,
+            batch.assignment.replication_factor(),
+            "{strategy}: replication factor diverged from batch replay"
+        );
+        assert_eq!(
+            report.final_imbalance,
+            batch.assignment.balance().imbalance,
+            "{strategy}: edge balance diverged from batch replay"
+        );
+    }
+}
+
+#[test]
+fn stateful_strategies_hold_quality_parity_under_churn() {
+    // Full churn (inserts + deletes + queries). The approximate strategies
+    // cannot match batch byte-for-byte — their batch form shards greedy
+    // state per loader — so the gate is quality parity: RF and balance of
+    // the served end state within 5% of a from-scratch batch partitioning
+    // of the final live edge multiset.
+    let g = gp_gen::barabasi_albert(1_500, 5, 5);
+    let plan = TrafficPlan::generate(13, g.num_vertices(), 3, 6.0, &TrafficRates::default());
+
+    // Replay the plan's churn against a mirror LiveGraph to recover the
+    // exact final multiset the server ends with (delete-victim resolution
+    // is a pure function of the tombstone state, so the mirror agrees).
+    let mut live = LiveGraph::from_source(&g);
+    for ev in &plan.events {
+        match ev.kind {
+            EventKind::Insert(e) => {
+                live.insert(e);
+            }
+            EventKind::Delete { draw } => {
+                if let Some(idx) = live.resolve_delete(draw) {
+                    live.delete(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+    let (final_edges, _) = live.live_edges();
+    let el = EdgeList::with_vertex_count(final_edges, g.num_vertices()).expect("ids in range");
+
+    for strategy in STATEFUL {
+        let mut cfg = ServeConfig::new(strategy);
+        cfg.seed = 13;
+        cfg.policy = never_repair();
+        let report = serve(&g, &plan, &cfg);
+        assert_eq!(report.final_edges, el.num_edges(), "mirror replay drifted");
+        let ctx = PartitionContext::new(cfg.num_partitions).with_seed(cfg.seed);
+        let batch = strategy.build().partition(&el, &ctx);
+        let batch_rf = batch.assignment.replication_factor();
+        let batch_bal = batch.assignment.balance().imbalance;
+        // One-sided gates: the served state may be *better* than batch
+        // (its greedy state is global where batch shards per loader); what
+        // the gate forbids is degrading more than 5% below batch quality.
+        let rf_gap = report.final_rf / batch_rf - 1.0;
+        let bal_gap = report.final_imbalance / batch_bal - 1.0;
+        assert!(
+            rf_gap <= 0.05,
+            "{strategy}: served RF {:.4} vs batch {:.4} ({:.1}% off)",
+            report.final_rf,
+            batch_rf,
+            rf_gap * 100.0
+        );
+        assert!(
+            bal_gap <= 0.05,
+            "{strategy}: served balance {:.4} vs batch {:.4} ({:.1}% off)",
+            report.final_imbalance,
+            batch_bal,
+            bal_gap * 100.0
+        );
+    }
+}

@@ -79,6 +79,68 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile estimate (`0.0 ..= 1.0`), interpolated linearly
+    /// within the containing bucket — the Prometheus `histogram_quantile`
+    /// rule adapted to fixed boundaries:
+    ///
+    /// - the target observation is the one with 1-based rank
+    ///   `ceil(q · count)` (clamped to at least 1), found by cumulative
+    ///   bucket counts;
+    /// - its value is interpolated between the bucket's lower and upper
+    ///   bound by the rank's position within the bucket, so a quantile that
+    ///   lands exactly on a bucket's last observation returns that bucket's
+    ///   **upper bound** exactly;
+    /// - the first bucket's lower edge is `min(bounds[0], 0)` (observations
+    ///   are assumed non-negative unless the bounds say otherwise);
+    /// - ranks landing in the overflow bucket return the last bound (the
+    ///   histogram cannot see beyond it);
+    /// - an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.bounds.is_empty() {
+            // Degenerate histogram: everything is overflow; the mean is the
+            // only value we can report.
+            return self.mean();
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if below + c >= target && c > 0 {
+                if i == self.bounds.len() {
+                    return *self.bounds.last().expect("non-empty bounds");
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 {
+                    self.bounds[0].min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = (target - below) as f64 / c as f64;
+                return lower + (upper - lower) * frac;
+            }
+            below += c;
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 /// Deterministically ordered registry of named metrics.
@@ -228,6 +290,82 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn histogram_rejects_nan_observation() {
         Histogram::new(&[1.0]).record(f64::NAN);
+    }
+
+    #[test]
+    fn quantile_hits_bucket_upper_bounds_exactly() {
+        // One observation per bucket of [1,2,3,4]: the k/4 quantile lands on
+        // the k-th bucket's last (only) observation, so interpolation must
+        // return that bucket's upper bound *exactly*.
+        let mut h = Histogram::new(&[1.0, 2.0, 3.0, 4.0]);
+        for v in [0.5, 1.5, 2.5, 3.5] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.p50(), 2.0);
+        assert_eq!(h.quantile(0.75), 3.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // Four observations, all in the first bucket [0, 1]: rank 2 of 4 is
+        // halfway through the bucket.
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for _ in 0..4 {
+            h.record(0.7);
+        }
+        assert_eq!(h.p50(), 0.5);
+        assert_eq!(h.quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn single_observation_reports_its_bucket_upper_bound() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(10.0); // boundary value: bucket (1, 10]
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 10.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_in_overflow_clamps_to_last_bound() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        h.record(100.0); // overflow
+        assert_eq!(h.p99(), 1.0, "overflow ranks clamp to the last bound");
+        assert_eq!(h.p999(), 1.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p999(), 0.0);
+    }
+
+    #[test]
+    fn extreme_percentiles_find_the_tail_bucket() {
+        // 990 fast observations and 10 slow ones: the p99 rank lands exactly
+        // on the fast bucket's last observation (boundary → upper bound 1.0),
+        // while p999 (rank 999) interpolates 9/10 into the slow bucket
+        // (10, 100]: 10 + 90 · 0.9 = 91.
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..990 {
+            h.record(0.5);
+        }
+        for _ in 0..10 {
+            h.record(50.0);
+        }
+        assert_eq!(h.p99(), 1.0);
+        assert_eq!(h.p999(), 91.0);
+        assert!(h.p50() < 1.0, "median stays in the fast bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        Histogram::new(&[1.0]).quantile(1.5);
     }
 
     #[test]

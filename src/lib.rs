@@ -15,6 +15,7 @@
 //! * [`net`] (gp-net) — unreliable network model: retry/backoff, speculation.
 //! * [`par`] (gp-par) — deterministic bounded parallelism (`--threads`).
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
+//! * [`serve`] (gp-serve) — long-running serving: churn, queries, rebalance.
 //! * [`store`] (gp-store) — compressed on-disk graphs + streaming ingress.
 //! * [`apps`] (gp-apps) — PageRank, WCC, k-core, SSSP, coloring.
 //! * [`advisor`] (gp-advisor) — the paper's decision trees as code.
@@ -30,6 +31,7 @@ pub use gp_gen as gen;
 pub use gp_net as net;
 pub use gp_par as par;
 pub use gp_partition as partition;
+pub use gp_serve as serve;
 pub use gp_store as store;
 pub use gp_telemetry as telemetry;
 
