@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod ch10;
 pub mod ch11;
 pub mod ch12;
+pub mod ch13;
 pub mod ch4;
 pub mod ch5;
 pub mod ch6;
@@ -200,6 +201,16 @@ pub fn registry() -> Vec<Experiment> {
             run: ch12::ch12_rebalance,
         },
         Experiment {
+            id: "ch13-elasticity",
+            title: "Scale-out: re-partition vs degraded balance, plus tenant scheduling (beyond the paper)",
+            run: ch13::ch13_elasticity,
+        },
+        Experiment {
+            id: "ch13-preemption",
+            title: "Spot preemption: evacuation vs checkpoint recovery by warning window (beyond the paper)",
+            run: ch13::ch13_preemption,
+        },
+        Experiment {
             id: "ablation-hdrf-lambda",
             title: "HDRF lambda sweep (beyond the paper)",
             run: ablations::ablation_hdrf_lambda,
@@ -280,7 +291,7 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         // 3 front-matter tables + 8 ch5 + 6 ch6 + 2 ch7 + 4 ch8 + 4 ch9
-        // + 2 ch10 + 2 ch11 + 2 ch12 + 9 ablations.
-        assert_eq!(registry().len(), 42);
+        // + 2 ch10 + 2 ch11 + 2 ch12 + 2 ch13 + 9 ablations.
+        assert_eq!(registry().len(), 44);
     }
 }

@@ -5,8 +5,8 @@ use gp_apps::{Coloring, PageRank, Sssp, Wcc};
 use gp_cluster::{ClusterSpec, CostRates};
 use gp_core::{EdgeList, VertexId};
 use gp_engine::{
-    base_memory_per_machine, AsyncGas, CommsConfig, ComputeReport, EngineConfig, HybridGas, Pregel,
-    PregelConfig, SyncGas,
+    base_memory_per_machine, AsyncGas, CommsConfig, ComputeReport, ElasticConfig, EngineConfig,
+    HybridGas, Pregel, PregelConfig, SyncGas,
 };
 use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_gen::Dataset;
@@ -168,6 +168,19 @@ pub struct JobResult {
     pub speculative_clones: u32,
     /// Wall-clock seconds saved by speculation (ch11).
     pub speculation_saved_seconds: f64,
+    /// Elastic cluster events applied mid-job (ch13).
+    pub scale_events: u32,
+    /// Departures absorbed by evacuating masters within the warning window
+    /// (ch13).
+    pub evacuations: u32,
+    /// Master state shipped off dying machines by evacuations (ch13).
+    pub evacuated_bytes: f64,
+    /// Departures whose warning window was too short, degenerating to crash
+    /// recovery (ch13).
+    pub forced_recoveries: u32,
+    /// Time spent re-partitioning onto a widened cluster after scale-out
+    /// (ch13).
+    pub reingress_seconds: f64,
     /// True if the job failed (GraphX OOM, §7.3/§9.2.4).
     pub failed: bool,
 }
@@ -347,6 +360,37 @@ impl Pipeline {
         checkpoint: CheckpointPolicy,
         comms: CommsConfig,
     ) -> JobResult {
+        self.run_with_elastic(
+            dataset,
+            strategy,
+            spec,
+            engine,
+            app,
+            fault_plan,
+            checkpoint,
+            comms,
+            ElasticConfig::disabled(),
+        )
+    }
+
+    /// Run one job under every mid-job model at once: faults, checkpoints,
+    /// the comms protocol, and an elastic plan of scale-outs and departures
+    /// (ch13). The widest variant — with the elastic config disabled it is
+    /// exactly [`Pipeline::run_with_comms`], and with everything disabled it
+    /// is exactly [`Pipeline::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_elastic(
+        &mut self,
+        dataset: Dataset,
+        strategy: Strategy,
+        spec: &ClusterSpec,
+        engine: EngineKind,
+        app: App,
+        fault_plan: FaultPlan,
+        checkpoint: CheckpointPolicy,
+        comms: CommsConfig,
+        elastic: ElasticConfig,
+    ) -> JobResult {
         let (ingress_report, ingress_seconds) = self.ingress(dataset, strategy, spec, engine);
         let partitions = engine.partitions(spec);
         let outcome = &self.partitions[&(dataset, strategy, partitions, spec.machines)];
@@ -387,6 +431,7 @@ impl Pipeline {
             .with_fault_plan(fault_plan)
             .with_checkpoint(checkpoint)
             .with_comms(comms)
+            .with_elastic(elastic)
             .with_threads(self.threads)
             .with_telemetry(telemetry.clone());
 
@@ -434,6 +479,11 @@ impl Pipeline {
                             retry_timeout_seconds: 0.0,
                             speculative_clones: 0,
                             speculation_saved_seconds: 0.0,
+                            scale_events: 0,
+                            evacuations: 0,
+                            evacuated_bytes: 0.0,
+                            forced_recoveries: 0,
+                            reingress_seconds: 0.0,
                             failed: true,
                         }
                     }
@@ -493,6 +543,11 @@ impl Pipeline {
             retry_timeout_seconds: reports.iter().map(|r| r.retry_timeout_seconds).sum(),
             speculative_clones: reports.iter().map(|r| r.speculative_clones).sum(),
             speculation_saved_seconds: reports.iter().map(|r| r.speculation_saved_seconds).sum(),
+            scale_events: reports.iter().map(|r| r.scale_events).sum(),
+            evacuations: reports.iter().map(|r| r.evacuations).sum(),
+            evacuated_bytes: reports.iter().map(|r| r.evacuated_bytes).sum(),
+            forced_recoveries: reports.iter().map(|r| r.forced_recoveries).sum(),
+            reingress_seconds: reports.iter().map(|r| r.reingress_seconds).sum(),
             failed: false,
         }
     }
@@ -838,6 +893,75 @@ mod tests {
         assert_eq!(faults.compute_seconds, comms.compute_seconds);
         assert_eq!(comms.retransmit_bytes, 0.0);
         assert_eq!(comms.speculative_clones, 0);
+    }
+
+    #[test]
+    fn disabled_elastic_matches_run_with_comms_exactly() {
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let args = (
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(5),
+        );
+        let comms = p.run_with_comms(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::none(),
+            CheckpointPolicy::disabled(),
+            CommsConfig::disabled(),
+        );
+        let elastic = p.run_with_elastic(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::none(),
+            CheckpointPolicy::disabled(),
+            CommsConfig::disabled(),
+            ElasticConfig::disabled(),
+        );
+        assert_eq!(comms.compute_seconds, elastic.compute_seconds);
+        assert_eq!(elastic.scale_events, 0);
+        assert_eq!(elastic.evacuations, 0);
+        assert_eq!(elastic.reingress_seconds, 0.0);
+    }
+
+    #[test]
+    fn preempted_job_records_elastic_costs() {
+        use gp_engine::ElasticPlan;
+        let mut p = small_pipeline();
+        let spec = ClusterSpec::local_9();
+        let args = (
+            Dataset::LiveJournal,
+            Strategy::Grid,
+            EngineKind::PowerGraph,
+            App::PageRankFixed(8),
+        );
+        let clean = p.run(args.0, args.1, &spec, args.2, args.3);
+        let preempted = p.run_with_elastic(
+            args.0,
+            args.1,
+            &spec,
+            args.2,
+            args.3,
+            FaultPlan::none(),
+            CheckpointPolicy::disabled(),
+            CommsConfig::disabled(),
+            ElasticConfig::new(ElasticPlan::preempt_at(3, 2, 3)),
+        );
+        assert_eq!(preempted.scale_events, 1);
+        assert_eq!(preempted.evacuations, 1);
+        assert!(preempted.evacuated_bytes > 0.0);
+        assert!(
+            preempted.compute_seconds > clean.compute_seconds,
+            "losing a machine can only slow the job down"
+        );
     }
 
     #[test]

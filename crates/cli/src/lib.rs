@@ -20,6 +20,9 @@
 //!     [--horizon S] [--sessions N] [--churn-scale F] [--threads N]
 //! distgraph fault <dataset> --strategies random,hybrid --cluster ec2-16 \
 //!     --crash-at 10 --machine 0 --interval 4 [--async]
+//! distgraph elastic <dataset> --strategies random,grid --cluster local-9 \
+//!     [--scale-out STEP:K] [--preempt STEP:M:W] [--drain STEP:M:W] \
+//!     [--policy cost-based] [--tenants N] [--fair]
 //! distgraph trace <dataset> --strategy hdrf --app pagerank --cluster ec2-16 \
 //!     [--system powergraph] [--interval 4] [--crash-at 10 --machine 0] -o DIR
 //! ```
@@ -33,6 +36,10 @@ use gp_bench::{App, EngineKind, Pipeline};
 use gp_cluster::{ClusterSpec, CostRates, Table};
 use gp_core::io::read_edge_list;
 use gp_core::{EdgeList, GraphStats, StreamingEdges};
+use gp_elastic::{
+    ElasticConfig, ElasticEvent, ElasticKind, ElasticPlan, RepairPolicy, SchedulePolicy, TenantJob,
+    TenantScheduler,
+};
 use gp_engine::{CommsConfig, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
 use gp_fault::{recovery_cost, CheckpointPolicy, FaultEvent, FaultKind, FaultPlan};
 use gp_gen::{classify, Dataset, DegreeAnalysis, PowerLawStreamParams};
@@ -144,6 +151,34 @@ pub enum Command {
         loss_rate: f64,
         /// Launch speculative backup tasks against stragglers.
         speculate: bool,
+        /// Worker threads (0 = all cores); results byte-identical.
+        threads: u32,
+    },
+    /// Replay a plan of mid-job cluster events — scale-outs, drains, spot
+    /// preemptions — and/or schedule several tenants onto one cluster.
+    Elastic {
+        dataset: Dataset,
+        scale: f64,
+        seed: u64,
+        cluster: ClusterChoice,
+        strategies: Vec<Strategy>,
+        /// `(superstep, machines_added)` of a scale-out, if any.
+        scale_out: Option<(u32, u32)>,
+        /// `(superstep, machine, warning_steps)` of a spot preemption.
+        preempt: Option<(u32, u32, u32)>,
+        /// `(superstep, machine, warning_steps)` of a planned drain.
+        drain: Option<(u32, u32, u32)>,
+        /// Scale-out repair policy: re-partition, ride, or price it.
+        policy: RepairPolicy,
+        /// PageRank supersteps in the measured job.
+        steps: u32,
+        /// Checkpoint interval in supersteps (0 = off) — the fallback when
+        /// a warning window is too short to evacuate.
+        interval: u32,
+        /// Concurrent tenant jobs to schedule (< 2 skips the tenant table).
+        tenants: u32,
+        /// Fair-share scheduling instead of FIFO.
+        fair: bool,
         /// Worker threads (0 = all cores); results byte-identical.
         threads: u32,
     },
@@ -321,7 +356,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     while i < rest.len() {
         let a = rest[i];
         if let Some(name) = a.strip_prefix("--") {
-            let takes_value = !matches!(name, "natural" | "help" | "async" | "speculate");
+            let takes_value = !matches!(name, "natural" | "help" | "async" | "speculate" | "fair");
             if takes_value {
                 let v = rest
                     .get(i + 1)
@@ -412,6 +447,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 
     let parse_size_flag = |name: &str| -> Result<Option<u64>, String> {
         flag(name).map(|v| parse_size(v)).transpose()
+    };
+    // `STEP:K`-style composite values for the elastic event flags.
+    let parse_colon = |name: &str, arity: usize, shape: &str| -> Result<Option<Vec<u32>>, String> {
+        flag(name)
+            .map(|v| {
+                let parts: Result<Vec<u32>, _> = v.split(':').map(str::parse::<u32>).collect();
+                match parts {
+                    Ok(p) if p.len() == arity => Ok(p),
+                    _ => Err(format!("--{name} expects {shape}, got {v:?}")),
+                }
+            })
+            .transpose()
     };
 
     match cmd.as_str() {
@@ -568,6 +615,57 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 threads: parse_threads()?,
             })
         }
+        "elastic" => {
+            let dataset = parse_dataset(&need_path()?)?;
+            let strategies = flag("strategies")
+                .map(|s| s.as_str())
+                .unwrap_or("random,grid,hdrf")
+                .split(',')
+                .map(|s| s.trim().parse::<Strategy>())
+                .collect::<Result<Vec<_>, _>>()?;
+            if strategies.is_empty() {
+                return Err("--strategies needs at least one strategy".to_string());
+            }
+            let scale_out =
+                parse_colon("scale-out", 2, "STEP:MACHINES_ADDED")?.map(|p| (p[0], p[1]));
+            let preempt = parse_colon("preempt", 3, "STEP:MACHINE:WARNING_STEPS")?
+                .map(|p| (p[0], p[1], p[2]));
+            let drain =
+                parse_colon("drain", 3, "STEP:MACHINE:WARNING_STEPS")?.map(|p| (p[0], p[1], p[2]));
+            let policy = match flag("policy").map(|s| s.as_str()).unwrap_or("cost-based") {
+                "always" => RepairPolicy::AlwaysRepartition,
+                "never" => RepairPolicy::NeverRepartition,
+                "cost-based" | "cost" => RepairPolicy::default(),
+                other => {
+                    return Err(format!(
+                        "unknown --policy {other:?} (always|never|cost-based)"
+                    ))
+                }
+            };
+            let tenants = parse_count("tenants", 1)?;
+            if tenants > 32 {
+                return Err(format!("--tenants must be between 1 and 32, got {tenants}"));
+            }
+            Ok(Command::Elastic {
+                dataset,
+                scale: parse_scale()?,
+                seed: parse_u("seed", 42)?,
+                cluster: flag("cluster")
+                    .map(|s| s.parse())
+                    .unwrap_or(Ok(ClusterChoice::Local9))?,
+                strategies,
+                scale_out,
+                preempt,
+                drain,
+                policy,
+                steps: parse_count("steps", 20)?,
+                interval: u32::try_from(parse_u("interval", 4)?)
+                    .map_err(|_| "--interval out of range".to_string())?,
+                tenants,
+                fair: has("fair"),
+                threads: parse_threads()?,
+            })
+        }
         "trace" => {
             let dataset = parse_dataset(&need_path()?)?;
             let crash = if has("crash-at") {
@@ -647,6 +745,12 @@ USAGE:
                   [--crash-at 10] [--machine 0] [--interval 4] [--async]
                   [--steps 20] [--loss-rate P] [--speculate]
                   [--scale S] [--seed N] [--threads N]
+  distgraph elastic <dataset> [--strategies random,grid,hdrf]
+                  [--cluster local-9] [--scale-out STEP:K]
+                  [--preempt STEP:M:W] [--drain STEP:M:W]
+                  [--policy always|never|cost-based] [--steps 20]
+                  [--interval 4] [--tenants N] [--fair]
+                  [--scale S] [--seed N] [--threads N]
   distgraph trace <dataset> [--strategy hdrf] [--app pagerank|pagerank10|wcc|
                   sssp|kcore|coloring] [--system powergraph|powerlyra|graphx]
                   [--cluster ec2-16] [--interval K] [--crash-at N --machine M]
@@ -678,6 +782,15 @@ query class and phase, and is byte-identical for the same seed.
 `fault` crashes one machine mid-PageRank, rolls back to the last checkpoint,
 and compares recovery cost (refetch traffic, replayed supersteps, wall-clock
 overhead) across partitioning strategies.
+
+`elastic` replays mid-job cluster events against each strategy: on
+`--scale-out STEP:K` the repair policy either re-partitions onto the wider
+cluster (paying a priced re-ingress) or rides the old assignment; on
+`--preempt`/`--drain STEP:M:W` the dying machine's masters evacuate to
+surviving replicas when the W-superstep warning window suffices, else the
+job falls back to checkpoint recovery. `--tenants N` schedules N copies of
+the job onto one cluster, FIFO by default or `--fair` for round-robin
+fair-share with priced network interference. Same seed, same bytes.
 
 `--loss-rate P` makes every link drop a fraction P of its packets; reliable
 delivery retries with capped exponential backoff, so lossy links cost
@@ -1161,6 +1274,219 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
                 sink.spans().len(),
                 dir.display(),
             )?;
+            Ok(0)
+        }
+        Command::Elastic {
+            dataset,
+            scale,
+            seed,
+            cluster,
+            strategies,
+            scale_out,
+            preempt,
+            drain,
+            policy,
+            steps,
+            interval,
+            tenants,
+            fair,
+            threads,
+        } => {
+            let spec = cluster.spec();
+            for (machine, what) in [
+                preempt.map(|(_, m, _)| (m, "--preempt")),
+                drain.map(|(_, m, _)| (m, "--drain")),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                if machine >= spec.machines {
+                    return fail(
+                        out,
+                        &format!(
+                            "{what} machine {machine} out of range: {} has {} machines",
+                            spec.name, spec.machines
+                        ),
+                    );
+                }
+            }
+            let mut plan = ElasticPlan::none();
+            let mut described: Vec<String> = Vec::new();
+            if let Some((step, k)) = scale_out {
+                plan.push(ElasticEvent {
+                    superstep: *step,
+                    kind: ElasticKind::ScaleOut {
+                        machines_added: (*k).max(1),
+                    },
+                });
+                described.push(format!("+{k} machines @ step {step}"));
+            }
+            if let Some((step, machine, warning)) = preempt {
+                plan.push(ElasticEvent {
+                    superstep: *step,
+                    kind: ElasticKind::Preempt {
+                        machine: *machine,
+                        warning_steps: (*warning).min(*step),
+                    },
+                });
+                described.push(format!(
+                    "preempt m{machine} @ step {step} (warning {warning})"
+                ));
+            }
+            if let Some((step, machine, warning)) = drain {
+                plan.push(ElasticEvent {
+                    superstep: *step,
+                    kind: ElasticKind::Drain {
+                        machine: *machine,
+                        warning_steps: (*warning).min(*step),
+                    },
+                });
+                described.push(format!(
+                    "drain m{machine} @ step {step} (warning {warning})"
+                ));
+            }
+            if plan.is_empty() && *tenants < 2 {
+                return fail(
+                    out,
+                    "nothing to simulate: add --scale-out/--preempt/--drain \
+                     and/or --tenants N (N >= 2)",
+                );
+            }
+            let checkpoint = if *interval == 0 {
+                CheckpointPolicy::disabled()
+            } else {
+                CheckpointPolicy::every(*interval)
+            };
+            let mut pipeline = Pipeline::new(*scale, *seed).with_threads(*threads);
+            let app = App::PageRankFixed(*steps);
+            if !plan.is_empty() {
+                let mut t = Table::new(
+                    format!(
+                        "Elastic plan [{}] on {} (PageRank({steps}), {} repair, \
+                         checkpoint {})",
+                        described.join(", "),
+                        spec.name,
+                        policy.label(),
+                        if *interval == 0 {
+                            "off".to_string()
+                        } else {
+                            format!("every {interval}")
+                        },
+                    ),
+                    &[
+                        "Strategy",
+                        "RF",
+                        "Clean (s)",
+                        "Elastic (s)",
+                        "Overhead",
+                        "Events",
+                        "Evacuated",
+                        "Forced",
+                        "Re-ingress (s)",
+                    ],
+                );
+                for strategy in strategies {
+                    if !strategy.supports_partition_count(spec.machines) {
+                        return fail(
+                            out,
+                            &format!(
+                                "{} cannot run on {} partitions",
+                                strategy.label(),
+                                spec.machines
+                            ),
+                        );
+                    }
+                    let clean =
+                        pipeline.run(*dataset, *strategy, &spec, EngineKind::PowerGraph, app);
+                    let elastic = pipeline.run_with_elastic(
+                        *dataset,
+                        *strategy,
+                        &spec,
+                        EngineKind::PowerGraph,
+                        app,
+                        FaultPlan::none(),
+                        checkpoint,
+                        CommsConfig::disabled(),
+                        ElasticConfig::new(plan.clone()).with_repair(policy.clone()),
+                    );
+                    t.row(vec![
+                        strategy.label().to_string(),
+                        format!("{:.2}", elastic.replication_factor),
+                        format!("{:.1}", clean.compute_seconds),
+                        format!("{:.1}", elastic.compute_seconds),
+                        format!(
+                            "{:.2}x",
+                            elastic.compute_seconds / clean.compute_seconds.max(1e-12)
+                        ),
+                        elastic.scale_events.to_string(),
+                        gp_cluster::table::fmt_bytes(elastic.evacuated_bytes),
+                        elastic.forced_recoveries.to_string(),
+                        format!("{:.1}", elastic.reingress_seconds),
+                    ]);
+                }
+                writeln!(out, "{t}")?;
+            }
+            if *tenants >= 2 {
+                let solo =
+                    pipeline.run(*dataset, strategies[0], &spec, EngineKind::PowerGraph, app);
+                let mut walls = Vec::with_capacity(solo.cumulative_seconds.len());
+                let mut prev = 0.0;
+                for &c in &solo.cumulative_seconds {
+                    walls.push(c - prev);
+                    prev = c;
+                }
+                let per_step = solo.mean_net_in_bytes / f64::from(solo.supersteps.max(1));
+                // Tenants replay the same job, arriving a quarter of a solo
+                // run apart — enough overlap that scheduling policy matters.
+                let jobs: Vec<TenantJob> = (0..*tenants)
+                    .map(|i| {
+                        TenantJob::new(
+                            &format!("tenant-{i}"),
+                            f64::from(i) * 0.25 * solo.compute_seconds,
+                            walls.clone(),
+                            vec![per_step; walls.len()],
+                        )
+                    })
+                    .collect();
+                let sched_policy = if *fair {
+                    SchedulePolicy::FairShare
+                } else {
+                    SchedulePolicy::Fifo
+                };
+                let report = TenantScheduler::new(spec.clone(), sched_policy)
+                    .run(&jobs, &TelemetrySink::Disabled);
+                let mut t = Table::new(
+                    format!(
+                        "{tenants} tenants of {} × PageRank({steps}) on {} ({}): \
+                         makespan {:.1}s",
+                        strategies[0].label(),
+                        spec.name,
+                        sched_policy.label(),
+                        report.makespan_s,
+                    ),
+                    &[
+                        "Tenant",
+                        "Arrival (s)",
+                        "Start (s)",
+                        "Finish (s)",
+                        "Wait (s)",
+                        "Interference (s)",
+                        "Interference",
+                    ],
+                );
+                for o in &report.outcomes {
+                    t.row(vec![
+                        o.name.clone(),
+                        format!("{:.1}", o.arrival_s),
+                        format!("{:.1}", o.start_s),
+                        format!("{:.1}", o.finish_s),
+                        format!("{:.1}", o.wait_seconds),
+                        format!("{:.1}", o.interference_seconds),
+                        gp_cluster::table::fmt_bytes(o.interference_bytes),
+                    ]);
+                }
+                writeln!(out, "{t}")?;
+            }
             Ok(0)
         }
         Command::Fault {
@@ -1760,6 +2086,139 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(parse(&bad_loss).is_err());
+    }
+
+    #[test]
+    fn parse_elastic_defaults_and_flags() {
+        let cmd = parse_ok(&["elastic", "LiveJournal", "--tenants", "2"]);
+        assert_eq!(
+            cmd,
+            Command::Elastic {
+                dataset: Dataset::LiveJournal,
+                scale: 1.0,
+                seed: 42,
+                cluster: ClusterChoice::Local9,
+                strategies: vec![Strategy::Random, Strategy::Grid, Strategy::Hdrf],
+                scale_out: None,
+                preempt: None,
+                drain: None,
+                policy: RepairPolicy::default(),
+                steps: 20,
+                interval: 4,
+                tenants: 2,
+                fair: false,
+                threads: 1,
+            }
+        );
+        let cmd = parse_ok(&[
+            "elastic",
+            "road-net-CA",
+            "--strategies",
+            "random,hybrid",
+            "--cluster",
+            "local-9",
+            "--scale-out",
+            "2:9",
+            "--preempt",
+            "5:2:4",
+            "--drain",
+            "7:1:3",
+            "--policy",
+            "always",
+            "--steps",
+            "12",
+            "--interval",
+            "3",
+            "--tenants",
+            "3",
+            "--fair",
+            "--scale",
+            "0.1",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(
+            cmd,
+            Command::Elastic {
+                dataset: Dataset::RoadNetCa,
+                scale: 0.1,
+                seed: 7,
+                cluster: ClusterChoice::Local9,
+                strategies: vec![Strategy::Random, Strategy::Hybrid],
+                scale_out: Some((2, 9)),
+                preempt: Some((5, 2, 4)),
+                drain: Some((7, 1, 3)),
+                policy: RepairPolicy::AlwaysRepartition,
+                steps: 12,
+                interval: 3,
+                tenants: 3,
+                fair: true,
+                threads: 2,
+            }
+        );
+        for bad in [
+            vec!["elastic", "Twitter", "--scale-out", "2"],
+            vec!["elastic", "Twitter", "--preempt", "5:2"],
+            vec!["elastic", "Twitter", "--preempt", "5:2:x"],
+            vec!["elastic", "Twitter", "--policy", "maybe"],
+            vec!["elastic", "Twitter", "--tenants", "99"],
+        ] {
+            let v: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse(&v).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn elastic_command_reports_events_and_tenants() {
+        let cmd = Command::Elastic {
+            dataset: Dataset::LiveJournal,
+            scale: 0.02,
+            seed: 11,
+            cluster: ClusterChoice::Local9,
+            strategies: vec![Strategy::Random, Strategy::Grid],
+            scale_out: Some((2, 9)),
+            preempt: Some((5, 2, 4)),
+            drain: None,
+            policy: RepairPolicy::default(),
+            steps: 12,
+            interval: 4,
+            tenants: 2,
+            fair: true,
+            threads: 1,
+        };
+        let (code, text) = run_to_string(&cmd);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("+9 machines @ step 2"), "{text}");
+        assert!(text.contains("preempt m2 @ step 5"), "{text}");
+        assert!(text.contains("tenant-1"), "{text}");
+        assert!(text.contains("fair-share"), "{text}");
+        // Same command, same bytes — the seeded pipeline is deterministic.
+        let (_, again) = run_to_string(&cmd);
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn elastic_command_requires_something_to_do() {
+        let (code, text) = run_to_string(&Command::Elastic {
+            dataset: Dataset::LiveJournal,
+            scale: 0.02,
+            seed: 11,
+            cluster: ClusterChoice::Local9,
+            strategies: vec![Strategy::Random],
+            scale_out: None,
+            preempt: None,
+            drain: None,
+            policy: RepairPolicy::default(),
+            steps: 12,
+            interval: 4,
+            tenants: 1,
+            fair: false,
+            threads: 1,
+        });
+        assert_eq!(code, 2);
+        assert!(text.contains("nothing to simulate"), "{text}");
     }
 
     #[test]

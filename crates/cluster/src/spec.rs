@@ -74,6 +74,17 @@ impl ClusterSpec {
         [Self::local_9(), Self::ec2_16(), Self::ec2_25()]
     }
 
+    /// The same hardware with a different machine count — what a mid-job
+    /// scale-out/scale-in leaves behind. The name is kept (the fleet did not
+    /// change tiers), so derived specs stay `'static`-friendly; a zero
+    /// request is clamped to one machine (a cluster cannot scale to nothing).
+    pub fn with_machines(&self, machines: u32) -> Self {
+        ClusterSpec {
+            machines: machines.max(1),
+            ..self.clone()
+        }
+    }
+
     /// Compute threads PowerGraph uses: "two less than the number of cores"
     /// (§5.3).
     pub fn compute_threads(&self) -> u32 {

@@ -244,6 +244,7 @@ impl AsyncGas {
         }
         let mut report = ComputeReport::new(program.name(), "async-gas", steps, converged);
         crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        crate::elastic_hook::apply_elastic_model(&mut report, &self.config, assignment);
         crate::comms_hook::apply_comms_model(&mut report, &self.config);
         crate::telemetry_hook::record_compute_telemetry(&self.config, &report);
         (states, report)

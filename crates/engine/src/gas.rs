@@ -87,6 +87,7 @@ impl SyncGas {
             "sync-gas",
         );
         crate::fault_hook::apply_fault_model(&mut report, &self.config, assignment);
+        crate::elastic_hook::apply_elastic_model(&mut report, &self.config, assignment);
         crate::comms_hook::apply_comms_model(&mut report, &self.config);
         crate::telemetry_hook::record_compute_telemetry(&self.config, &report);
         (states, report)

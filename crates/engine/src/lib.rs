@@ -30,6 +30,7 @@
 
 pub mod async_gas;
 pub mod comms_hook;
+pub mod elastic_hook;
 pub mod fault_hook;
 pub mod gas;
 pub mod hybrid;
@@ -42,8 +43,10 @@ pub mod telemetry_hook;
 
 pub use async_gas::AsyncGas;
 pub use comms_hook::apply_comms_model;
+pub use elastic_hook::apply_elastic_model;
 pub use fault_hook::apply_fault_model;
 pub use gas::SyncGas;
+pub use gp_elastic::{ElasticConfig, ElasticPlan, ElasticRates, RepairPolicy};
 pub use gp_net::{CommsConfig, RetryPolicy, SpeculationPolicy};
 pub use gp_par::ParConfig;
 pub use hybrid::HybridGas;

@@ -1,6 +1,7 @@
 //! Engine configuration and compute-phase reporting.
 
 use gp_cluster::{ClusterSpec, CostRates, MachineSample, MemoryModel, ResourceMonitor, Timeline};
+use gp_elastic::ElasticConfig;
 use gp_fault::{CheckpointPolicy, FaultPlan};
 use gp_net::CommsConfig;
 use gp_par::ParConfig;
@@ -43,6 +44,11 @@ pub struct EngineConfig {
     /// [`ComputeReport`] is bit-identical with or without instrumentation
     /// (the same contract as the inactive fault model).
     pub telemetry: TelemetrySink,
+    /// Mid-job elasticity: a plan of scale-outs, drains and spot
+    /// preemptions applied at superstep barriers, plus the policy deciding
+    /// whether a scale-out re-places partitions. Empty by default — the
+    /// machine set never changes and the hook is guaranteed inert.
+    pub elastic: ElasticConfig,
     /// Communication-layer protocols: reliable delivery over flaky links
     /// and speculative straggler re-execution. Fully disabled by default,
     /// in which case flaky windows in the fault plan are inert (an
@@ -69,6 +75,7 @@ impl EngineConfig {
             delta_caching: false,
             fault_plan: FaultPlan::none(),
             checkpoint: CheckpointPolicy::disabled(),
+            elastic: ElasticConfig::disabled(),
             telemetry: TelemetrySink::Disabled,
             comms: CommsConfig::disabled(),
             par: ParConfig::default(),
@@ -100,6 +107,12 @@ impl EngineConfig {
         self
     }
 
+    /// Builder: schedule mid-job elasticity for this run.
+    pub fn with_elastic(mut self, elastic: ElasticConfig) -> Self {
+        self.elastic = elastic;
+        self
+    }
+
     /// Builder: record spans and metrics into `sink`.
     pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
         self.telemetry = sink;
@@ -125,6 +138,13 @@ impl EngineConfig {
     pub fn comms_model_active(&self) -> bool {
         (self.comms.retry.enabled && self.fault_plan.has_flaky())
             || (self.comms.speculation.enabled && self.fault_plan.has_slowdowns())
+    }
+
+    /// True when the elastic model can alter a report: at least one
+    /// membership change is scheduled. An empty plan is guaranteed inert
+    /// regardless of the repair policy.
+    pub fn elastic_model_active(&self) -> bool {
+        !self.elastic.is_disabled()
     }
 
     /// Machine hosting partition `p` (round-robin fold, exact identity when
@@ -207,6 +227,23 @@ pub struct ComputeReport {
     /// Input bytes re-shipped to backup machines (already folded into the
     /// steps' inbound bytes).
     pub speculation_shipped_bytes: f64,
+    /// Cluster-membership changes that fired (scale-outs + drains +
+    /// preemptions; 0 without an elastic plan).
+    pub scale_events: u32,
+    /// Departures handled gracefully: the dying machine's masters drained
+    /// to surviving replicas inside the warning window.
+    pub evacuations: u32,
+    /// Bytes of master state shipped by those evacuations (already folded
+    /// into the steps' traffic).
+    pub evacuated_bytes: f64,
+    /// Departures whose warning window was too short to evacuate; they
+    /// degenerated to crash recovery (priced into `recovery_seconds` and
+    /// `supersteps_replayed`).
+    pub forced_recoveries: u32,
+    /// Wall-clock seconds spent re-partitioning onto a new machine set
+    /// after scale-outs the repair policy accepted (0 otherwise). Like
+    /// recovery transfers, kept out of `compute_seconds`.
+    pub reingress_seconds: f64,
 }
 
 impl ComputeReport {
@@ -231,6 +268,11 @@ impl ComputeReport {
             speculative_clones: 0,
             speculation_saved_seconds: 0.0,
             speculation_shipped_bytes: 0.0,
+            scale_events: 0,
+            evacuations: 0,
+            evacuated_bytes: 0.0,
+            forced_recoveries: 0,
+            reingress_seconds: 0.0,
         }
     }
 
@@ -244,10 +286,10 @@ impl ComputeReport {
 
     /// End-to-end compute-phase duration: every executed superstep
     /// (including checkpoint stalls and crash replays) plus the recovery
-    /// transfers. Equals [`ComputeReport::compute_seconds`] on a healthy
-    /// run.
+    /// transfers and any mid-job re-partitioning. Equals
+    /// [`ComputeReport::compute_seconds`] on a healthy run.
     pub fn wall_clock_seconds(&self) -> f64 {
-        self.compute_seconds() + self.recovery_seconds
+        self.compute_seconds() + self.recovery_seconds + self.reingress_seconds
     }
 
     /// Supersteps executed.

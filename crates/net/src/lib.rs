@@ -26,7 +26,7 @@
 pub mod retry;
 pub mod speculate;
 
-pub use retry::RetryPolicy;
+pub use retry::{contention_loss_rate, RetryPolicy};
 pub use speculate::{plan_speculation, SpeculationOutcome, SpeculationPolicy};
 
 /// Communication-layer settings threaded through `EngineConfig`.

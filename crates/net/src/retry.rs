@@ -96,6 +96,21 @@ impl RetryPolicy {
     }
 }
 
+/// Per-message loss probability induced by multi-tenant contention: each of
+/// the `active_tenants - 1` co-tenants independently collides with a message
+/// with probability `per_tenant_loss` (a switch-buffer drop under shared
+/// NICs), so the composed rate is `1 - (1 - l)^(k-1)` — exactly 0.0 for a
+/// sole tenant, monotone in both arguments, clamped like every link rate.
+/// gp-elastic's `TenantScheduler` feeds this into [`RetryPolicy`]'s
+/// closed-form expectations to price interference.
+pub fn contention_loss_rate(active_tenants: u32, per_tenant_loss: f64) -> f64 {
+    if active_tenants <= 1 {
+        return 0.0;
+    }
+    let l = per_tenant_loss.clamp(0.0, 1.0);
+    1.0 - (1.0 - l).powi(active_tenants as i32 - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +156,19 @@ mod tests {
         assert!((p.expected_retransmissions(0.5) - 0.75).abs() < 1e-12);
         assert!((p.expected_timeout_stall_s(0.5) - 0.1).abs() < 1e-12);
         assert!((p.residual_loss(0.5) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_is_free_alone_and_monotone_in_tenants() {
+        assert_eq!(contention_loss_rate(0, 0.1), 0.0);
+        assert_eq!(contention_loss_rate(1, 0.1), 0.0);
+        let rates: Vec<f64> = (1..6).map(|k| contention_loss_rate(k, 0.1)).collect();
+        for w in rates.windows(2) {
+            assert!(w[0] < w[1], "more tenants must contend more: {rates:?}");
+        }
+        assert!((contention_loss_rate(2, 0.1) - 0.1).abs() < 1e-12);
+        assert!((contention_loss_rate(3, 0.1) - 0.19).abs() < 1e-12);
+        assert_eq!(contention_loss_rate(5, 2.0), 1.0, "clamped");
     }
 
     #[test]

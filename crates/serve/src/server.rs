@@ -226,19 +226,23 @@ pub fn serve(base: &dyn StreamingEdges, plan: &TrafficPlan, cfg: &ServeConfig) -
                     let excess = (loads[from.index()] as f64 - mean).ceil() as i64;
                     let headroom = (mean.floor() as i64) - loads[to.index()] as i64;
                     let target = excess.min(headroom).max(1) as usize;
-                    let moved: Vec<u32> = live
-                        .live_indices_on(&res.edge_parts, from)
-                        .take(target)
-                        .collect();
+                    let moved =
+                        overlap_ranked_moves(&live, &res.edge_parts, &res.delta, from, to, target);
+                    let mut new_mirrors = 0u64;
                     for &idx in &moved {
                         let e = live.edge(idx);
+                        // Count before the move mutates the replica sets:
+                        // an endpoint already replicated on `to` needs no
+                        // new mirror registration.
+                        new_mirrors += u64::from(!res.delta.replicas(e.src).any(|p| p == to.0));
+                        new_mirrors += u64::from(!res.delta.replicas(e.dst).any(|p| p == to.0));
                         res.delta.move_edge(e, from, to);
                         res.incr.retire(e, from);
                         res.incr.warm(e, to);
                         res.edge_parts[idx as usize] = to;
                     }
-                    let bytes = moved.len() as f64
-                        * (rates.edge_wire_bytes + 2.0 * rates.mirror_setup_bytes);
+                    let bytes = moved.len() as f64 * rates.edge_wire_bytes
+                        + new_mirrors as f64 * rates.mirror_setup_bytes;
                     let cost_s = rates.network_seconds(bytes, &cfg.spec) + 2.0 * cfg.spec.latency_s;
                     degraded_until = now + cost_s;
                     last_repair_s = now;
@@ -277,6 +281,34 @@ pub fn serve(base: &dyn StreamingEdges, plan: &TrafficPlan, cfg: &ServeConfig) -
     report
 }
 
+/// Pick which of `from`'s live edges a rebalance ships to `to`: rank by how
+/// many endpoints already have a replica on `to` (those moves mint no new
+/// mirrors — cheaper on the wire and kinder to the replication factor),
+/// breaking ties by edge index so the choice stays deterministic. The old
+/// policy — take the first `target` excess edges — is the all-zero-overlap
+/// degenerate case of this ranking.
+fn overlap_ranked_moves(
+    live: &LiveGraph,
+    parts: &[PartitionId],
+    delta: &IncrementalAssignment,
+    from: PartitionId,
+    to: PartitionId,
+    target: usize,
+) -> Vec<u32> {
+    let mut ranked: Vec<(std::cmp::Reverse<u32>, u32)> = live
+        .live_indices_on(parts, from)
+        .map(|idx| {
+            let e = live.edge(idx);
+            let overlap = u32::from(delta.replicas(e.src).any(|p| p == to.0))
+                + u32::from(delta.replicas(e.dst).any(|p| p == to.0));
+            (std::cmp::Reverse(overlap), idx)
+        })
+        .collect();
+    ranked.sort_unstable();
+    ranked.truncate(target);
+    ranked.into_iter().map(|(_, idx)| idx).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +320,25 @@ mod tests {
 
     fn plan(g: &gp_core::EdgeList, horizon_s: f64) -> TrafficPlan {
         TrafficPlan::generate(9, g.num_vertices(), 3, horizon_s, &TrafficRates::default())
+    }
+
+    #[test]
+    fn rebalance_prefers_edges_already_replicated_on_the_target() {
+        // Partition 0 holds edges 0..=2; only edge 1's endpoints (2, 3)
+        // also have replicas on partition 1 (via edges 3 and 4), so it
+        // must be shipped first, then ties fall back to index order.
+        let el = EdgeList::from_pairs(vec![(0, 1), (2, 3), (4, 5), (2, 6), (3, 6)]);
+        let live = LiveGraph::from_source(&el);
+        let parts: Vec<PartitionId> = [0u32, 0, 0, 1, 1].iter().map(|&p| PartitionId(p)).collect();
+        let mut delta = IncrementalAssignment::new(7, 2, 0);
+        for (i, &e) in el.edges().iter().enumerate() {
+            delta.add(e, parts[i]);
+        }
+        let moved = overlap_ranked_moves(&live, &parts, &delta, PartitionId(0), PartitionId(1), 2);
+        assert_eq!(moved, vec![1, 0]);
+        // Everything-overlaps and nothing-overlaps degenerate to index order.
+        let all = overlap_ranked_moves(&live, &parts, &delta, PartitionId(0), PartitionId(1), 9);
+        assert_eq!(all, vec![1, 0, 2]);
     }
 
     #[test]

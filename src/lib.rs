@@ -13,6 +13,8 @@
 //! * [`cluster`] (gp-cluster) — simulated cluster and resource models.
 //! * [`fault`] (gp-fault) — fault injection, checkpointing, recovery pricing.
 //! * [`net`] (gp-net) — unreliable network model: retry/backoff, speculation.
+//! * [`elastic`] (gp-elastic) — mid-job scale-out/scale-in, spot preemption,
+//!   multi-tenant scheduling.
 //! * [`par`] (gp-par) — deterministic bounded parallelism (`--threads`).
 //! * [`engine`] (gp-engine) — GAS / Hybrid / Pregel engines.
 //! * [`serve`] (gp-serve) — long-running serving: churn, queries, rebalance.
@@ -25,6 +27,7 @@ pub use gp_advisor as advisor;
 pub use gp_apps as apps;
 pub use gp_cluster as cluster;
 pub use gp_core as core;
+pub use gp_elastic as elastic;
 pub use gp_engine as engine;
 pub use gp_fault as fault;
 pub use gp_gen as gen;

@@ -278,6 +278,83 @@ fn trace_covers_ingress_supersteps_phases_and_faults() {
     );
 }
 
+fn traced_elastic_job(
+    sink: &TelemetrySink,
+    elastic: distgraph::elastic::ElasticConfig,
+) -> gp_bench::JobResult {
+    let mut pipeline = Pipeline::new(0.05, 11)
+        .with_telemetry(sink.clone())
+        .with_threads(1);
+    pipeline.run_with_elastic(
+        Dataset::LiveJournal,
+        Strategy::Hdrf,
+        &ClusterSpec::local_9(),
+        EngineKind::PowerGraph,
+        App::PageRankFixed(5),
+        FaultPlan::crash_at(3, 2),
+        CheckpointPolicy::every(2),
+        CommsConfig::disabled(),
+        elastic,
+    )
+}
+
+#[test]
+fn empty_elastic_plan_keeps_artifacts_bit_identical() {
+    // The elastic contract mirrors the telemetry one: an *enabled* elastic
+    // config whose plan is empty must leave every threads-1 artifact
+    // byte-for-byte unchanged against a run that never mentions elasticity.
+    use distgraph::elastic::{ElasticConfig, ElasticPlan};
+    let sink_plain = TelemetrySink::recording();
+    let sink_empty = TelemetrySink::recording();
+    let r_plain = traced_job(&sink_plain);
+    let r_empty = traced_elastic_job(&sink_empty, ElasticConfig::new(ElasticPlan::none()));
+    assert_eq!(format!("{r_plain:?}"), format!("{r_empty:?}"), "job result");
+    assert_eq!(
+        sink_plain.chrome_trace_json(),
+        sink_empty.chrome_trace_json(),
+        "trace JSON"
+    );
+    assert_eq!(
+        sink_plain.metrics_csv(),
+        sink_empty.metrics_csv(),
+        "metrics CSV"
+    );
+    assert_eq!(sink_plain.summary(), sink_empty.summary(), "summary");
+    assert!(
+        !sink_empty
+            .chrome_trace_json()
+            .contains("\"cat\":\"elastic\""),
+        "an empty plan must emit no elastic spans"
+    );
+}
+
+#[test]
+fn trace_covers_elastic_events() {
+    use distgraph::elastic::{ElasticConfig, ElasticPlan};
+    let sink = TelemetrySink::recording();
+    let result = traced_elastic_job(&sink, ElasticConfig::new(ElasticPlan::preempt_at(3, 2, 3)));
+    assert_eq!(result.scale_events, 1);
+    assert_eq!(result.evacuations, 1, "warning window of 3 must suffice");
+    let spans = sink.spans();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "elastic" && s.name == "preempt.m2"),
+        "missing preempt span"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "elastic" && s.name == "evacuation.m2"),
+        "missing evacuation span"
+    );
+    assert_eq!(sink.counter("elastic.evacuations"), 1);
+    assert!(sink.counter("elastic.evacuated_bytes") > 0);
+    // Elastic events survive into the exported artifacts.
+    assert!(sink.chrome_trace_json().contains("\"cat\":\"elastic\""));
+    assert!(sink.metrics_csv().contains("elastic.evacuations"));
+}
+
 #[test]
 fn chrome_trace_matches_golden_file() {
     // A small hand-built trace pins the exporter's exact byte format:
@@ -301,6 +378,11 @@ fn chrome_trace_matches_golden_file() {
     // layer: cat "par", one span per worker on its machine track.
     sink.record_machine_span("par", "par.ingress.worker0".to_string(), 0, 2.0, 0.75);
     sink.record_machine_span("par", "par.ingress.worker1".to_string(), 1, 2.0, 0.75);
+    // The elastic-category spans from mid-job cluster events: a cluster-track
+    // scale-out decision and the evacuation window streaming a preempted
+    // machine's masters to surviving replicas.
+    sink.record_span("elastic", "scale_out.k9".to_string(), 3.0, 0.5);
+    sink.record_machine_span("elastic", "evacuation.m1".to_string(), 1, 3.0, 0.25);
     assert_eq!(sink.chrome_trace_json(), include_str!("golden_trace.json"));
     // Stripping the par category must recover a well-formed trace with the
     // same byte format and no par events.
