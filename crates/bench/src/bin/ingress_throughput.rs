@@ -1,18 +1,24 @@
 //! Measures multi-threaded ingress throughput — edges/second at 1, 2 and
 //! 4 threads on a synthetic power-law graph — for one stateless strategy
-//! (Random: the pure-function assignment path) and one stateful strategy
-//! (HDRF: the greedy per-loader-state path), and writes the results to
+//! (Random: the pure-function assignment path), the sequential stateful
+//! baseline (HDRF, window 0: the greedy per-loader-state path), and the
+//! windowed speculative stateful path (HDRF-par, window 4096: parallel
+//! scoring + sequential conflict repair), and writes the results to
 //! `BENCH_ingress.json` in the working directory.
 //!
-//! With `--check` it also acts as the CI `par-smoke` regression gate,
-//! core-aware and applied to *both* strategies:
+//! With `--check` it also acts as the CI `par-smoke` regression gate:
 //!
+//! - **Coverage:** every strategy label present in the committed
+//!   `BENCH_ingress.json` must appear in this run's sweep. A label that
+//!   silently drops out of the bench is a FAILURE, not a skip — that is
+//!   how a parallel path quietly stops being measured.
 //! - **≥ 4 cores:** 4-thread ingress must be at least as fast as 1-thread
-//!   (`threads=4 ≥ threads=1` edges/s). Anything less means the parallel
-//!   path regressed.
+//!   for every sweep, and windowed HDRF-par at 4 threads must reach at
+//!   least 2x the sequential HDRF baseline — the headline speedup the
+//!   speculative path exists to deliver.
 //! - **≥ 2 cores:** 2-thread ingress must be within 10% of 1-thread.
-//! - **1 core:** extra workers can only time-slice the core, so the gate
-//!   degrades to a pathology bound — fail only if 2 threads are slower than
+//! - **1 core:** extra workers can only time-slice the core, so the gates
+//!   degrade to a pathology bound — fail only if 2 threads are slower than
 //!   1 by more than 2x, which would indicate duplicated work rather than
 //!   contention.
 
@@ -23,12 +29,16 @@ const VERTICES: u64 = 120_000;
 const EDGES_PER_VERTEX: u64 = 10;
 const PARTITIONS: u32 = 9;
 const THREAD_COUNTS: [u32; 3] = [1, 2, 4];
+/// The production window for the speculative stateful path (also pinned by
+/// `windowed_hdrf_holds_strict_parity_at_scale`).
+const WINDOW: u32 = 4096;
 
 /// Best-of-3 edges/second for one full partitioning pass.
-fn measure(graph: &gp_core::EdgeList, strategy: Strategy, threads: u32) -> f64 {
+fn measure(graph: &gp_core::EdgeList, strategy: Strategy, threads: u32, window: u32) -> f64 {
     let ctx = PartitionContext::new(PARTITIONS)
         .with_seed(1)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_window(window);
     strategy.build().partition(graph, &ctx); // warm-up
     let mut best = f64::INFINITY;
     for _ in 0..3 {
@@ -41,31 +51,53 @@ fn measure(graph: &gp_core::EdgeList, strategy: Strategy, threads: u32) -> f64 {
     graph.num_edges() as f64 / best
 }
 
+/// Strategy labels recorded in an existing `BENCH_ingress.json`, so the
+/// check can fail when a previously-benched sweep goes missing. A naive
+/// line scan is enough for the file this binary itself writes.
+fn committed_labels(path: &str) -> Vec<String> {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    body.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("\"strategy\": \"")?;
+            Some(rest.trim_end_matches(&[',', '"'][..]).to_string())
+        })
+        .collect()
+}
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
+    let prior = committed_labels("BENCH_ingress.json");
     let graph = gp_gen::barabasi_albert(VERTICES, EDGES_PER_VERTEX as u32, 1);
-    let strategies = [Strategy::Random, Strategy::Hdrf];
-    // sweeps[strategy_label] = [(threads, edges/s)]
-    let mut sweeps: Vec<(&str, Vec<(u32, f64)>)> = Vec::new();
-    for strategy in strategies {
-        let label = strategy.label();
+    // (label, strategy, window): window 0 is the sequential kernel,
+    // window >= 2 the speculative one.
+    let plans: [(&str, Strategy, u32); 3] = [
+        ("Random", Strategy::Random, 0),
+        ("HDRF", Strategy::Hdrf, 0),
+        ("HDRF-par", Strategy::Hdrf, WINDOW),
+    ];
+    // sweeps[label] = (window, [(threads, edges/s)])
+    let mut sweeps: Vec<(&str, u32, Vec<(u32, f64)>)> = Vec::new();
+    for (label, strategy, window) in plans {
         let mut results = Vec::new();
         for threads in THREAD_COUNTS {
-            let eps = measure(&graph, strategy, threads);
-            println!("{label:8} {threads} thread(s): {eps:.0} edges/s");
+            let eps = measure(&graph, strategy, threads, window);
+            println!("{label:8} w{window:<4} {threads} thread(s): {eps:.0} edges/s");
             results.push((threads, eps));
         }
-        sweeps.push((label, results));
+        sweeps.push((label, window, results));
     }
     let sweep_json: Vec<String> = sweeps
         .iter()
-        .map(|(label, results)| {
+        .map(|(label, window, results)| {
             let rows: Vec<String> = results
                 .iter()
                 .map(|(t, eps)| format!("        {{\"threads\": {t}, \"edges_per_sec\": {eps:.0}}}"))
                 .collect();
             format!(
-                "    {{\n      \"strategy\": \"{label}\",\n      \"results\": [\n{}\n      ]\n    }}",
+                "    {{\n      \"strategy\": \"{label}\",\n      \"window\": {window},\n      \
+                 \"results\": [\n{}\n      ]\n    }}",
                 rows.join(",\n")
             )
         })
@@ -84,7 +116,17 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1);
         let mut failed = false;
-        for (label, results) in &sweeps {
+        // Coverage gate: nothing that was benched before may vanish.
+        for label in &prior {
+            if !sweeps.iter().any(|(l, _, _)| l == label) {
+                eprintln!(
+                    "par-smoke FAILED: strategy \"{label}\" is in the committed \
+                     BENCH_ingress.json but missing from this run's sweep"
+                );
+                failed = true;
+            }
+        }
+        for (label, _, results) in &sweeps {
             let one = results[0].1;
             let two = results[1].1;
             let four = results[2].1;
@@ -110,6 +152,28 @@ fn main() {
                 println!(
                     "par-smoke OK [{label}]: 2-thread ingress within {bound_label} of 1-thread \
                      ({two:.0} vs {one:.0} edges/s, {cores} core(s))"
+                );
+            }
+        }
+        // Speculation speedup gate: only meaningful where the workers have
+        // real cores to land on.
+        let seq = sweeps.iter().find(|(l, _, _)| *l == "HDRF");
+        let par = sweeps.iter().find(|(l, _, _)| *l == "HDRF-par");
+        if let (Some((_, _, seq)), Some((_, _, par))) = (seq, par) {
+            let baseline = seq[0].1;
+            let windowed4 = par[2].1;
+            if cores >= 4 && windowed4 < 2.0 * baseline {
+                eprintln!(
+                    "par-smoke FAILED [HDRF-par]: windowed ingress at 4 threads \
+                     ({windowed4:.0} edges/s) is under 2x the sequential HDRF baseline \
+                     ({baseline:.0} edges/s) on {cores} cores"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "par-smoke OK [HDRF-par]: {windowed4:.0} edges/s at 4 threads vs \
+                     {baseline:.0} sequential ({:.2}x, {cores} core(s))",
+                    windowed4 / baseline
                 );
             }
         }

@@ -90,6 +90,11 @@ pub enum Command {
         /// Ingress worker threads (0 = all cores). Output is byte-identical
         /// at any value.
         threads: u32,
+        /// Speculative ingress window for stateful strategies (0/1 =
+        /// sequential kernel; >= 2 = windowed speculative, quality-parity
+        /// rather than byte-identity with window 0, still byte-identical
+        /// across thread counts).
+        window: u32,
         out: Option<String>,
     },
     /// Recommend a strategy via the paper's decision trees.
@@ -112,6 +117,8 @@ pub enum Command {
         /// Worker threads for ingress and superstep accounting (0 = all
         /// cores). Reports are byte-identical at any value.
         threads: u32,
+        /// Speculative ingress window (see `Partition::window`).
+        window: u32,
     },
     /// Long-running serve: streaming updates, query traffic, drift repair.
     Serve {
@@ -428,6 +435,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Err(format!("--threads must be between 0 and 4096, got {v}"))
         }
     };
+    // Speculative window: 0 (default) and 1 both run the sequential
+    // stateful kernels; >= 2 enables windowed speculative ingress.
+    let parse_window = || -> Result<u32, String> {
+        let v = parse_u("window", 0)?;
+        if v <= 1 << 24 {
+            Ok(v as u32)
+        } else {
+            Err(format!("--window must be between 0 and 16777216, got {v}"))
+        }
+    };
     let parse_scale = || -> Result<f64, String> {
         let v = parse_flag("scale", 1.0)?;
         if v > 0.0 && v <= 1000.0 {
@@ -524,6 +541,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             parts: parse_count("parts", 9)?,
             seed: parse_u("seed", 42)?,
             threads: parse_threads()?,
+            window: parse_window()?,
             out: flag("out").cloned(),
         }),
         "recommend" => Ok(Command::Recommend {
@@ -713,6 +731,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .unwrap_or(Ok(SystemChoice::PowerGraph))?,
             partition_file: flag("partition-file").cloned(),
             threads: parse_threads()?,
+            window: parse_window()?,
         }),
         other => Err(format!("unknown command {other:?} (try `distgraph help`)")),
     }
@@ -727,7 +746,7 @@ USAGE:
   distgraph classify <graph.txt>
   distgraph generate <dataset> [--scale S | --edges E] [--seed N] [-o out.txt]
   distgraph partition <graph.txt|store.gps> --strategy <name> [--parts N]
-                      [--seed N] [--threads N] [-o parts.txt]
+                      [--seed N] [--threads N] [--window W] [-o parts.txt]
   distgraph store build powerlaw|<dataset> -o store.gps [--edges E]
                   [--vertices V] [--scale S] [--seed N]
   distgraph store info <store.gps>
@@ -736,7 +755,7 @@ USAGE:
                       [--machines N] [--compute-ingress R] [--natural]
   distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
                 [--parts N] [--system ...] [--partition-file parts.txt]
-                [--threads N]
+                [--threads N] [--window W]
   distgraph serve <graph.txt|store.gps> [--strategy hdrf] [--cluster local-9]
                   [--parts N] [--horizon S] [--sessions N] [--churn-scale F]
                   [--rebalance-threshold F] [--rf-threshold F] [--seed N]
@@ -801,6 +820,15 @@ least-loaded peer and takes the first finisher.
 `--threads N` runs ingress and superstep accounting on N worker threads
 (0 = all cores). Every report, assignment, and trace artifact is
 byte-identical at any thread count — parallelism only changes speed.
+
+`--window W` (partition/run) turns on windowed speculative ingress for the
+stateful strategies (hdrf, oblivious, hybrid, hybrid-ginger): edges are cut
+into W-edge windows, workers score each window in parallel against a
+read-only snapshot, and a sequential repair pass re-scores only the edges
+whose inputs changed. W of 0 (default) or 1 runs the exact sequential
+kernels; W >= 2 trades byte-identity with the sequential kernel for speed
+while staying within 5% on replication factor and balance — and remains
+byte-identical across thread counts at a fixed W.
 "
 }
 
@@ -975,6 +1003,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             parts,
             seed,
             threads,
+            window,
             out: dest,
         } => {
             // `.gps` stores stream straight off the mapping; text edge
@@ -1004,7 +1033,8 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             }
             let ctx = PartitionContext::new(*parts)
                 .with_seed(*seed)
-                .with_threads(*threads);
+                .with_threads(*threads)
+                .with_window(*window);
             let outcome = strategy.build().partition(graph, &ctx);
             let report = IngressReport::from_outcome(strategy.label(), &outcome, *parts);
             let mut t = Table::new(
@@ -1150,6 +1180,7 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             system,
             partition_file,
             threads,
+            window,
         } => {
             let loaded = match read_edge_list(path) {
                 Ok(l) => l,
@@ -1164,7 +1195,8 @@ pub fn execute<W: Write>(cmd: &Command, out: &mut W) -> std::io::Result<i32> {
             } else {
                 let ctx = PartitionContext::new(*parts)
                     .with_seed(*seed)
-                    .with_threads(*threads);
+                    .with_threads(*threads)
+                    .with_window(*window);
                 strategy.build().partition(graph, &ctx).assignment
             };
             let spec = match system {
@@ -1728,9 +1760,38 @@ mod tests {
                 parts: 16,
                 seed: 7,
                 threads: 3,
+                window: 0,
                 out: Some("p.txt".into()),
             }
         );
+    }
+
+    #[test]
+    fn parse_and_run_windowed_partition() {
+        let cmd = parse_ok(&[
+            "partition",
+            "g.txt",
+            "--strategy",
+            "hdrf",
+            "--window",
+            "4096",
+        ]);
+        match &cmd {
+            Command::Partition { window, .. } => assert_eq!(*window, 4096),
+            other => panic!("parsed {other:?}"),
+        }
+        let path = temp_graph_named("windowed");
+        let (code, text) = run_to_string(&Command::Partition {
+            path,
+            strategy: Strategy::Hdrf,
+            parts: 4,
+            seed: 1,
+            threads: 2,
+            window: 8,
+            out: None,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("replication factor"), "{text}");
     }
 
     #[test]
@@ -1932,6 +1993,7 @@ mod tests {
             parts: 9,
             seed: 1,
             threads: 2,
+            window: 0,
             out: Some(pfile.clone()),
         });
         assert_eq!(code, 0, "{text}");
@@ -1945,6 +2007,7 @@ mod tests {
             system: SystemChoice::PowerGraph,
             partition_file: Some(pfile),
             threads: 1,
+            window: 0,
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("WCC"), "{text}");
@@ -1968,6 +2031,7 @@ mod tests {
                 system,
                 partition_file: None,
                 threads: 2, // exercise the parallel engine path
+                window: 0,
             });
             assert_eq!(code, 0, "{system:?}: {text}");
             assert!(text.contains("PageRank"), "{system:?}: {text}");
@@ -2466,6 +2530,7 @@ mod tests {
             parts: 9,
             seed: 1,
             threads: 1,
+            window: 0,
             out: None,
         });
         assert_eq!(code, 2);
@@ -2645,6 +2710,7 @@ mod tests {
             parts: 8,
             seed: 3,
             threads: 2,
+            window: 0,
             out: Some(streamed_out.clone()),
         });
         assert_eq!(code, 0, "{text}");

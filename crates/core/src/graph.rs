@@ -235,6 +235,37 @@ impl DegreeTable {
     pub fn out_degrees(&self) -> impl Iterator<Item = u32> + '_ {
         self.out_deg.iter().copied()
     }
+
+    /// An all-zero table over `n` vertices — the starting point for one
+    /// shard of a parallel degree count.
+    pub fn zeroed(n: usize) -> Self {
+        DegreeTable {
+            out_deg: vec![0; n],
+            in_deg: vec![0; n],
+        }
+    }
+
+    /// Count one edge into the table (a self-loop counts once on each side,
+    /// exactly as [`EdgeList::degrees`] does).
+    #[inline]
+    pub fn record(&mut self, e: Edge) {
+        self.out_deg[e.src.index()] += 1;
+        self.in_deg[e.dst.index()] += 1;
+    }
+
+    /// Elementwise-add another shard into this one. Degree counts are
+    /// integer sums, so merging disjoint stream shards *in any chunking*
+    /// reproduces the sequential table exactly — this is the ordered-
+    /// reduction operator behind `gp_partition`'s sharded degree pass.
+    pub fn merge_from(&mut self, shard: &DegreeTable) {
+        assert_eq!(self.len(), shard.len(), "shards must cover the same vertex space");
+        for (a, b) in self.out_deg.iter_mut().zip(&shard.out_deg) {
+            *a += b;
+        }
+        for (a, b) in self.in_deg.iter_mut().zip(&shard.in_deg) {
+            *a += b;
+        }
+    }
 }
 
 /// Compressed-sparse-row adjacency with both out- and in-neighbor access.

@@ -73,6 +73,16 @@ pub struct PartitionContext {
     /// Results are byte-identical at any value — see the `gp-par`
     /// ordered-reduction rule.
     pub par: ParConfig,
+    /// Speculative-ingress window, in edges, for the stateful strategies.
+    /// `0` (the default) and `1` keep the exact sequential greedy kernels.
+    /// `window >= 2` switches HDRF, Oblivious and H-Ginger's refinement
+    /// phase to the windowed speculative kernel (`crate::speculative`):
+    /// the output is a pure function of `(graph, seed, partitions,
+    /// loaders, window)` — still independent of `par.threads` — but sits
+    /// within a *quality-parity* envelope of the sequential kernel (RF and
+    /// balance within 5%) rather than being byte-identical to it, because
+    /// conflict repair legitimately changes tie-break draw order.
+    pub window: u32,
 }
 
 impl PartitionContext {
@@ -87,6 +97,7 @@ impl PartitionContext {
             cost: CostModel::default(),
             telemetry: TelemetrySink::Disabled,
             par: ParConfig::default(),
+            window: 0,
         }
     }
 
@@ -115,6 +126,13 @@ impl PartitionContext {
     /// `1` = sequential). Never changes a single output byte.
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.par = ParConfig::new(threads);
+        self
+    }
+
+    /// Set the speculative-ingress window (edges per window; `0` = off,
+    /// i.e. the exact sequential greedy kernels). See [`Self::window`].
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window;
         self
     }
 }

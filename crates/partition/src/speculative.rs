@@ -1,0 +1,454 @@
+//! Windowed speculative ingress for the stateful greedy partitioners.
+//!
+//! HDRF and Oblivious assign each edge by scoring it against state mutated
+//! by every previous edge — an inherently sequential loop that caps ingress
+//! at ~4.4M edges/s while the stateless hash families stream at 50M+. This
+//! module breaks that wall with *bounded speculation*:
+//!
+//! 1. **Window.** Each loader's edge block is cut into fixed windows of `W`
+//!    edges ([`gp_par::window_ranges`] — a pure function of the block and
+//!    `W`, never of the thread count).
+//! 2. **Speculate.** `gp-par` workers score all `W` edges in parallel
+//!    against a read-only snapshot of the loader state as of the window
+//!    start (replica [`PartitionSet`]s, per-partition loads, degree
+//!    counters). Scoring is word-wise over the bitset words — membership of
+//!    64 partitions per AND/shift — and each edge draws tie-breaks from its
+//!    own [`Splitmix64`] seeded by the *stream index*, so a score depends
+//!    only on `(committed state, edge, index)`, never on chunk boundaries.
+//!    Workers with degree state also fold their chunk's endpoint touches
+//!    into a thread-local degree shard.
+//! 3. **Repair.** A sequential pass walks the window in stream order and
+//!    commits each edge. A speculative choice is kept iff its score inputs
+//!    are unchanged: neither endpoint was touched earlier in the same
+//!    window (replica sets unchanged) and the chosen partition is still
+//!    under the live capacity cap. Otherwise the edge is re-scored — same
+//!    pure function, live sets/loads — so only conflicted edges pay the
+//!    sequential cost.
+//! 4. **Merge.** Degree shards merge into the loader's counters *in chunk
+//!    order* (ordered reduction: integer elementwise addition is
+//!    chunking-invariant), after the window commits.
+//!
+//! ## Determinism and the quality-parity contract
+//!
+//! The committed output is a pure function of `(graph, seed, partitions,
+//! loaders, window)`: window boundaries, per-edge RNGs, the stream-order
+//! repair walk and the ordered shard merge are all independent of
+//! `--threads`, so any thread count yields byte-identical placements —
+//! `threads == 1` simply runs the speculation loop inline.
+//!
+//! The output is **not** byte-identical to the sequential kernel (`window
+//! == 0`): repaired edges legitimately re-draw tie-breaks, degree counters
+//! are frozen per window (an edge's θ sees previous windows plus its own
+//! endpoints, not same-window predecessors), and pure balance drift within
+//! a window is deliberately not treated as a conflict. Those deviations are
+//! bounded by the window length and gated by the `stateful_parity` suite:
+//! replication factor and balance within 5% of the sequential kernel, and
+//! `window <= 1` dispatches to the sequential code path, byte-identical by
+//! construction.
+
+use gp_core::{
+    for_each_edge, DegreeTable, Edge, PartitionId, PartitionSet, Splitmix64, StreamingEdges,
+    VertexId,
+};
+use gp_par::ParConfig;
+use std::ops::Range;
+
+/// Counters describing one windowed run (exported as `par.spec_*`
+/// telemetry): windows processed, speculative placements kept, and
+/// placements re-scored by the repair pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecStats {
+    /// Windows processed across all loader blocks.
+    pub windows: u64,
+    /// Edges whose speculative placement was committed unchanged.
+    pub speculated: u64,
+    /// Edges re-scored by the sequential repair pass.
+    pub repaired: u64,
+}
+
+impl SpecStats {
+    /// Fold another run's counters into this one.
+    pub fn absorb(&mut self, other: SpecStats) {
+        self.windows += other.windows;
+        self.speculated += other.speculated;
+        self.repaired += other.repaired;
+    }
+}
+
+/// O(1) membership over `0..n` vertices with O(1) whole-set clear: each
+/// vertex carries the id of the last window that touched it. Avoids an
+/// O(n/64) bitset clear per window, which would dominate at small `W`.
+pub(crate) struct StampSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampSet {
+    pub fn new(n: usize) -> Self {
+        StampSet {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Start a new window: every vertex becomes unmarked. Handles epoch
+    /// wrap-around (once per 2^32 windows) by a full reset.
+    pub fn advance(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.stamp[v.index()] == self.epoch
+    }
+
+    #[inline]
+    pub fn mark(&mut self, v: VertexId) {
+        self.stamp[v.index()] = self.epoch;
+    }
+}
+
+/// The per-edge tie-break RNG of the windowed kernels: a fresh
+/// [`Splitmix64`] keyed by `(loader seed, stream index)`. Giving every edge
+/// its own stream (instead of the sequential kernel's single shared stream)
+/// is what lets speculation and repair score the same edge identically no
+/// matter which worker — or which pass — evaluates it.
+#[inline]
+pub(crate) fn edge_rng(seed: u64, global_idx: usize) -> Splitmix64 {
+    Splitmix64::new(gp_core::hash_u64(global_idx as u64, seed))
+}
+
+/// Per-vertex in/out degrees computed in parallel: each chunk counts into a
+/// thread-local [`DegreeTable`] shard, shards merge in chunk order.
+/// Elementwise integer addition is chunking-invariant, so the result is
+/// byte-identical to [`gp_core::EdgeList::degrees`] at every thread count —
+/// property-tested in `crates/partition/tests/shard_merge.rs`.
+pub fn sharded_degree_table(graph: &dyn StreamingEdges, par: &ParConfig) -> DegreeTable {
+    let n = graph.num_vertices() as usize;
+    let mut shards = gp_par::map_chunks(par, graph.num_edges(), |_, range| {
+        let mut shard = DegreeTable::zeroed(n);
+        for_each_edge(graph, range, |e| shard.record(e));
+        shard
+    });
+    if shards.len() == 1 {
+        return shards.pop().expect("one shard");
+    }
+    let mut table = DegreeTable::zeroed(n);
+    for shard in &shards {
+        table.merge_from(shard);
+    }
+    table
+}
+
+/// Least-loaded partition over all partitions, ties broken uniformly with
+/// `rng` (one draw over ascending order) — the pure-function analogue of
+/// `GreedyState::least_loaded_all` for snapshot scoring.
+pub(crate) fn least_loaded_all(loads: &[u64], rng: &mut Splitmix64) -> PartitionId {
+    let min = *loads.iter().min().expect("partitions > 0");
+    let tied = loads.iter().filter(|&&l| l == min).count() as u64;
+    let pick = rng.next_below(tied);
+    let mut seen = 0;
+    for (c, &l) in loads.iter().enumerate() {
+        if l == min {
+            if seen == pick {
+                return PartitionId(c as u32);
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("pick < tied count")
+}
+
+/// Least-loaded partition among a non-empty candidate set, ties broken
+/// uniformly with `rng` over ascending bit order — the pure-function
+/// analogue of `GreedyState::least_loaded_in`.
+pub(crate) fn least_loaded_in(
+    loads: &[u64],
+    candidates: &PartitionSet,
+    rng: &mut Splitmix64,
+) -> PartitionId {
+    let min = candidates
+        .iter()
+        .map(|c| loads[c as usize])
+        .min()
+        .expect("non-empty candidate set");
+    let tied = candidates
+        .iter()
+        .filter(|&c| loads[c as usize] == min)
+        .count() as u64;
+    let pick = rng.next_below(tied);
+    let mut seen = 0;
+    for c in candidates.iter() {
+        if loads[c as usize] == min {
+            if seen == pick {
+                return PartitionId(c);
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("pick < tied count")
+}
+
+/// HDRF's Appendix-B score as a pure function of the visible state, with
+/// membership read word-wise off the replica-bitset words. Per 64-partition
+/// word pair, `c_rep` takes one of four class values (`both`, `u`-only,
+/// `v`-only, `none`) selected by two shifts — no `contains` probes, no
+/// branches the vectorizer can't lower to masks. Returns `None` when every
+/// partition is at capacity (caller falls back to least-loaded).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hdrf_score(
+    loads: &[u64],
+    capacity: u64,
+    au: &PartitionSet,
+    av: &PartitionSet,
+    theta_u: f64,
+    theta_v: f64,
+    lambda: f64,
+    rng: &mut Splitmix64,
+) -> Option<PartitionId> {
+    let p = loads.len();
+    let max_load = *loads.iter().max().expect("partitions > 0") as f64;
+    let min_load = *loads.iter().min().expect("partitions > 0") as f64;
+    const EPS: f64 = 1.0;
+    let g_u = 1.0 + (1.0 - theta_u);
+    let g_v = 1.0 + (1.0 - theta_v);
+    let uw = au.words();
+    let vw = av.words();
+    let bal_denom = EPS + max_load - min_load;
+    let score_at = |m: usize| -> Option<f64> {
+        if loads[m] >= capacity {
+            return None;
+        }
+        let (wi, bit) = (m / 64, m % 64);
+        // Inline sets always carry 4 words; vertices never placed past
+        // partition 255 read membership 0 beyond them, as they must.
+        let in_u = uw.get(wi).copied().unwrap_or(0) >> bit & 1;
+        let in_v = vw.get(wi).copied().unwrap_or(0) >> bit & 1;
+        let c_rep = in_u as f64 * g_u + in_v as f64 * g_v;
+        let c_bal = (max_load - loads[m] as f64) / bal_denom;
+        Some(c_rep + lambda * c_bal)
+    };
+    // Pass 1: best score and tie count (same 1e-12 epsilon as the
+    // sequential kernel). Pass 2: pick the `rng`-drawn tied candidate in
+    // ascending order. Two passes instead of a tie buffer keeps the score
+    // function allocation-free, so speculation workers need no scratch.
+    let mut best_score = f64::NEG_INFINITY;
+    let mut tied = 0u64;
+    for m in 0..p {
+        if let Some(score) = score_at(m) {
+            if score > best_score + 1e-12 {
+                best_score = score;
+                tied = 1;
+            } else if (score - best_score).abs() <= 1e-12 {
+                tied += 1;
+            }
+        }
+    }
+    if tied == 0 {
+        return None;
+    }
+    let pick = rng.next_below(tied);
+    let mut seen = 0;
+    for m in 0..p {
+        if let Some(score) = score_at(m) {
+            if (score - best_score).abs() <= 1e-12 {
+                if seen == pick {
+                    return Some(PartitionId(m as u32));
+                }
+                seen += 1;
+            }
+        }
+    }
+    unreachable!("pick < tied count")
+}
+
+/// Oblivious's Appendix-A case analysis as a pure function of the visible
+/// state — the snapshot-scoring analogue of `oblivious_choose`.
+pub(crate) fn oblivious_score(
+    loads: &[u64],
+    capacity: u64,
+    au: &PartitionSet,
+    av: &PartitionSet,
+    rng: &mut Splitmix64,
+) -> PartitionId {
+    let inter = au.intersection(av);
+    let choice = if !inter.is_empty() {
+        least_loaded_in(loads, &inter, rng)
+    } else if au.is_empty() && av.is_empty() {
+        least_loaded_all(loads, rng)
+    } else if av.is_empty() {
+        least_loaded_in(loads, au, rng)
+    } else if au.is_empty() {
+        least_loaded_in(loads, av, rng)
+    } else {
+        least_loaded_in(loads, &au.union(av), rng)
+    };
+    if loads[choice.index()] >= capacity {
+        least_loaded_all(loads, rng)
+    } else {
+        choice
+    }
+}
+
+/// One strategy's view of the windowed driver: a pure scoring function over
+/// the committed state, a capacity guard, a commit, and (for strategies
+/// with degree state) shard accumulation plus ordered merge.
+pub(crate) trait WindowKernel: Sync {
+    /// Score edge `e` (stream index `idx`) against the committed state.
+    /// Must be a pure read: it is called concurrently by speculation
+    /// workers against the window-start snapshot, and again by the repair
+    /// walk against live mid-window state for conflicted edges.
+    fn score(&self, e: Edge, idx: usize) -> PartitionId;
+
+    /// True when the live load of `p` disqualifies a speculative placement.
+    fn over_capacity(&self, p: PartitionId) -> bool;
+
+    /// Commit `e -> p`: loads, replica sets, work accounting.
+    fn apply(&mut self, e: Edge, p: PartitionId);
+
+    /// Fold `e`'s degree contribution into a speculation worker's shard.
+    fn shard(&self, _e: Edge, _shard: &mut Vec<VertexId>) {}
+
+    /// Merge the window's shards in chunk order (ordered reduction),
+    /// called after the whole window has committed — degree counters are
+    /// frozen for the duration of a window by design.
+    fn merge_shards(&mut self, _shards: Vec<Vec<VertexId>>) {}
+}
+
+/// Drive one loader block through the windowed speculate/repair/merge
+/// cycle, appending placements to `parts` in stream order.
+pub(crate) fn run_windowed<K: WindowKernel>(
+    graph: &dyn StreamingEdges,
+    block: Range<usize>,
+    window: usize,
+    par: &ParConfig,
+    kernel: &mut K,
+    stamp: &mut StampSet,
+    parts: &mut Vec<PartitionId>,
+    stats: &mut SpecStats,
+) {
+    debug_assert!(window >= 2, "window <= 1 dispatches to the sequential kernel");
+    let mut buf: Vec<Edge> = Vec::with_capacity(window.min(block.len()));
+    for wrange in gp_par::window_ranges(block, window) {
+        buf.clear();
+        for_each_edge(graph, wrange.clone(), |e| buf.push(e));
+        // Phase 1+2: speculative scoring against the window-start snapshot.
+        // Placements concatenate in chunk order; degree shards are returned
+        // per chunk for the ordered merge below.
+        let k: &K = kernel;
+        let edges = &buf;
+        let scored = gp_par::map_chunks(par, edges.len(), |_, r| {
+            let mut spec = Vec::with_capacity(r.len());
+            let mut shard = Vec::new();
+            for i in r {
+                let e = edges[i];
+                spec.push(k.score(e, wrange.start + i));
+                k.shard(e, &mut shard);
+            }
+            (spec, shard)
+        });
+        // Phase 3: sequential conflict repair + commit, in stream order. An
+        // edge keeps its speculative placement iff its score inputs are
+        // intact: no earlier edge in this window touched either endpoint
+        // and the chosen partition is still under the live capacity cap.
+        stamp.advance();
+        let mut shards = Vec::with_capacity(scored.len());
+        let mut i = 0usize;
+        for (spec, shard) in scored {
+            for provisional in spec {
+                let e = buf[i];
+                let clean = !stamp.contains(e.src)
+                    && !stamp.contains(e.dst)
+                    && !kernel.over_capacity(provisional);
+                let p = if clean {
+                    stats.speculated += 1;
+                    provisional
+                } else {
+                    stats.repaired += 1;
+                    kernel.score(e, wrange.start + i)
+                };
+                kernel.apply(e, p);
+                stamp.mark(e.src);
+                stamp.mark(e.dst);
+                parts.push(p);
+                i += 1;
+            }
+            shards.push(shard);
+        }
+        // Phase 4: ordered degree-shard merge.
+        kernel.merge_shards(shards);
+        stats.windows += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_core::EdgeList;
+
+    #[test]
+    fn stamp_set_separates_windows() {
+        let mut s = StampSet::new(4);
+        s.advance();
+        s.mark(VertexId(1));
+        assert!(s.contains(VertexId(1)));
+        assert!(!s.contains(VertexId(0)));
+        s.advance();
+        assert!(!s.contains(VertexId(1)), "new window unmarks everything");
+    }
+
+    #[test]
+    fn sharded_degrees_match_sequential_at_every_thread_count() {
+        let g = gp_gen::barabasi_albert(500, 4, 11);
+        let seq = g.degrees();
+        for threads in [1u32, 2, 4, 7] {
+            let par = sharded_degree_table(&g, &ParConfig::new(threads));
+            for v in 0..g.num_vertices() {
+                let v = VertexId(v);
+                assert_eq!(par.in_degree(v), seq.in_degree(v), "threads={threads}");
+                assert_eq!(par.out_degree(v), seq.out_degree(v), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_rng_is_stable_per_index() {
+        let a = edge_rng(42, 7).next_u64();
+        let b = edge_rng(42, 7).next_u64();
+        let c = edge_rng(42, 8).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pure_least_loaded_matches_greedy_state() {
+        use crate::strategies::oblivious::GreedyState;
+        let loads = vec![3u64, 1, 1, 5];
+        let mut st = GreedyState::new(4, 8, 99);
+        st.load = loads.clone();
+        let mut rng = Splitmix64::new(99);
+        // Same seed, same draw sequence, same tie order.
+        assert_eq!(least_loaded_all(&loads, &mut rng), st.least_loaded_all());
+        let cands = {
+            let mut s = PartitionSet::new();
+            s.insert(0);
+            s.insert(3);
+            s
+        };
+        assert_eq!(
+            least_loaded_in(&loads, &cands, &mut rng),
+            st.least_loaded_in(&cands)
+        );
+    }
+
+    #[test]
+    fn empty_graph_yields_no_windows() {
+        let g = EdgeList::from_pairs(Vec::new());
+        assert_eq!(sharded_degree_table(&g, &ParConfig::new(4)).len(), 0);
+        assert!(gp_par::window_ranges(0..g.num_edges(), 8).is_empty());
+    }
+}

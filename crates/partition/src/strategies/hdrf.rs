@@ -20,8 +20,11 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_ranges, PartitionContext, PartitionOutcome, Partitioner};
+use crate::speculative::{
+    self, edge_rng, run_windowed, SpecStats, StampSet, WindowKernel,
+};
 use crate::strategies::oblivious::GreedyState;
-use gp_core::{for_each_edge, Edge, PartitionId, StreamingEdges};
+use gp_core::{for_each_edge, Edge, PartitionId, StreamingEdges, VertexId};
 
 /// HDRF streaming partitioner with tunable balance weight `λ`.
 #[derive(Debug, Clone)]
@@ -154,6 +157,158 @@ impl HdrfLoader {
     }
 }
 
+/// HDRF's [`WindowKernel`]: the same per-loader state as [`HdrfLoader`],
+/// scored through the pure [`speculative::hdrf_score`] function with
+/// per-edge RNGs. Degree counters are frozen for the duration of a window
+/// (each edge sees previous windows plus its own endpoint bump) and advance
+/// via the ordered shard merge — the documented quality-parity deviation
+/// from the sequential kernel.
+struct HdrfWindowKernel {
+    greedy: GreedyState,
+    partial_degree: Vec<u64>,
+    touched: u64,
+    lambda: f64,
+    seed: u64,
+    parse_edge: f64,
+    heuristic_base: f64,
+    heuristic_per_candidate: f64,
+}
+
+impl HdrfWindowKernel {
+    fn new(ctx: &PartitionContext, num_vertices: u64, seed: u64, lambda: f64) -> Self {
+        HdrfWindowKernel {
+            greedy: GreedyState::new(ctx.num_partitions, num_vertices, seed),
+            partial_degree: vec![0; num_vertices as usize],
+            touched: 0,
+            lambda,
+            seed,
+            parse_edge: ctx.cost.parse_edge,
+            heuristic_base: ctx.cost.heuristic_base,
+            heuristic_per_candidate: ctx.cost.heuristic_per_candidate,
+        }
+    }
+
+    fn state_bytes(&self, window: u32, num_vertices: u64) -> u64 {
+        // Loader state plus the windowing machinery: the edge/choice buffer
+        // (16 + 4 bytes per buffered edge) and the per-vertex stamp table.
+        self.greedy.state_bytes()
+            + 40 * self.touched
+            + window as u64 * 20
+            + num_vertices * 4
+    }
+}
+
+impl WindowKernel for HdrfWindowKernel {
+    fn score(&self, e: Edge, idx: usize) -> PartitionId {
+        let mut rng = edge_rng(self.seed, idx);
+        // θ uses the frozen counters plus this edge's own contribution,
+        // mirroring the sequential kernel's increment-then-score order. A
+        // self-loop bumps its single endpoint twice there, so it does here.
+        let bump = if e.src == e.dst { 2 } else { 1 };
+        let du = (self.partial_degree[e.src.index()] + bump) as f64;
+        let dv = (self.partial_degree[e.dst.index()] + bump) as f64;
+        let theta_u = du / (du + dv);
+        let theta_v = dv / (du + dv);
+        match speculative::hdrf_score(
+            &self.greedy.load,
+            self.greedy.capacity(),
+            self.greedy.replicas(e.src),
+            self.greedy.replicas(e.dst),
+            theta_u,
+            theta_v,
+            self.lambda,
+            &mut rng,
+        ) {
+            Some(p) => p,
+            // Everything at capacity (transient at tiny loads).
+            None => speculative::least_loaded_all(&self.greedy.load, &mut rng),
+        }
+    }
+
+    fn over_capacity(&self, p: PartitionId) -> bool {
+        self.greedy.load[p.index()] >= self.greedy.capacity()
+    }
+
+    fn apply(&mut self, e: Edge, p: PartitionId) {
+        let candidates =
+            self.greedy.replicas(e.src).len() + self.greedy.replicas(e.dst).len();
+        self.greedy.work += self.parse_edge
+            + self.heuristic_base
+            + self.heuristic_per_candidate * candidates as f64;
+        self.greedy.commit(e, p);
+    }
+
+    fn shard(&self, e: Edge, shard: &mut Vec<VertexId>) {
+        shard.push(e.src);
+        shard.push(e.dst);
+    }
+
+    fn merge_shards(&mut self, shards: Vec<Vec<VertexId>>) {
+        for shard in shards {
+            for v in shard {
+                let d = &mut self.partial_degree[v.index()];
+                if *d == 0 {
+                    self.touched += 1;
+                }
+                *d += 1;
+            }
+        }
+    }
+}
+
+impl Hdrf {
+    /// The `window >= 2` ingress path: per-loader windowed speculation. The
+    /// loader loop itself runs sequentially — parallelism lives *inside*
+    /// each window's speculation pass, so threads are never oversubscribed.
+    fn partition_windowed(
+        &self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
+        let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
+        let mut parts = Vec::with_capacity(graph.num_edges());
+        let mut loader_work = Vec::with_capacity(blocks.len());
+        let mut state_bytes = 0u64;
+        let mut stats = SpecStats::default();
+        let mut stamp = StampSet::new(graph.num_vertices() as usize);
+        for (i, block) in blocks.into_iter().enumerate() {
+            let mut kernel = HdrfWindowKernel::new(
+                ctx,
+                graph.num_vertices(),
+                ctx.seed ^ (0x4d5f + i as u64),
+                self.lambda,
+            );
+            run_windowed(
+                graph,
+                block,
+                ctx.window as usize,
+                &ctx.par,
+                &mut kernel,
+                &mut stamp,
+                &mut parts,
+                &mut stats,
+            );
+            loader_work.push(kernel.greedy.work);
+            state_bytes = state_bytes.max(kernel.state_bytes(ctx.window, graph.num_vertices()));
+        }
+        let outcome = PartitionOutcome {
+            assignment: Assignment::from_edge_partitions_par(
+                graph,
+                parts,
+                ctx.num_partitions,
+                ctx.seed,
+                &ctx.par,
+            ),
+            loader_work,
+            passes: 1,
+            state_bytes,
+        };
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
+        super::record_speculation_telemetry(ctx, &stats);
+        outcome
+    }
+}
+
 impl Partitioner for Hdrf {
     fn name(&self) -> &'static str {
         "HDRF"
@@ -164,6 +319,9 @@ impl Partitioner for Hdrf {
         graph: &dyn StreamingEdges,
         ctx: &PartitionContext,
     ) -> PartitionOutcome {
+        if ctx.window >= 2 {
+            return self.partition_windowed(graph, ctx);
+        }
         let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
         let lambda = self.lambda;
         // Per-loader state is independent; run the loaders on the bounded

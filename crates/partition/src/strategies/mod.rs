@@ -7,6 +7,7 @@ pub mod hash;
 pub mod hdrf;
 pub mod hybrid;
 pub mod oblivious;
+pub mod vebo;
 
 pub use bicut::{BiCut, FavoriteSide};
 pub use chunking::Chunking;
@@ -15,9 +16,11 @@ pub use hash::{AsymmetricRandom, OneD, OneDTarget, Random, TwoD};
 pub use hdrf::Hdrf;
 pub use hybrid::{Hybrid, HybridGinger};
 pub use oblivious::Oblivious;
+pub use vebo::Vebo;
 
 use crate::ingress::IngressReport;
 use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome};
+use crate::speculative::SpecStats;
 use gp_core::StreamingEdges;
 
 /// Per-loader work for a single-pass stateless hash strategy: every loader
@@ -94,4 +97,19 @@ pub(crate) fn record_ingress_telemetry(
             );
         }
     }
+}
+
+/// Record a windowed speculative run's counters. Only emitted when the
+/// window is actually on (`window >= 2`), and under the `par.` prefix that
+/// trace-identity comparisons already strip — so every golden trace and
+/// byte-identity gate for non-windowed runs is untouched.
+pub(crate) fn record_speculation_telemetry(ctx: &PartitionContext, stats: &SpecStats) {
+    let sink = &ctx.telemetry;
+    if !sink.is_enabled() || ctx.window < 2 {
+        return;
+    }
+    sink.gauge_set("par.window_size", f64::from(ctx.window));
+    sink.counter_add("par.spec_windows", stats.windows);
+    sink.counter_add("par.spec_edges", stats.speculated);
+    sink.counter_add("par.spec_repaired", stats.repaired);
 }

@@ -21,6 +21,9 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_ranges, PartitionContext, PartitionOutcome, Partitioner};
+use crate::speculative::{
+    self, edge_rng, run_windowed, SpecStats, StampSet, WindowKernel,
+};
 use gp_core::{
     for_each_edge, Edge, PartitionId, PartitionSet, Splitmix64, StreamingEdges, VertexId,
 };
@@ -178,6 +181,110 @@ pub(crate) fn oblivious_choose(state: &mut GreedyState, e: Edge) -> PartitionId 
     }
 }
 
+/// Oblivious's [`WindowKernel`]: same per-loader [`GreedyState`], scored
+/// through the pure [`speculative::oblivious_score`] case analysis with
+/// per-edge RNGs. Oblivious has no degree state, so the kernel needs no
+/// shards — windows only freeze the replica sets and loads it scores
+/// against.
+struct ObliviousWindowKernel {
+    greedy: GreedyState,
+    seed: u64,
+    parse_edge: f64,
+    heuristic_base: f64,
+    heuristic_per_candidate: f64,
+}
+
+impl ObliviousWindowKernel {
+    fn new(ctx: &PartitionContext, num_vertices: u64, seed: u64) -> Self {
+        ObliviousWindowKernel {
+            greedy: GreedyState::new(ctx.num_partitions, num_vertices, seed),
+            seed,
+            parse_edge: ctx.cost.parse_edge,
+            heuristic_base: ctx.cost.heuristic_base,
+            heuristic_per_candidate: ctx.cost.heuristic_per_candidate,
+        }
+    }
+
+    fn state_bytes(&self, window: u32, num_vertices: u64) -> u64 {
+        self.greedy.state_bytes() + window as u64 * 20 + num_vertices * 4
+    }
+}
+
+impl WindowKernel for ObliviousWindowKernel {
+    fn score(&self, e: Edge, idx: usize) -> PartitionId {
+        let mut rng = edge_rng(self.seed, idx);
+        speculative::oblivious_score(
+            &self.greedy.load,
+            self.greedy.capacity(),
+            self.greedy.replicas(e.src),
+            self.greedy.replicas(e.dst),
+            &mut rng,
+        )
+    }
+
+    fn over_capacity(&self, p: PartitionId) -> bool {
+        self.greedy.load[p.index()] >= self.greedy.capacity()
+    }
+
+    fn apply(&mut self, e: Edge, p: PartitionId) {
+        let candidates = self.greedy.replicas(e.src).len() + self.greedy.replicas(e.dst).len();
+        self.greedy.work += self.parse_edge
+            + self.heuristic_base
+            + self.heuristic_per_candidate * candidates as f64;
+        self.greedy.commit(e, p);
+    }
+}
+
+impl Oblivious {
+    /// The `window >= 2` ingress path; see [`crate::speculative`].
+    fn partition_windowed(
+        &self,
+        graph: &dyn StreamingEdges,
+        ctx: &PartitionContext,
+    ) -> PartitionOutcome {
+        let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
+        let mut parts = Vec::with_capacity(graph.num_edges());
+        let mut loader_work = Vec::with_capacity(blocks.len());
+        let mut state_bytes = 0u64;
+        let mut stats = SpecStats::default();
+        let mut stamp = StampSet::new(graph.num_vertices() as usize);
+        for (i, block) in blocks.into_iter().enumerate() {
+            let mut kernel = ObliviousWindowKernel::new(
+                ctx,
+                graph.num_vertices(),
+                ctx.seed ^ (0x0b11 + i as u64),
+            );
+            run_windowed(
+                graph,
+                block,
+                ctx.window as usize,
+                &ctx.par,
+                &mut kernel,
+                &mut stamp,
+                &mut parts,
+                &mut stats,
+            );
+            loader_work.push(kernel.greedy.work);
+            state_bytes = state_bytes.max(kernel.state_bytes(ctx.window, graph.num_vertices()));
+        }
+        let outcome = PartitionOutcome {
+            assignment: Assignment::from_edge_partitions_par(
+                graph,
+                parts,
+                ctx.num_partitions,
+                ctx.seed,
+                &ctx.par,
+            ),
+            loader_work,
+            passes: 1,
+            state_bytes,
+        };
+        super::record_ingress_telemetry(self.name(), graph, &outcome, ctx);
+        super::record_speculation_telemetry(ctx, &stats);
+        outcome
+    }
+}
+
 impl Partitioner for Oblivious {
     fn name(&self) -> &'static str {
         "Oblivious"
@@ -188,6 +295,9 @@ impl Partitioner for Oblivious {
         graph: &dyn StreamingEdges,
         ctx: &PartitionContext,
     ) -> PartitionOutcome {
+        if ctx.window >= 2 {
+            return self.partition_windowed(graph, ctx);
+        }
         let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
         // Loaders are independent by design (each is "oblivious" to the
         // others), so they can run on real parallel threads. The determinism

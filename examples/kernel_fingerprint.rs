@@ -12,7 +12,7 @@ use distgraph::apps::PageRank;
 use distgraph::cluster::ClusterSpec;
 use distgraph::core::{StreamingEdges, VertexId};
 use distgraph::engine::{EngineConfig, SyncGas};
-use distgraph::partition::strategies::{BiCut, Chunking};
+use distgraph::partition::strategies::{BiCut, Chunking, Vebo};
 use distgraph::partition::{PartitionContext, PartitionOutcome, Partitioner, Strategy};
 
 /// Order-sensitive FNV-style digest over the full observable assignment
@@ -79,6 +79,7 @@ fn main() {
         .collect();
     partitioners.push(("BiCut".into(), Box::new(BiCut::default()), 9));
     partitioners.push(("Chunking".into(), Box::new(Chunking), 9));
+    partitioners.push(("VEBO".into(), Box::new(Vebo), 9));
 
     for (gname, graph) in &graphs {
         // The same edges as a compressed in-memory `.gps` store. Streamed
