@@ -93,7 +93,8 @@ pub enum Command {
         /// Speculative ingress window for stateful strategies (0/1 =
         /// sequential kernel; >= 2 = windowed speculative, quality-parity
         /// rather than byte-identity with window 0, still byte-identical
-        /// across thread counts).
+        /// across thread counts; `gp_partition::WINDOW_AUTO`, CLI "auto" =
+        /// adaptive controller).
         window: u32,
         out: Option<String>,
     },
@@ -436,13 +437,19 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
     };
     // Speculative window: 0 (default) and 1 both run the sequential
-    // stateful kernels; >= 2 enables windowed speculative ingress.
+    // stateful kernels; >= 2 enables windowed speculative ingress; "auto"
+    // selects the adaptive window controller.
     let parse_window = || -> Result<u32, String> {
+        if flag("window").map(String::as_str) == Some("auto") {
+            return Ok(gp_partition::WINDOW_AUTO);
+        }
         let v = parse_u("window", 0)?;
         if v <= 1 << 24 {
             Ok(v as u32)
         } else {
-            Err(format!("--window must be between 0 and 16777216, got {v}"))
+            Err(format!(
+                "--window must be \"auto\" or between 0 and 16777216, got {v}"
+            ))
         }
     };
     let parse_scale = || -> Result<f64, String> {
@@ -746,7 +753,7 @@ USAGE:
   distgraph classify <graph.txt>
   distgraph generate <dataset> [--scale S | --edges E] [--seed N] [-o out.txt]
   distgraph partition <graph.txt|store.gps> --strategy <name> [--parts N]
-                      [--seed N] [--threads N] [--window W] [-o parts.txt]
+                      [--seed N] [--threads N] [--window W|auto] [-o parts.txt]
   distgraph store build powerlaw|<dataset> -o store.gps [--edges E]
                   [--vertices V] [--scale S] [--seed N]
   distgraph store info <store.gps>
@@ -755,7 +762,7 @@ USAGE:
                       [--machines N] [--compute-ingress R] [--natural]
   distgraph run <graph.txt> --app pagerank|wcc|sssp --strategy <name>
                 [--parts N] [--system ...] [--partition-file parts.txt]
-                [--threads N] [--window W]
+                [--threads N] [--window W|auto]
   distgraph serve <graph.txt|store.gps> [--strategy hdrf] [--cluster local-9]
                   [--parts N] [--horizon S] [--sessions N] [--churn-scale F]
                   [--rebalance-threshold F] [--rf-threshold F] [--seed N]
@@ -828,7 +835,10 @@ read-only snapshot, and a sequential repair pass re-scores only the edges
 whose inputs changed. W of 0 (default) or 1 runs the exact sequential
 kernels; W >= 2 trades byte-identity with the sequential kernel for speed
 while staying within 5% on replication factor and balance — and remains
-byte-identical across thread counts at a fixed W.
+byte-identical across thread counts at a fixed W. `--window auto` sizes
+windows adaptively: they grow geometrically while the repair rate stays
+low and halve on conflict storms, with the schedule derived purely from
+committed-edge counts — still byte-identical at every thread count.
 "
 }
 
@@ -1792,6 +1802,60 @@ mod tests {
         });
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("replication factor"), "{text}");
+    }
+
+    #[test]
+    fn parse_and_run_auto_window_partition() {
+        let cmd = parse_ok(&[
+            "partition",
+            "g.txt",
+            "--strategy",
+            "hdrf",
+            "--window",
+            "auto",
+        ]);
+        match &cmd {
+            Command::Partition { window, .. } => {
+                assert_eq!(*window, gp_partition::WINDOW_AUTO)
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let path = temp_graph_named("autowindow");
+        let (code, text) = run_to_string(&Command::Partition {
+            path,
+            strategy: Strategy::Hdrf,
+            parts: 4,
+            seed: 1,
+            threads: 2,
+            window: gp_partition::WINDOW_AUTO,
+            out: None,
+        });
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("replication factor"), "{text}");
+    }
+
+    #[test]
+    fn window_rejects_garbage_but_takes_auto() {
+        let err = super::parse(&[
+            "partition".into(),
+            "g.txt".into(),
+            "--strategy".into(),
+            "hdrf".into(),
+            "--window".into(),
+            "soon".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad --window"), "{err}");
+        let err = super::parse(&[
+            "partition".into(),
+            "g.txt".into(),
+            "--strategy".into(),
+            "hdrf".into(),
+            "--window".into(),
+            "999999999".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("auto"), "{err}");
     }
 
     #[test]

@@ -258,7 +258,11 @@ impl DegreeTable {
     /// reproduces the sequential table exactly — this is the ordered-
     /// reduction operator behind `gp_partition`'s sharded degree pass.
     pub fn merge_from(&mut self, shard: &DegreeTable) {
-        assert_eq!(self.len(), shard.len(), "shards must cover the same vertex space");
+        assert_eq!(
+            self.len(),
+            shard.len(),
+            "shards must cover the same vertex space"
+        );
         for (a, b) in self.out_deg.iter_mut().zip(&shard.out_deg) {
             *a += b;
         }

@@ -62,9 +62,13 @@ impl Assignment {
 
     /// Multi-threaded [`Assignment::from_edge_partitions`]: workers build
     /// thread-local replica-bitset/edge-count shards over disjoint edge
-    /// chunks, merged by an ordered reduction whose operators (word-wise OR,
-    /// integer addition) are insensitive to chunk boundaries — so the result
-    /// is byte-identical to the sequential build at any thread count.
+    /// chunks, merged pairwise in a reduction tree whose operators
+    /// (word-wise OR, integer addition) are associative, commutative and
+    /// insensitive to chunk boundaries — so the result is byte-identical to
+    /// the sequential build at any thread count, while the merge itself
+    /// runs in `log2(chunks)` parallel rounds instead of one sequential
+    /// left fold (the fold was eating the whole stateless-ingress speedup:
+    /// `chunks - 1` full O(n)-vertex merges on one thread).
     pub fn from_edge_partitions_par(
         graph: &dyn StreamingEdges,
         edge_partition: Vec<PartitionId>,
@@ -93,21 +97,34 @@ impl Assignment {
             (sets, edge_counts)
         };
         let (replica_sets, edge_counts) = if par.is_parallel() {
-            let shards = gp_par::map_chunks(par, graph.num_edges(), |_, range| build_shard(range));
-            let mut iter = shards.into_iter();
-            // An empty edge stream yields no chunks; start from an empty shard.
-            let (mut sets, mut edge_counts) = iter.next().unwrap_or_else(|| build_shard(0..0));
-            for (shard_sets, shard_counts) in iter {
-                for (total, c) in edge_counts.iter_mut().zip(shard_counts) {
-                    *total += c;
+            let mut shards =
+                gp_par::map_chunks(par, graph.num_edges(), |_, range| build_shard(range));
+            // Pairwise reduction tree: each round merges shard 2k+1 into
+            // shard 2k, all pairs in parallel on the ordered pool. The merge
+            // kernel is one word-wise OR per vertex plus an integer add per
+            // partition — no allocation, no per-element branching.
+            while shards.len() > 1 {
+                let mut iter = shards.into_iter();
+                let mut tasks = Vec::new();
+                while let Some(left) = iter.next() {
+                    let right = iter.next();
+                    tasks.push(move || {
+                        let (mut sets, mut counts) = left;
+                        if let Some((right_sets, right_counts)) = right {
+                            for (total, c) in counts.iter_mut().zip(right_counts) {
+                                *total += c;
+                            }
+                            for (set, shard_set) in sets.iter_mut().zip(&right_sets) {
+                                set.union_with(shard_set);
+                            }
+                        }
+                        (sets, counts)
+                    });
                 }
-                // The merge kernel: one word-wise OR per vertex, no
-                // allocation, no per-element branching.
-                for (set, shard_set) in sets.iter_mut().zip(&shard_sets) {
-                    set.union_with(shard_set);
-                }
+                shards = gp_par::run_ordered(par.effective_threads(), tasks);
             }
-            (sets, edge_counts)
+            // An empty edge stream yields no chunks; fall back to an empty shard.
+            shards.pop().unwrap_or_else(|| build_shard(0..0))
         } else {
             build_shard(0..graph.num_edges())
         };
@@ -121,14 +138,20 @@ impl Assignment {
             rep_flat.extend(set.iter());
             rep_offsets.push(rep_flat.len() as u64);
         }
-        let masters = rep_offsets
-            .windows(2)
-            .enumerate()
-            .map(|(v, w)| {
-                let list = &rep_flat[w[0] as usize..w[1] as usize];
-                default_master(VertexId(v as u64), seed, list)
-            })
-            .collect();
+        // Master choice is a pure per-vertex hash over the frozen view, so
+        // it chunks freely across workers.
+        let masters: Vec<PartitionId> = gp_par::map_chunks(par, n, |_, range| {
+            range
+                .map(|v| {
+                    let lo = rep_offsets[v] as usize;
+                    let hi = rep_offsets[v + 1] as usize;
+                    default_master(VertexId(v as u64), seed, &rep_flat[lo..hi])
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Assignment {
             num_partitions,
             num_vertices: graph.num_vertices(),

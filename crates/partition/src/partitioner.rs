@@ -82,7 +82,19 @@ pub struct PartitionContext {
     /// within a *quality-parity* envelope of the sequential kernel (RF and
     /// balance within 5%) rather than being byte-identical to it, because
     /// conflict repair legitimately changes tie-break draw order.
+    /// [`gp_partition::WINDOW_AUTO`](crate::WINDOW_AUTO) (CLI: `--window
+    /// auto`) selects adaptive sizing: the window grows while the repair
+    /// rate stays low and shrinks on conflict storms, with the schedule
+    /// derived purely from committed-edge counts — so it too is
+    /// bit-identical at every thread count.
     pub window: u32,
+    /// Whether windowed loader blocks may overlap on the bounded two-stage
+    /// block pipeline (block `N+1` speculates while block `N`'s repair
+    /// walk commits). On by default; results are byte-identical either way
+    /// — each block is a pure function of its own edge range and outputs
+    /// fold in block order — so the knob exists only for the overlap
+    /// on/off identity gate and for single-threaded debugging.
+    pub overlap: bool,
 }
 
 impl PartitionContext {
@@ -98,6 +110,7 @@ impl PartitionContext {
             telemetry: TelemetrySink::Disabled,
             par: ParConfig::default(),
             window: 0,
+            overlap: true,
         }
     }
 
@@ -130,9 +143,17 @@ impl PartitionContext {
     }
 
     /// Set the speculative-ingress window (edges per window; `0` = off,
-    /// i.e. the exact sequential greedy kernels). See [`Self::window`].
+    /// i.e. the exact sequential greedy kernels;
+    /// [`crate::WINDOW_AUTO`] = adaptive). See [`Self::window`].
     pub fn with_window(mut self, window: u32) -> Self {
         self.window = window;
+        self
+    }
+
+    /// Enable or disable overlapped loader blocks on the windowed path.
+    /// Output is byte-identical either way; see [`Self::overlap`].
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 }

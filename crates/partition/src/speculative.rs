@@ -5,18 +5,21 @@
 //! at ~4.4M edges/s while the stateless hash families stream at 50M+. This
 //! module breaks that wall with *bounded speculation*:
 //!
-//! 1. **Window.** Each loader's edge block is cut into fixed windows of `W`
-//!    edges ([`gp_par::window_ranges`] — a pure function of the block and
-//!    `W`, never of the thread count).
-//! 2. **Speculate.** `gp-par` workers score all `W` edges in parallel
+//! 1. **Window.** Each loader's edge block is cut into windows — fixed
+//!    `W`-edge windows for `--window W`, or adaptively sized ones for
+//!    `--window auto` (see [`WindowController`]). Either way the window
+//!    schedule is a pure function of the edge stream, never of the thread
+//!    count.
+//! 2. **Speculate.** `gp-par` workers score all window edges in parallel
 //!    against a read-only snapshot of the loader state as of the window
 //!    start (replica [`PartitionSet`]s, per-partition loads, degree
-//!    counters). Scoring is word-wise over the bitset words — membership of
-//!    64 partitions per AND/shift — and each edge draws tie-breaks from its
-//!    own [`Splitmix64`] seeded by the *stream index*, so a score depends
-//!    only on `(committed state, edge, index)`, never on chunk boundaries.
-//!    Workers with degree state also fold their chunk's endpoint touches
-//!    into a thread-local degree shard.
+//!    counters). Scoring runs in explicit 4-wide unrolled lanes with
+//!    branchless capacity selects over the bitset words (see
+//!    [`SCORE_LANES`]), into a per-worker [`ScoreScratch`] — no per-edge
+//!    allocation, no branches the vectorizer cannot lower to masks. Each
+//!    edge draws tie-breaks from its own [`Splitmix64`] seeded by the
+//!    *stream index*, so a score depends only on `(committed state, edge,
+//!    index)`, never on chunk boundaries.
 //! 3. **Repair.** A sequential pass walks the window in stream order and
 //!    commits each edge. A speculative choice is kept iff its score inputs
 //!    are unchanged: neither endpoint was touched earlier in the same
@@ -24,17 +27,27 @@
 //!    under the live capacity cap. Otherwise the edge is re-scored — same
 //!    pure function, live sets/loads — so only conflicted edges pay the
 //!    sequential cost.
-//! 4. **Merge.** Degree shards merge into the loader's counters *in chunk
-//!    order* (ordered reduction: integer elementwise addition is
-//!    chunking-invariant), after the window commits.
+//! 4. **Merge.** Strategies with degree state fold the committed window's
+//!    endpoint touches into their counters *after* the repair walk
+//!    ([`WindowKernel::end_window`]) — degree counters are frozen for the
+//!    duration of a window by design, and elementwise integer addition is
+//!    insensitive to how the window was chunked.
+//!
+//! Loader blocks themselves overlap through [`gp_par::pipeline_ordered`]
+//! (see [`partition_windowed_blocks`]): each block is a pure function of
+//! its own edge range — own kernel, own stamp set, own window schedule —
+//! so while block `N`'s repair walk commits, block `N+1`'s windows are
+//! already being scored on another worker. Results concatenate strictly in
+//! block order, which is why the overlap knob cannot change a single byte.
 //!
 //! ## Determinism and the quality-parity contract
 //!
 //! The committed output is a pure function of `(graph, seed, partitions,
-//! loaders, window)`: window boundaries, per-edge RNGs, the stream-order
-//! repair walk and the ordered shard merge are all independent of
-//! `--threads`, so any thread count yields byte-identical placements —
-//! `threads == 1` simply runs the speculation loop inline.
+//! loaders, window)`: window boundaries (fixed *or* adaptive — the
+//! controller only reads committed-edge counts), per-edge RNGs, the
+//! stream-order repair walk and the ordered degree merge are all
+//! independent of `--threads`, so any thread count yields byte-identical
+//! placements — `threads == 1` simply runs the speculation loop inline.
 //!
 //! The output is **not** byte-identical to the sequential kernel (`window
 //! == 0`): repaired edges legitimately re-draw tie-breaks, degree counters
@@ -46,6 +59,7 @@
 //! `window <= 1` dispatches to the sequential code path, byte-identical by
 //! construction.
 
+use crate::partitioner::{loader_ranges, PartitionContext};
 use gp_core::{
     for_each_edge, DegreeTable, Edge, PartitionId, PartitionSet, Splitmix64, StreamingEdges,
     VertexId,
@@ -53,9 +67,21 @@ use gp_core::{
 use gp_par::ParConfig;
 use std::ops::Range;
 
+/// Sentinel `window` value meaning *adaptive*: the [`WindowController`]
+/// grows the window geometrically while the repair rate stays low and
+/// shrinks it on conflict storms. CLI spelling: `--window auto`.
+pub const WINDOW_AUTO: u32 = u32::MAX;
+
+/// How many loader blocks may be in flight at once on the block pipeline.
+/// Two stages — block `N` repairing/committing while block `N+1`
+/// speculates — is the whole point; more would multiply peak kernel state
+/// (each in-flight block owns a full replica/degree table) for no extra
+/// overlap of the sequential walks.
+pub(crate) const PIPELINE_DEPTH: usize = 2;
+
 /// Counters describing one windowed run (exported as `par.spec_*`
-/// telemetry): windows processed, speculative placements kept, and
-/// placements re-scored by the repair pass.
+/// telemetry): windows processed, speculative placements kept, placements
+/// re-scored by the repair pass, plus the adaptive controller's trajectory.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpecStats {
     /// Windows processed across all loader blocks.
@@ -64,6 +90,12 @@ pub struct SpecStats {
     pub speculated: u64,
     /// Edges re-scored by the sequential repair pass.
     pub repaired: u64,
+    /// Largest window actually processed (equals the configured window for
+    /// fixed-window runs, up to block truncation).
+    pub max_window: u64,
+    /// Times the adaptive controller halved the window after a conflict
+    /// storm. Always 0 for fixed-window runs.
+    pub shrinks: u64,
 }
 
 impl SpecStats {
@@ -72,6 +104,109 @@ impl SpecStats {
         self.windows += other.windows;
         self.speculated += other.speculated;
         self.repaired += other.repaired;
+        self.max_window = self.max_window.max(other.max_window);
+        self.shrinks += other.shrinks;
+    }
+
+    /// Fraction of scored edges that needed the sequential repair re-score.
+    pub fn repair_rate(&self) -> f64 {
+        let scored = self.speculated + self.repaired;
+        if scored == 0 {
+            0.0
+        } else {
+            self.repaired as f64 / scored as f64
+        }
+    }
+}
+
+/// Per-block window-size schedule. For a fixed `--window W` it always
+/// answers `W`. For `--window auto` it starts at [`Self::INITIAL`] and,
+/// after each window commits, doubles the window (up to [`Self::MAX`])
+/// while the window's repair rate stayed under [`Self::GROW_BELOW`], or
+/// halves it (down to [`Self::MIN`]) when the rate exceeded
+/// [`Self::SHRINK_ABOVE`] — a conflict storm, where speculation is mostly
+/// wasted work and big windows just grow the amount thrown away.
+///
+/// The controller's only inputs are the committed window length and the
+/// repair count — both pure functions of the edge stream — so the schedule
+/// is bit-identical across thread counts, and each loader block runs its
+/// own controller from scratch, keeping blocks independent for the overlap
+/// pipeline.
+pub(crate) struct WindowController {
+    next: usize,
+    adaptive: bool,
+}
+
+impl WindowController {
+    /// Starting window for `--window auto`.
+    pub(crate) const INITIAL: usize = 1024;
+    /// Conflict-storm floor: never shrink below this.
+    pub(crate) const MIN: usize = 256;
+    /// Growth ceiling: windows larger than this stop amortizing per-window
+    /// overhead and only widen the frozen-degree deviation.
+    pub(crate) const MAX: usize = 262_144;
+    /// Repair rate under which the window doubles.
+    pub(crate) const GROW_BELOW: f64 = 0.15;
+    /// Repair rate above which the window halves.
+    pub(crate) const SHRINK_ABOVE: f64 = 0.40;
+
+    pub(crate) fn new(window: u32) -> Self {
+        if window == WINDOW_AUTO {
+            WindowController {
+                next: Self::INITIAL,
+                adaptive: true,
+            }
+        } else {
+            WindowController {
+                next: window as usize,
+                adaptive: false,
+            }
+        }
+    }
+
+    /// Size of the next window to cut.
+    pub(crate) fn current(&self) -> usize {
+        self.next
+    }
+
+    /// Feed back one committed window: `committed` edges, of which
+    /// `repaired` were re-scored. Adjusts the next window size (adaptive
+    /// mode only) and counts shrinks into `stats`.
+    pub(crate) fn observe(&mut self, committed: usize, repaired: u64, stats: &mut SpecStats) {
+        if !self.adaptive || committed == 0 {
+            return;
+        }
+        let rate = repaired as f64 / committed as f64;
+        if rate < Self::GROW_BELOW {
+            self.next = (self.next * 2).min(Self::MAX);
+        } else if rate > Self::SHRINK_ABOVE {
+            let shrunk = (self.next / 2).max(Self::MIN);
+            if shrunk < self.next {
+                stats.shrinks += 1;
+            }
+            self.next = shrunk;
+        }
+    }
+}
+
+/// Reusable per-worker scoring scratch: the per-partition score buffer the
+/// 4-wide lanes fill and the pick scans read. One lives in each speculation
+/// chunk and one in the repair walk, reused across every edge they score —
+/// the score path itself allocates nothing.
+pub(crate) struct ScoreScratch {
+    scores: Vec<f64>,
+}
+
+impl ScoreScratch {
+    pub(crate) fn new(partitions: usize) -> Self {
+        ScoreScratch {
+            scores: vec![0.0; partitions],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn scores(&mut self) -> &mut [f64] {
+        &mut self.scores
     }
 }
 
@@ -144,12 +279,42 @@ pub fn sharded_degree_table(graph: &dyn StreamingEdges, par: &ParConfig) -> Degr
     table
 }
 
+/// Lane width of the unrolled scoring loops. The lane bodies are pure
+/// f64 multiply/add plus a branchless capacity select, so on targets with
+/// 256-bit vectors (`target_feature = "avx2"`) LLVM lowers each 4-lane
+/// group to single `vmulpd`/`vaddpd`/`vblendvpd` instructions; elsewhere
+/// the identical code stays scalar-safe — and because vector mul/add round
+/// exactly like their scalar IEEE-754 counterparts, both lowerings are
+/// bit-identical.
+#[cfg(target_feature = "avx2")]
+pub(crate) const SCORE_LANES: usize = 4;
+/// Scalar-safe fallback: the same 4-wide loop shape, lowered to scalar ops.
+#[cfg(not(target_feature = "avx2"))]
+pub(crate) const SCORE_LANES: usize = 4;
+
 /// Least-loaded partition over all partitions, ties broken uniformly with
 /// `rng` (one draw over ascending order) — the pure-function analogue of
-/// `GreedyState::least_loaded_all` for snapshot scoring.
+/// `GreedyState::least_loaded_all` for snapshot scoring. The min/tie
+/// reduction runs in [`SCORE_LANES`]-wide unrolled lanes; min and tie-count
+/// are order-insensitive, and the final pick scans ascending, so the result
+/// matches the scalar loop exactly.
 pub(crate) fn least_loaded_all(loads: &[u64], rng: &mut Splitmix64) -> PartitionId {
-    let min = *loads.iter().min().expect("partitions > 0");
-    let tied = loads.iter().filter(|&&l| l == min).count() as u64;
+    let mut lane_min = [u64::MAX; SCORE_LANES];
+    let chunks = loads.chunks_exact(SCORE_LANES);
+    let tail = chunks.remainder();
+    for c in chunks {
+        for k in 0..SCORE_LANES {
+            lane_min[k] = lane_min[k].min(c[k]);
+        }
+    }
+    let mut min = lane_min.into_iter().min().expect("lanes > 0");
+    for &l in tail {
+        min = min.min(l);
+    }
+    let mut tied = 0u64;
+    for &l in loads {
+        tied += u64::from(l == min);
+    }
     let pick = rng.next_below(tied);
     let mut seen = 0;
     for (c, &l) in loads.iter().enumerate() {
@@ -193,12 +358,16 @@ pub(crate) fn least_loaded_in(
     unreachable!("pick < tied count")
 }
 
-/// HDRF's Appendix-B score as a pure function of the visible state, with
-/// membership read word-wise off the replica-bitset words. Per 64-partition
-/// word pair, `c_rep` takes one of four class values (`both`, `u`-only,
-/// `v`-only, `none`) selected by two shifts — no `contains` probes, no
-/// branches the vectorizer can't lower to masks. Returns `None` when every
-/// partition is at capacity (caller falls back to least-loaded).
+/// HDRF's Appendix-B score as a pure function of the visible state. The
+/// caller supplies the load aggregates (`max_load`/`min_load` — frozen per
+/// window on the speculation path, recomputed live on the repair path) and
+/// a [`ScoreScratch`] buffer; the fill loop runs in explicit
+/// [`SCORE_LANES`]-wide unrolled lanes whose bodies are branchless —
+/// membership is two shifts off the replica-bitset words, the capacity
+/// constraint is a select to `-inf` — and the best/tie scan walks the
+/// filled buffer in ascending partition order with the same `1e-12`
+/// epsilon as the sequential kernel. Returns `None` when every partition
+/// is at capacity (caller falls back to least-loaded).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn hdrf_score(
     loads: &[u64],
@@ -208,44 +377,64 @@ pub(crate) fn hdrf_score(
     theta_u: f64,
     theta_v: f64,
     lambda: f64,
+    max_load: f64,
+    min_load: f64,
     rng: &mut Splitmix64,
+    scores: &mut [f64],
 ) -> Option<PartitionId> {
     let p = loads.len();
-    let max_load = *loads.iter().max().expect("partitions > 0") as f64;
-    let min_load = *loads.iter().min().expect("partitions > 0") as f64;
+    debug_assert_eq!(scores.len(), p);
     const EPS: f64 = 1.0;
     let g_u = 1.0 + (1.0 - theta_u);
     let g_v = 1.0 + (1.0 - theta_v);
     let uw = au.words();
     let vw = av.words();
     let bal_denom = EPS + max_load - min_load;
-    let score_at = |m: usize| -> Option<f64> {
-        if loads[m] >= capacity {
-            return None;
+    // One lane: straight-line f64 arithmetic with a branchless select.
+    // Inline sets always carry 4 words; vertices never placed past
+    // partition 255 read membership 0 beyond them, as they must.
+    let lane = |j: usize| -> f64 {
+        let (wi, bit) = (j / 64, j % 64);
+        let in_u = (uw.get(wi).copied().unwrap_or(0) >> bit & 1) as f64;
+        let in_v = (vw.get(wi).copied().unwrap_or(0) >> bit & 1) as f64;
+        let c_rep = in_u * g_u + in_v * g_v;
+        let c_bal = (max_load - loads[j] as f64) / bal_denom;
+        let score = c_rep + lambda * c_bal;
+        // At-capacity partitions score -inf: they can never win the max
+        // scan, and `(-inf) - best` is never within the tie epsilon.
+        if loads[j] < capacity {
+            score
+        } else {
+            f64::NEG_INFINITY
         }
-        let (wi, bit) = (m / 64, m % 64);
-        // Inline sets always carry 4 words; vertices never placed past
-        // partition 255 read membership 0 beyond them, as they must.
-        let in_u = uw.get(wi).copied().unwrap_or(0) >> bit & 1;
-        let in_v = vw.get(wi).copied().unwrap_or(0) >> bit & 1;
-        let c_rep = in_u as f64 * g_u + in_v as f64 * g_v;
-        let c_bal = (max_load - loads[m] as f64) / bal_denom;
-        Some(c_rep + lambda * c_bal)
     };
-    // Pass 1: best score and tie count (same 1e-12 epsilon as the
-    // sequential kernel). Pass 2: pick the `rng`-drawn tied candidate in
-    // ascending order. Two passes instead of a tie buffer keeps the score
-    // function allocation-free, so speculation workers need no scratch.
+    let mut j = 0;
+    while j + SCORE_LANES <= p {
+        let s0 = lane(j);
+        let s1 = lane(j + 1);
+        let s2 = lane(j + 2);
+        let s3 = lane(j + 3);
+        scores[j] = s0;
+        scores[j + 1] = s1;
+        scores[j + 2] = s2;
+        scores[j + 3] = s3;
+        j += SCORE_LANES;
+    }
+    while j < p {
+        scores[j] = lane(j);
+        j += 1;
+    }
+    // Best score and tie count over the filled buffer (ascending order,
+    // same epsilon as the sequential kernel). `NaN <= eps` is false, so
+    // an all-at-capacity buffer (best stays -inf) leaves `tied == 0`.
     let mut best_score = f64::NEG_INFINITY;
     let mut tied = 0u64;
-    for m in 0..p {
-        if let Some(score) = score_at(m) {
-            if score > best_score + 1e-12 {
-                best_score = score;
-                tied = 1;
-            } else if (score - best_score).abs() <= 1e-12 {
-                tied += 1;
-            }
+    for &score in scores.iter() {
+        if score > best_score + 1e-12 {
+            best_score = score;
+            tied = 1;
+        } else if (score - best_score).abs() <= 1e-12 {
+            tied += 1;
         }
     }
     if tied == 0 {
@@ -253,21 +442,21 @@ pub(crate) fn hdrf_score(
     }
     let pick = rng.next_below(tied);
     let mut seen = 0;
-    for m in 0..p {
-        if let Some(score) = score_at(m) {
-            if (score - best_score).abs() <= 1e-12 {
-                if seen == pick {
-                    return Some(PartitionId(m as u32));
-                }
-                seen += 1;
+    for (m, &score) in scores.iter().enumerate() {
+        if (score - best_score).abs() <= 1e-12 {
+            if seen == pick {
+                return Some(PartitionId(m as u32));
             }
+            seen += 1;
         }
     }
     unreachable!("pick < tied count")
 }
 
 /// Oblivious's Appendix-A case analysis as a pure function of the visible
-/// state — the snapshot-scoring analogue of `oblivious_choose`.
+/// state — the snapshot-scoring analogue of `oblivious_choose`. The
+/// intersection/union cases are word-wise AND/OR over the bitset words and
+/// the least-loaded fallbacks run the lane-unrolled min reduction.
 pub(crate) fn oblivious_score(
     loads: &[u64],
     capacity: u64,
@@ -294,15 +483,31 @@ pub(crate) fn oblivious_score(
     }
 }
 
-/// One strategy's view of the windowed driver: a pure scoring function over
-/// the committed state, a capacity guard, a commit, and (for strategies
-/// with degree state) shard accumulation plus ordered merge.
+/// One strategy's view of the windowed driver: pure scoring functions over
+/// the committed state (frozen-snapshot and live variants), a capacity
+/// guard, a commit, and a deferred end-of-window degree merge.
 pub(crate) trait WindowKernel: Sync {
-    /// Score edge `e` (stream index `idx`) against the committed state.
-    /// Must be a pure read: it is called concurrently by speculation
-    /// workers against the window-start snapshot, and again by the repair
-    /// walk against live mid-window state for conflicted edges.
-    fn score(&self, e: Edge, idx: usize) -> PartitionId;
+    /// Number of partitions scored (sizes the [`ScoreScratch`]).
+    fn partitions(&self) -> usize;
+
+    /// Called once per window, before any speculation: cache whatever load
+    /// aggregates the frozen-state score reads (max/min load, capacity).
+    /// The committed state does not change between here and the repair
+    /// walk, so the cache equals a per-edge recomputation — it just lifts
+    /// two O(p) scans per edge out of the speculation hot loop.
+    fn begin_window(&mut self) {}
+
+    /// Score edge `e` (stream index `idx`) against the window-start
+    /// snapshot. Must be a pure read: it is called concurrently by
+    /// speculation workers. May read aggregates cached by
+    /// [`Self::begin_window`].
+    fn score_frozen(&self, e: Edge, idx: usize, scratch: &mut ScoreScratch) -> PartitionId;
+
+    /// Score edge `e` against the live mid-window state (the repair
+    /// re-score for conflicted edges). Same pure function as
+    /// [`Self::score_frozen`], but all aggregates are recomputed from the
+    /// live loads.
+    fn score_live(&self, e: Edge, idx: usize, scratch: &mut ScoreScratch) -> PartitionId;
 
     /// True when the live load of `p` disqualifies a speculative placement.
     fn over_capacity(&self, p: PartitionId) -> bool;
@@ -310,79 +515,168 @@ pub(crate) trait WindowKernel: Sync {
     /// Commit `e -> p`: loads, replica sets, work accounting.
     fn apply(&mut self, e: Edge, p: PartitionId);
 
-    /// Fold `e`'s degree contribution into a speculation worker's shard.
-    fn shard(&self, _e: Edge, _shard: &mut Vec<VertexId>) {}
+    /// Fold the committed window's endpoint touches into deferred state
+    /// (degree counters), called after the whole window has committed —
+    /// degree counters are frozen for the duration of a window by design.
+    fn end_window(&mut self, _edges: &[Edge]) {}
 
-    /// Merge the window's shards in chunk order (ordered reduction),
-    /// called after the whole window has committed — degree counters are
-    /// frozen for the duration of a window by design.
-    fn merge_shards(&mut self, _shards: Vec<Vec<VertexId>>) {}
+    /// Simulated work units burned by this loader so far.
+    fn work(&self) -> f64;
+
+    /// Peak strategy-private state estimate for ingress memory accounting.
+    fn state_bytes(&self, num_vertices: u64, stats: &SpecStats) -> u64;
 }
 
 /// Drive one loader block through the windowed speculate/repair/merge
-/// cycle, appending placements to `parts` in stream order.
+/// cycle, appending placements to `parts` in stream order. `window` is the
+/// raw context value — a fixed size or [`WINDOW_AUTO`].
+#[allow(clippy::too_many_arguments)] // one slot per piece of per-block state
 pub(crate) fn run_windowed<K: WindowKernel>(
     graph: &dyn StreamingEdges,
     block: Range<usize>,
-    window: usize,
+    window: u32,
     par: &ParConfig,
     kernel: &mut K,
     stamp: &mut StampSet,
     parts: &mut Vec<PartitionId>,
     stats: &mut SpecStats,
 ) {
-    debug_assert!(window >= 2, "window <= 1 dispatches to the sequential kernel");
-    let mut buf: Vec<Edge> = Vec::with_capacity(window.min(block.len()));
-    for wrange in gp_par::window_ranges(block, window) {
-        buf.clear();
-        for_each_edge(graph, wrange.clone(), |e| buf.push(e));
-        // Phase 1+2: speculative scoring against the window-start snapshot.
-        // Placements concatenate in chunk order; degree shards are returned
-        // per chunk for the ordered merge below.
-        let k: &K = kernel;
-        let edges = &buf;
-        let scored = gp_par::map_chunks(par, edges.len(), |_, r| {
-            let mut spec = Vec::with_capacity(r.len());
-            let mut shard = Vec::new();
-            for i in r {
-                let e = edges[i];
-                spec.push(k.score(e, wrange.start + i));
-                k.shard(e, &mut shard);
+    debug_assert!(
+        window >= 2,
+        "window <= 1 dispatches to the sequential kernel"
+    );
+    let mut ctl = WindowController::new(window);
+    let slice = graph.as_edge_slice();
+    // Reused across windows: the spill buffer for non-memory sources (the
+    // in-memory fast path scores straight off the stream's slice) and the
+    // speculative-choice buffer the workers fill in place.
+    let mut buf: Vec<Edge> = Vec::new();
+    let mut spec: Vec<PartitionId> = Vec::new();
+    let mut repair_scratch = ScoreScratch::new(kernel.partitions());
+    let mut start = block.start;
+    while start < block.end {
+        let end = (start + ctl.current()).min(block.end);
+        let wrange = start..end;
+        let edges: &[Edge] = match slice {
+            Some(s) => &s[wrange.clone()],
+            None => {
+                buf.clear();
+                for_each_edge(graph, wrange.clone(), |e| buf.push(e));
+                &buf
             }
-            (spec, shard)
+        };
+        // Phase 1+2: speculative scoring against the window-start snapshot.
+        // Choices land in stream order in the pre-sized `spec` buffer; each
+        // chunk carries its own scoring scratch, reused for every edge it
+        // scores.
+        kernel.begin_window();
+        spec.clear();
+        spec.resize(edges.len(), PartitionId(0));
+        let k: &K = kernel;
+        gp_par::fill_chunks(par, &mut spec, |_, r, out| {
+            let mut scratch = ScoreScratch::new(k.partitions());
+            for (slot, i) in out.iter_mut().zip(r) {
+                *slot = k.score_frozen(edges[i], wrange.start + i, &mut scratch);
+            }
         });
         // Phase 3: sequential conflict repair + commit, in stream order. An
         // edge keeps its speculative placement iff its score inputs are
         // intact: no earlier edge in this window touched either endpoint
         // and the chosen partition is still under the live capacity cap.
         stamp.advance();
-        let mut shards = Vec::with_capacity(scored.len());
-        let mut i = 0usize;
-        for (spec, shard) in scored {
-            for provisional in spec {
-                let e = buf[i];
-                let clean = !stamp.contains(e.src)
-                    && !stamp.contains(e.dst)
-                    && !kernel.over_capacity(provisional);
-                let p = if clean {
-                    stats.speculated += 1;
-                    provisional
-                } else {
-                    stats.repaired += 1;
-                    kernel.score(e, wrange.start + i)
-                };
-                kernel.apply(e, p);
-                stamp.mark(e.src);
-                stamp.mark(e.dst);
-                parts.push(p);
-                i += 1;
-            }
-            shards.push(shard);
+        let mut repaired = 0u64;
+        for (i, &provisional) in spec.iter().enumerate() {
+            let e = edges[i];
+            let clean = !stamp.contains(e.src)
+                && !stamp.contains(e.dst)
+                && !kernel.over_capacity(provisional);
+            let p = if clean {
+                provisional
+            } else {
+                repaired += 1;
+                kernel.score_live(e, wrange.start + i, &mut repair_scratch)
+            };
+            kernel.apply(e, p);
+            stamp.mark(e.src);
+            stamp.mark(e.dst);
+            parts.push(p);
         }
-        // Phase 4: ordered degree-shard merge.
-        kernel.merge_shards(shards);
+        // Phase 4: deferred degree merge over the committed window.
+        kernel.end_window(edges);
+        let committed = edges.len();
         stats.windows += 1;
+        stats.speculated += committed as u64 - repaired;
+        stats.repaired += repaired;
+        stats.max_window = stats.max_window.max(committed as u64);
+        ctl.observe(committed, repaired, stats);
+        start = end;
     }
+}
+
+/// Run every loader block of a windowed stateful strategy and fold the
+/// results in block order: the shared driver behind HDRF's and Oblivious's
+/// `window >= 2` paths. Each block is a pure function of its own edge
+/// range — own kernel (from `make_kernel`), own stamp set, own window
+/// schedule — so when the context enables overlap and real threads are
+/// available, blocks run on the bounded two-stage
+/// [`gp_par::pipeline_ordered`]: block `N+1` speculates while block `N`'s
+/// repair walk commits and its output is folded. Consumption order is
+/// block order either way, which is why `overlap` on/off (and any thread
+/// count) produces byte-identical placements.
+pub(crate) fn partition_windowed_blocks<K, F>(
+    graph: &dyn StreamingEdges,
+    ctx: &PartitionContext,
+    make_kernel: F,
+) -> (Vec<PartitionId>, Vec<f64>, u64, SpecStats)
+where
+    K: WindowKernel,
+    F: Fn(usize) -> K + Sync,
+{
+    let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
+    let n = graph.num_vertices() as usize;
+    let run_block = |i: usize, block: Range<usize>| {
+        let mut kernel = make_kernel(i);
+        let mut stamp = StampSet::new(n);
+        let mut parts = Vec::with_capacity(block.len());
+        let mut stats = SpecStats::default();
+        run_windowed(
+            graph,
+            block,
+            ctx.window,
+            &ctx.par,
+            &mut kernel,
+            &mut stamp,
+            &mut parts,
+            &mut stats,
+        );
+        let bytes = kernel.state_bytes(graph.num_vertices(), &stats);
+        (parts, kernel.work(), bytes, stats)
+    };
+    let mut parts = Vec::with_capacity(graph.num_edges());
+    let mut loader_work = Vec::with_capacity(blocks.len());
+    let mut state_bytes = 0u64;
+    let mut stats = SpecStats::default();
+    let mut consume =
+        |(block_parts, work, bytes, block_stats): (Vec<PartitionId>, f64, u64, SpecStats)| {
+            parts.extend(block_parts);
+            loader_work.push(work);
+            state_bytes = state_bytes.max(bytes);
+            stats.absorb(block_stats);
+        };
+    if ctx.overlap && ctx.par.is_parallel() && blocks.len() > 1 {
+        let run_block = &run_block;
+        let tasks: Vec<_> = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, block)| move || run_block(i, block))
+            .collect();
+        gp_par::pipeline_ordered(PIPELINE_DEPTH, tasks, |_, r| consume(r));
+    } else {
+        for (i, block) in blocks.into_iter().enumerate() {
+            consume(run_block(i, block));
+        }
+    }
+    (parts, loader_work, state_bytes, stats)
 }
 
 #[cfg(test)]
@@ -443,6 +737,91 @@ mod tests {
             least_loaded_in(&loads, &cands, &mut rng),
             st.least_loaded_in(&cands)
         );
+    }
+
+    #[test]
+    fn lane_unrolled_least_loaded_handles_all_lengths() {
+        // Lengths straddling the 4-lane boundary: the unrolled reduction
+        // must agree with a plain scalar argmin + same-tie pick.
+        for p in 1..=11usize {
+            let loads: Vec<u64> = (0..p).map(|i| ((i * 7 + 3) % 5) as u64).collect();
+            let got = least_loaded_all(&loads, &mut Splitmix64::new(1));
+            let min = *loads.iter().min().unwrap();
+            let tied: Vec<usize> = (0..p).filter(|&i| loads[i] == min).collect();
+            let pick = Splitmix64::new(1).next_below(tied.len() as u64) as usize;
+            assert_eq!(got, PartitionId(tied[pick] as u32), "p={p}");
+        }
+    }
+
+    #[test]
+    fn fixed_controller_never_moves() {
+        let mut stats = SpecStats::default();
+        let mut ctl = WindowController::new(4096);
+        assert_eq!(ctl.current(), 4096);
+        ctl.observe(4096, 4096, &mut stats); // 100% repair rate
+        assert_eq!(ctl.current(), 4096, "fixed windows ignore the repair rate");
+        assert_eq!(stats.shrinks, 0);
+    }
+
+    #[test]
+    fn adaptive_controller_grows_on_clean_windows() {
+        let mut stats = SpecStats::default();
+        let mut ctl = WindowController::new(WINDOW_AUTO);
+        assert_eq!(ctl.current(), WindowController::INITIAL);
+        let mut w = ctl.current();
+        for _ in 0..32 {
+            ctl.observe(w, 0, &mut stats);
+            w = ctl.current();
+        }
+        assert_eq!(w, WindowController::MAX, "clean stream must reach the cap");
+        assert_eq!(stats.shrinks, 0);
+    }
+
+    #[test]
+    fn adaptive_controller_shrinks_on_conflict_storms_to_the_floor() {
+        let mut stats = SpecStats::default();
+        let mut ctl = WindowController::new(WINDOW_AUTO);
+        let mut w = ctl.current();
+        for _ in 0..32 {
+            ctl.observe(w, w as u64, &mut stats); // every edge repaired
+            w = ctl.current();
+        }
+        assert_eq!(w, WindowController::MIN, "storm must reach the floor");
+        assert!(stats.shrinks >= 1, "shrinks must be counted");
+    }
+
+    #[test]
+    fn adaptive_controller_holds_in_the_dead_band() {
+        let mut stats = SpecStats::default();
+        let mut ctl = WindowController::new(WINDOW_AUTO);
+        let w = ctl.current();
+        // Repair rate between the thresholds: hold steady.
+        ctl.observe(1000, 250, &mut stats);
+        assert_eq!(ctl.current(), w);
+        assert_eq!(stats.shrinks, 0);
+    }
+
+    #[test]
+    fn spec_stats_absorb_tracks_extrema() {
+        let mut a = SpecStats {
+            windows: 1,
+            speculated: 10,
+            repaired: 2,
+            max_window: 512,
+            shrinks: 0,
+        };
+        let b = SpecStats {
+            windows: 2,
+            speculated: 5,
+            repaired: 5,
+            max_window: 2048,
+            shrinks: 3,
+        };
+        a.absorb(b);
+        assert_eq!(a.windows, 3);
+        assert_eq!(a.max_window, 2048);
+        assert_eq!(a.shrinks, 3);
+        assert!((a.repair_rate() - 7.0 / 22.0).abs() < 1e-12);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_chunks, PartitionContext, PartitionOutcome, Partitioner};
-use crate::speculative::{sharded_degree_table, SpecStats, StampSet};
+use crate::speculative::{sharded_degree_table, SpecStats, StampSet, WindowController};
 use gp_core::{for_each_edge, hash_vertex, CsrGraph, Edge, PartitionId, StreamingEdges, VertexId};
 
 /// The default high-degree threshold (θ) used by the paper (§6.2.1).
@@ -278,7 +278,14 @@ impl HybridGinger {
             .collect();
         let mut stamp = StampSet::new(n);
         let mut affinity = vec![0u64; p];
-        for wrange in gp_par::window_ranges(0..cands.len(), ctx.window as usize) {
+        // Windows are cut by the same controller as the edge-stream path:
+        // fixed for `--window W`, adaptive for `--window auto` — either way
+        // a pure function of the candidate stream, never the thread count.
+        let mut ctl = WindowController::new(ctx.window);
+        let mut start = 0usize;
+        while start < cands.len() {
+            let end = (start + ctl.current()).min(cands.len());
+            let wrange = start..end;
             let homes_snap: &[PartitionId] = homes;
             let vcount_snap: &[u64] = vcount;
             let ecount_snap: &[u64] = ecount;
@@ -308,6 +315,7 @@ impl HybridGinger {
                 .flatten()
                 .collect();
             stamp.advance();
+            let mut repaired_here = 0u64;
             for (k, &(proposed, aff_prop, aff_cur)) in proposals.iter().enumerate() {
                 let v = cands[wrange.start + k] as usize;
                 *ginger_work +=
@@ -316,9 +324,17 @@ impl HybridGinger {
                     .in_neighbors(VertexId(v as u64))
                     .any(|u| stamp.contains(u));
                 let best = if conflict {
-                    stats.repaired += 1;
+                    repaired_here += 1;
                     Self::best_home(
-                        csr, homes, in_deg, vcount, ecount, nv_over_ne, p, v, &mut affinity,
+                        csr,
+                        homes,
+                        in_deg,
+                        vcount,
+                        ecount,
+                        nv_over_ne,
+                        p,
+                        v,
+                        &mut affinity,
                     )
                 } else {
                     stats.speculated += 1;
@@ -330,11 +346,12 @@ impl HybridGinger {
                         // `best_home` (v removed from its current home,
                         // strict improvement required to move).
                         let score_prop = aff_prop as f64
-                            - 0.5 * (vcount[proposed] as f64
-                                + nv_over_ne * ecount[proposed] as f64);
+                            - 0.5
+                                * (vcount[proposed] as f64 + nv_over_ne * ecount[proposed] as f64);
                         let score_cur = aff_cur as f64
-                            - 0.5 * ((vcount[current] - 1) as f64
-                                + nv_over_ne * (ecount[current] - in_deg[v] as u64) as f64);
+                            - 0.5
+                                * ((vcount[current] - 1) as f64
+                                    + nv_over_ne * (ecount[current] - in_deg[v] as u64) as f64);
                         if score_prop > score_cur {
                             proposed
                         } else {
@@ -353,6 +370,10 @@ impl HybridGinger {
                 }
             }
             stats.windows += 1;
+            stats.repaired += repaired_here;
+            stats.max_window = stats.max_window.max(wrange.len() as u64);
+            ctl.observe(wrange.len(), repaired_here, stats);
+            start = end;
         }
     }
 }

@@ -108,8 +108,16 @@ pub(crate) fn record_speculation_telemetry(ctx: &PartitionContext, stats: &SpecS
     if !sink.is_enabled() || ctx.window < 2 {
         return;
     }
-    sink.gauge_set("par.window_size", f64::from(ctx.window));
+    // The configured window is only meaningful when fixed; under
+    // `--window auto` the observed `par.spec_window_size` gauge carries the
+    // controller's trajectory instead.
+    if ctx.window != crate::speculative::WINDOW_AUTO {
+        sink.gauge_set("par.window_size", f64::from(ctx.window));
+    }
+    sink.gauge_set("par.spec_window_size", stats.max_window as f64);
+    sink.gauge_set("par.spec_repair_rate", stats.repair_rate());
     sink.counter_add("par.spec_windows", stats.windows);
     sink.counter_add("par.spec_edges", stats.speculated);
     sink.counter_add("par.spec_repaired", stats.repaired);
+    sink.counter_add("par.spec_shrinks", stats.shrinks);
 }

@@ -21,9 +21,7 @@
 
 use crate::assignment::Assignment;
 use crate::partitioner::{loader_ranges, PartitionContext, PartitionOutcome, Partitioner};
-use crate::speculative::{
-    self, edge_rng, run_windowed, SpecStats, StampSet, WindowKernel,
-};
+use crate::speculative::{self, edge_rng, ScoreScratch, SpecStats, WindowKernel};
 use gp_core::{
     for_each_edge, Edge, PartitionId, PartitionSet, Splitmix64, StreamingEdges, VertexId,
 };
@@ -189,6 +187,9 @@ pub(crate) fn oblivious_choose(state: &mut GreedyState, e: Edge) -> PartitionId 
 struct ObliviousWindowKernel {
     greedy: GreedyState,
     seed: u64,
+    /// Capacity cap as of the window start. The committed state is frozen
+    /// during speculation, so the cache equals a per-edge recomputation.
+    frozen_capacity: u64,
     parse_edge: f64,
     heuristic_base: f64,
     heuristic_per_candidate: f64,
@@ -199,27 +200,41 @@ impl ObliviousWindowKernel {
         ObliviousWindowKernel {
             greedy: GreedyState::new(ctx.num_partitions, num_vertices, seed),
             seed,
+            frozen_capacity: 0,
             parse_edge: ctx.cost.parse_edge,
             heuristic_base: ctx.cost.heuristic_base,
             heuristic_per_candidate: ctx.cost.heuristic_per_candidate,
         }
     }
 
-    fn state_bytes(&self, window: u32, num_vertices: u64) -> u64 {
-        self.greedy.state_bytes() + window as u64 * 20 + num_vertices * 4
-    }
-}
-
-impl WindowKernel for ObliviousWindowKernel {
-    fn score(&self, e: Edge, idx: usize) -> PartitionId {
+    #[inline]
+    fn score_at(&self, e: Edge, idx: usize, capacity: u64) -> PartitionId {
         let mut rng = edge_rng(self.seed, idx);
         speculative::oblivious_score(
             &self.greedy.load,
-            self.greedy.capacity(),
+            capacity,
             self.greedy.replicas(e.src),
             self.greedy.replicas(e.dst),
             &mut rng,
         )
+    }
+}
+
+impl WindowKernel for ObliviousWindowKernel {
+    fn partitions(&self) -> usize {
+        self.greedy.load.len()
+    }
+
+    fn begin_window(&mut self) {
+        self.frozen_capacity = self.greedy.capacity();
+    }
+
+    fn score_frozen(&self, e: Edge, idx: usize, _scratch: &mut ScoreScratch) -> PartitionId {
+        self.score_at(e, idx, self.frozen_capacity)
+    }
+
+    fn score_live(&self, e: Edge, idx: usize, _scratch: &mut ScoreScratch) -> PartitionId {
+        self.score_at(e, idx, self.greedy.capacity())
     }
 
     fn over_capacity(&self, p: PartitionId) -> bool {
@@ -233,6 +248,14 @@ impl WindowKernel for ObliviousWindowKernel {
             + self.heuristic_per_candidate * candidates as f64;
         self.greedy.commit(e, p);
     }
+
+    fn work(&self) -> f64 {
+        self.greedy.work
+    }
+
+    fn state_bytes(&self, num_vertices: u64, stats: &SpecStats) -> u64 {
+        self.greedy.state_bytes() + stats.max_window * 20 + num_vertices * 4
+    }
 }
 
 impl Oblivious {
@@ -242,31 +265,14 @@ impl Oblivious {
         graph: &dyn StreamingEdges,
         ctx: &PartitionContext,
     ) -> PartitionOutcome {
-        let blocks = loader_ranges(graph.num_edges(), ctx.num_loaders);
-        let mut parts = Vec::with_capacity(graph.num_edges());
-        let mut loader_work = Vec::with_capacity(blocks.len());
-        let mut state_bytes = 0u64;
-        let mut stats = SpecStats::default();
-        let mut stamp = StampSet::new(graph.num_vertices() as usize);
-        for (i, block) in blocks.into_iter().enumerate() {
-            let mut kernel = ObliviousWindowKernel::new(
-                ctx,
-                graph.num_vertices(),
-                ctx.seed ^ (0x0b11 + i as u64),
-            );
-            run_windowed(
-                graph,
-                block,
-                ctx.window as usize,
-                &ctx.par,
-                &mut kernel,
-                &mut stamp,
-                &mut parts,
-                &mut stats,
-            );
-            loader_work.push(kernel.greedy.work);
-            state_bytes = state_bytes.max(kernel.state_bytes(ctx.window, graph.num_vertices()));
-        }
+        let (parts, loader_work, state_bytes, stats) =
+            speculative::partition_windowed_blocks(graph, ctx, |i| {
+                ObliviousWindowKernel::new(
+                    ctx,
+                    graph.num_vertices(),
+                    ctx.seed ^ (0x0b11 + i as u64),
+                )
+            });
         let outcome = PartitionOutcome {
             assignment: Assignment::from_edge_partitions_par(
                 graph,

@@ -66,7 +66,11 @@ fn isolated_vertices_stay_zero() {
     // Vertices 5..100 never appear on an edge; every shard must leave
     // them untouched and the merge must not disturb them.
     let g = EdgeList::with_vertex_count(
-        vec![Edge::new(0u64, 1u64), Edge::new(2u64, 3u64), Edge::new(4u64, 0u64)],
+        vec![
+            Edge::new(0u64, 1u64),
+            Edge::new(2u64, 3u64),
+            Edge::new(4u64, 0u64),
+        ],
         100,
     )
     .expect("ids in range");

@@ -23,7 +23,9 @@ use distgraph::cluster::ClusterSpec;
 use distgraph::core::{Edge, EdgeList, StreamingEdges, VertexId};
 use distgraph::engine::{AsyncGas, EngineConfig, HybridGas, Pregel, PregelConfig, SyncGas};
 use distgraph::partition::strategies::{BiCut, Chunking, Vebo};
-use distgraph::partition::{write_assignment, PartitionContext, Partitioner, Strategy};
+use distgraph::partition::{
+    write_assignment, PartitionContext, Partitioner, Strategy, WINDOW_AUTO,
+};
 use proptest::prelude::*;
 // The partition::Strategy enum shadows proptest's Strategy trait; re-import
 // the trait anonymously for method syntax.
@@ -94,10 +96,26 @@ fn windowed_bytes(
     threads: u32,
     window: u32,
 ) -> Vec<u8> {
+    windowed_bytes_with(graph, partitioner, parts, seed, threads, window, true)
+}
+
+/// [`windowed_bytes`] with the loader-block overlap pipeline toggled —
+/// output must be byte-identical either way.
+#[allow(clippy::too_many_arguments)]
+fn windowed_bytes_with(
+    graph: &dyn StreamingEdges,
+    partitioner: &mut dyn Partitioner,
+    parts: u32,
+    seed: u64,
+    threads: u32,
+    window: u32,
+    overlap: bool,
+) -> Vec<u8> {
     let ctx = PartitionContext::new(parts)
         .with_seed(seed)
         .with_threads(threads)
-        .with_window(window);
+        .with_window(window)
+        .with_overlap(overlap);
     let outcome = partitioner.partition(graph, &ctx);
     let a = &outcome.assignment;
     let mut buf = Vec::new();
@@ -244,7 +262,7 @@ proptest! {
         let m = graph.num_edges() as f64;
         for strategy in STATEFUL {
             let label = strategy.label();
-            for window in [4u32, 16] {
+            for window in [4u32, 16, WINDOW_AUTO] {
                 let fixed = windowed_bytes(&graph, &mut *strategy.build(), 9, seed, 1, window);
                 for threads in [2u32, 4, 7] {
                     let par = windowed_bytes(&graph, &mut *strategy.build(), 9, seed, threads, window);
@@ -253,6 +271,16 @@ proptest! {
                         "{} window={} diverges at {} threads", label, window, threads
                     );
                 }
+                // Overlapped loader blocks are a pure scheduling change:
+                // disabling the block pipeline must not move a byte.
+                let no_overlap =
+                    windowed_bytes_with(&graph, &mut *strategy.build(), 9, seed, 4, window, false);
+                let overlap =
+                    windowed_bytes_with(&graph, &mut *strategy.build(), 9, seed, 4, window, true);
+                prop_assert_eq!(
+                    &no_overlap, &overlap,
+                    "{} window={} diverges when block overlap is toggled", label, window
+                );
             }
             let seq = windowed_bytes(&graph, &mut *strategy.build(), 9, seed, 1, 0);
             let w1 = windowed_bytes(&graph, &mut *strategy.build(), 9, seed, 1, 1);
@@ -398,6 +426,74 @@ fn windowed_hdrf_holds_strict_parity_at_scale() {
             bal_gap * 100.0
         );
     }
+}
+
+/// `--window auto` at realistic scale: the adaptive controller's window
+/// schedule is a pure function of the committed edge stream, so the output
+/// must stay bit-identical across thread counts {1, 2, 4, 7} — with block
+/// overlap on and off — even as windows grow and shrink. Multiple loader
+/// blocks (9) exercise the per-block controller reset and the block
+/// pipeline together.
+#[test]
+fn auto_window_is_thread_identical_at_scale() {
+    let graph = distgraph::gen::barabasi_albert(20_000, 8, 3);
+    for strategy in STATEFUL {
+        let label = strategy.label();
+        let base = windowed_bytes(&graph, &mut *strategy.build(), 9, 3, 1, WINDOW_AUTO);
+        for threads in [2u32, 4, 7] {
+            let par = windowed_bytes(&graph, &mut *strategy.build(), 9, 3, threads, WINDOW_AUTO);
+            assert_eq!(
+                base, par,
+                "{label} --window auto diverges at {threads} threads"
+            );
+        }
+        let no_overlap =
+            windowed_bytes_with(&graph, &mut *strategy.build(), 9, 3, 4, WINDOW_AUTO, false);
+        assert_eq!(
+            base, no_overlap,
+            "{label} --window auto diverges when block overlap is disabled"
+        );
+    }
+}
+
+/// A conflict storm must make the adaptive controller shrink its window: a
+/// pure star graph routes every edge through the hub, so each speculated
+/// edge after a window's first finds the hub stamped and repairs — repair
+/// rate ~1, far over the shrink threshold. The shrink count is observable
+/// through the `par.spec_shrinks` telemetry counter, the repair rate
+/// through its gauge, and the placements stay thread-identical throughout.
+#[test]
+fn conflict_storm_forces_window_shrink() {
+    use distgraph::telemetry::TelemetrySink;
+    let edges: Vec<Edge> = (1..=6_000u64).map(|i| Edge::new(0u64, i)).collect();
+    let graph = EdgeList::with_vertex_count(edges, 6_001).expect("ids in range");
+    let sink = TelemetrySink::recording();
+    let ctx = PartitionContext::new(9)
+        .with_seed(3)
+        .with_loaders(1)
+        .with_window(WINDOW_AUTO)
+        .with_telemetry(sink.clone());
+    let storm = Strategy::Hdrf.build().partition(&graph, &ctx).assignment;
+    assert!(
+        sink.counter("par.spec_shrinks") >= 1,
+        "a ~100% repair-rate stream must shrink the window at least once \
+         (shrinks = {})",
+        sink.counter("par.spec_shrinks")
+    );
+    let rate = sink
+        .metrics()
+        .gauge("par.spec_repair_rate")
+        .expect("repair-rate gauge");
+    assert!(
+        rate > 0.4,
+        "star-graph repair rate {rate} should be a storm"
+    );
+    // Determinism holds under the storm too.
+    let again = Strategy::Hdrf
+        .build()
+        .partition(&graph, &ctx.clone().with_telemetry(TelemetrySink::Disabled))
+        .assignment;
+    assert_eq!(storm.edge_partitions(), again.edge_partitions());
 }
 
 /// A realistic-size fixed case on top of the proptest sweep: a heavy-tailed

@@ -10,7 +10,7 @@ use distgraph::engine::{
 };
 use distgraph::fault::{CheckpointPolicy, FaultEvent, FaultKind, FaultPlan};
 use distgraph::gen::Dataset;
-use distgraph::partition::{Assignment, PartitionContext, Strategy};
+use distgraph::partition::{Assignment, PartitionContext, Strategy, WINDOW_AUTO};
 use distgraph::telemetry::TelemetrySink;
 use gp_bench::{App, EngineKind, Pipeline};
 
@@ -353,6 +353,54 @@ fn trace_covers_elastic_events() {
     // Elastic events survive into the exported artifacts.
     assert!(sink.chrome_trace_json().contains("\"cat\":\"elastic\""));
     assert!(sink.metrics_csv().contains("elastic.evacuations"));
+}
+
+#[test]
+fn windowed_speculation_metrics_are_value_pinned() {
+    // The adaptive-window controller's observable trajectory is part of the
+    // determinism contract: every `par.spec_*` metric is a pure function of
+    // (graph, seed, partitions, loaders, window) and independent of thread
+    // count, so the exact values — not just the row names — can be pinned.
+    let g = Dataset::LiveJournal.generate(0.05, 7);
+    let run = |threads: u32| {
+        let sink = TelemetrySink::recording();
+        let ctx = PartitionContext::new(9)
+            .with_seed(5)
+            .with_loaders(4)
+            .with_threads(threads)
+            .with_window(WINDOW_AUTO)
+            .with_telemetry(sink.clone());
+        Strategy::Hdrf.build().partition(&g, &ctx);
+        sink
+    };
+    let spec_rows = |sink: &TelemetrySink| -> String {
+        sink.metrics_csv()
+            .lines()
+            .filter(|l| l.contains(",par.spec_"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    // This LiveJournal sample is hub-heavy, so most windows hit conflicts:
+    // the controller shrinks from its 1024-edge start toward the 256 floor
+    // (8 shrinks across the 4 loader blocks) and never grows past it.
+    let golden = "counter,par.spec_edges,,1912\n\
+                  counter,par.spec_repaired,,35549\n\
+                  counter,par.spec_shrinks,,8\n\
+                  counter,par.spec_windows,,132\n\
+                  gauge,par.spec_repair_rate,,0.9489602519954086\n\
+                  gauge,par.spec_window_size,,1024\n";
+    let s1 = run(1);
+    assert_eq!(spec_rows(&s1), golden, "spec metrics drifted at 1 thread");
+    for threads in [2u32, 4, 7] {
+        assert_eq!(
+            spec_rows(&run(threads)),
+            golden,
+            "spec metrics depend on thread count ({threads})"
+        );
+    }
+    // Under `--window auto` no fixed window exists, so the configured-window
+    // gauge must be absent and the observed trajectory carries the story.
+    assert!(!s1.metrics_csv().contains("par.window_size"));
 }
 
 #[test]
